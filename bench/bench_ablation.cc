@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Ablations for the design choices DESIGN.md calls out.
+ *
+ *  A. Tcl symbol-table size: §3.3 reports 206 (des) to 514 (xf)
+ *     instructions per variable access, varying with the number of
+ *     entries — swept here by pre-populating the global table.
+ *  B. Instruction-cache configuration: §4.1 implies that 16-64 KB or
+ *     higher associativity fixes Perl/Tcl; measured as total-cycle
+ *     improvement on a bigger I-cache.
+ *  C. Perl's startup compilation: the fixed precompile overhead per
+ *     run against the per-run execution cost, as a function of how
+ *     much work the program does (why Perl's choice pays off for
+ *     long-running programs and hurts one-liners).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.hh"
+#include "harness/workloads.hh"
+
+using namespace interp;
+using namespace interp::harness;
+
+namespace {
+
+void
+ablationSymtab()
+{
+    std::printf("A. Tcl symbol-table size vs per-access cost "
+                "(paper: 206 at des-size to 514 at xf-size)\n");
+    std::printf("   %-12s %14s %12s\n", "extra vars", "insts/access",
+                "cycles(x1k)");
+    for (int filler : {0, 50, 150, 400, 800}) {
+        std::string script;
+        for (int i = 0; i < filler; ++i)
+            script += "set filler" + std::to_string(i) + " 1\n";
+        script += loadProgram("tclish/des.tcl");
+        BenchSpec spec;
+        spec.lang = Lang::Tcl;
+        spec.name = "des+" + std::to_string(filler);
+        spec.source = script;
+        Measurement m = run(spec);
+        std::printf("   %-12d %14.1f %12.0f\n", filler,
+                    m.profile.memModelCostPerAccess(),
+                    m.cycles / 1000.0);
+    }
+    std::printf("\n");
+}
+
+void
+ablationIcache()
+{
+    std::printf("B. Bigger/associative I-cache (8K/1w -> 32K/4w), "
+                "total-cycle improvement\n");
+    std::printf("   %-14s %14s %14s %8s\n", "benchmark", "8K-1w(x1k)",
+                "32K-4w(x1k)", "speedup");
+    sim::MachineConfig big;
+    big.icache.sizeBytes = 32 * 1024;
+    big.icache.assoc = 4;
+    for (const BenchSpec &spec : macroSuite()) {
+        if (spec.name != "des")
+            continue;
+        Measurement base = run(spec);
+        Measurement wide = run(spec, {}, &big);
+        std::printf("   %-14s %14.0f %14.0f %7.2fx\n",
+                    (std::string(langName(spec.lang)) + "-des").c_str(),
+                    base.cycles / 1000.0, wide.cycles / 1000.0,
+                    (double)base.cycles / (double)wide.cycles);
+    }
+    std::printf("   (paper: the win concentrates in Perl/Tcl, whose "
+                "loops do not fit 8 KB)\n\n");
+}
+
+void
+ablationPrecompile()
+{
+    std::printf("C. Perl startup compilation: fixed precompile cost vs "
+                "run length\n");
+    std::printf("   %-10s %16s %16s %10s\n", "loop count",
+                "precompile(x1k)", "run insts(x1k)", "pre share");
+    for (int n : {10, 100, 1000, 10000}) {
+        BenchSpec spec;
+        spec.lang = Lang::Perl;
+        spec.name = "scaling";
+        spec.source =
+            "$s = 0;\n"
+            "for ($i = 0; $i < " + std::to_string(n) + "; $i += 1) {\n"
+            "    $s += $i * 3 - ($s >> 4);\n"
+            "}\nprint \"$s\";\n";
+        Measurement m = run(spec, {}, nullptr, false);
+        double pre = (double)m.profile.precompileInsts();
+        double rest = (double)m.profile.userInstructions() - pre;
+        std::printf("   %-10d %16.1f %16.1f %9.1f%%\n", n, pre / 1000.0,
+                    rest / 1000.0, 100.0 * pre / (pre + rest));
+    }
+    std::printf("   (the same startup work would repeat per statement "
+                "in a Tcl-style direct\n    interpreter; amortizing it "
+                "is Perl's design win, §3.3)\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablations for DESIGN.md's called-out design choices\n"
+                "====================================================\n\n");
+    ablationSymtab();
+    ablationIcache();
+    ablationPrecompile();
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates Figure 4: instruction-cache miss rate (misses per 100
+ * instructions) of the Java, Perl and Tcl benchmarks as a function of
+ * cache size (8/16/32/64 KB) and associativity (1/2/4-way). One pass
+ * per benchmark feeds all twelve cache configurations.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "sim/cache_sweep.hh"
+
+using namespace interp;
+using namespace interp::harness;
+
+int
+main()
+{
+    const std::vector<uint32_t> sizes = {8, 16, 32, 64};
+    const std::vector<uint32_t> assocs = {1, 2, 4};
+
+    std::printf("Figure 4: i-cache misses per 100 instructions vs size "
+                "and associativity\n\n");
+    std::printf("%-16s", "benchmark");
+    for (uint32_t assoc : assocs)
+        for (uint32_t kb : sizes)
+            std::printf(" %2uw/%-2uK", assoc, kb);
+    std::printf("\n");
+    std::printf("------------------------------------------------------"
+                "------------------------------------------------\n");
+
+    for (const BenchSpec &spec : macroSuite()) {
+        if (spec.lang != Lang::Java && spec.lang != Lang::Perl &&
+            spec.lang != Lang::Tcl)
+            continue;
+        sim::CacheSweep sweep(sizes, assocs);
+        // The sweep sink sees the same stream the machine model does.
+        Measurement m = run(spec, {&sweep}, nullptr, false);
+        (void)m;
+        auto results = sweep.results();
+        std::string tag = std::string(langName(spec.lang)) + "-" +
+                          spec.name;
+        std::printf("%-16s", tag.c_str());
+        for (const auto &point : results)
+            std::printf(" %7.2f", point.missesPer100Insts);
+        std::printf("\n");
+    }
+
+    std::printf("\nPaper reference: Perl's working set is 32-64 KB and "
+                "Tcl's 16-32 KB (miss rates\nfall toward ~0 there); "
+                "higher associativity removes the conflict misses that "
+                "remain\nonce capacity suffices (e.g. tcltags at 32 KB: "
+                "1.2 -> 0.4 per 100 from 2- to 4-way).\n");
+    return 0;
+}

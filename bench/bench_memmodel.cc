@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates the §3.3 memory-model measurements: for each
+ * interpreter, the average native-instruction cost of one logical
+ * memory-model access (page-table translation for MIPSI, stack/field
+ * access for Java, hash translation for Perl, symbol-table lookup for
+ * Tcl) and the share of total instructions spent in the memory model.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+using namespace interp;
+using namespace interp::harness;
+
+int
+main()
+{
+    std::printf("Section 3.3: memory-model cost per interpreter\n\n");
+    std::printf("%-6s %-10s %14s %14s %10s\n", "Lang", "Bench",
+                "accesses(x1k)", "insts/access", "%%of-total");
+    std::printf("----------------------------------------------------"
+                "-----\n");
+
+    Lang last = Lang::C;
+    for (const BenchSpec &spec : macroSuite()) {
+        if (spec.lang == Lang::C)
+            continue;
+        if (spec.lang != last)
+            std::printf("\n");
+        last = spec.lang;
+        Measurement m = run(spec, {}, nullptr, false);
+        std::printf("%-6s %-10s %14.1f %14.1f %9.2f%%\n",
+                    langName(m.lang), m.name.c_str(),
+                    m.profile.memModelAccesses() / 1000.0,
+                    m.profile.memModelCostPerAccess(),
+                    100.0 * m.profile.memModelFraction());
+    }
+
+    std::printf(
+        "\nPaper reference (Section 3.3):\n"
+        "  MIPSI: 62 insts/access, 13-18%% of total (page tables)\n"
+        "  Java:  2 per stack access, 11 per field access, 7-13%% of "
+        "total\n"
+        "  Perl:  210 insts per hash translation, 0.16-3.8%% of total\n"
+        "         (scalars/arrays compiled to slots at startup)\n"
+        "  Tcl:   206-514 insts/access, growing with symbol-table "
+        "size,\n"
+        "         3.4-14%% of total (avg 9.3%%)\n"
+        "\nNote: for MIPSI the per-access figure below counts data "
+        "accesses only (PC\ntranslation is part of fetch/decode); for "
+        "Java it blends 2-instruction stack\naccesses with "
+        "~11-instruction static/array accesses; for Perl it is the "
+        "hash\ntranslation cost alone, as in the paper.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+# a2ps.pl — ASCII to PostScript converter, after the paper's a2ps
+# benchmark: per-line text measurement, escaping and page layout,
+# emitting PostScript drawing operators. String concatenation and
+# sprintf dominate.
+#
+# Reads "a2ps.in", writes "a2ps.out".
+
+open(IN, "a2ps.in") || die "a2ps: no input";
+open(OUT, ">a2ps.out");
+
+$page = 1;
+$y = 760;
+$lines = 0;
+$chars = 0;
+
+sub start_page {
+    local($n) = 0;
+    $n = shift;
+    print OUT "%%Page: $n $n\n";
+    print OUT "/Courier findfont 10 scalefont setfont\n";
+}
+
+sub end_page {
+    print OUT "showpage\n";
+}
+
+print OUT "%!PS-Adobe-2.0\n%%Creator: a2ps.pl\n";
+&start_page(1);
+
+while ($line = <IN>) {
+    chop($line);
+    $lines += 1;
+    $chars += length($line);
+
+    # Expand tabs to 8-column stops.
+    while ($line =~ /\t/) {
+        $pre = index($line, "	");
+        $pad = 8 - ($pre % 8);
+        $spaces = " " x $pad;
+        $line =~ s/\t/$spaces/;
+    }
+
+    # Escape PostScript specials.
+    $line =~ s/\\/\\\\/g;
+    $line =~ s/\(/\\(/g;
+    $line =~ s/\)/\\)/g;
+
+    # Long lines wrap at 80 columns.
+    while (length($line) > 80) {
+        $head = substr($line, 0, 80);
+        $line = substr($line, 80, length($line) - 80);
+        print OUT sprintf("%d %d moveto (%s) show\n", 40, $y, $head);
+        $y -= 12;
+        if ($y < 40) {
+            &end_page();
+            $page += 1;
+            &start_page($page);
+            $y = 760;
+        }
+    }
+    print OUT sprintf("%d %d moveto (%s) show\n", 40, $y, $line);
+    $y -= 12;
+    if ($y < 40) {
+        &end_page();
+        $page += 1;
+        &start_page($page);
+        $y = 760;
+    }
+}
+&end_page();
+print OUT "%%Pages: $page\n";
+close(IN);
+close(OUT);
+
+print "a2ps: $lines lines, $chars chars, $page pages\n";

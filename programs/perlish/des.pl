@@ -1,0 +1,80 @@
+# des.pl — the same DES-style Feistel cipher as des.mc, in perlish.
+# Must print exactly the same checksum as the MiniC and tclish
+# versions (verified by the integration tests).
+
+sub init_tables {
+    local($i) = 0;
+    for ($i = 0; $i < 256; $i += 1) {
+        $sbox[$i] = (($i * 37) ^ ($i >> 3) ^ (($i * $i) % 251)) & 255;
+    }
+    $rk[0] = 0x3A94B7C5;
+    for ($i = 1; $i < 16; $i += 1) {
+        $rk[$i] = ((($rk[$i - 1] << 1) & 0x7fffffff) ^
+                   (($rk[$i - 1] >> 27) & 31) ^ ($i * 17)) & 0x7fffffff;
+    }
+}
+
+sub feistel {
+    local($r, $k, $t, $a, $b, $c, $d) = 0;
+    $r = shift;
+    $k = shift;
+    $t = ($r ^ $k) & 0x7fffffff;
+    $a = $sbox[$t & 255];
+    $b = $sbox[($t >> 8) & 255];
+    $c = $sbox[($t >> 16) & 255];
+    $d = $sbox[($t >> 23) & 255];
+    return ($a + ($b << 8) + ($c << 16) + ($d << 23)) & 0x7fffffff;
+}
+
+sub encrypt_block {
+    local($idx, $l, $r, $round, $nl) = 0;
+    $idx = shift;
+    $l = $pl[$idx];
+    $r = $pr[$idx];
+    for ($round = 0; $round < 16; $round += 1) {
+        $nl = $r;
+        $r = ($l ^ &feistel($r, $rk[$round])) & 0x7fffffff;
+        $l = $nl;
+    }
+    $cl[$idx] = $l;
+    $cr[$idx] = $r;
+}
+
+sub decrypt_block {
+    local($idx, $l, $r, $round, $nr) = 0;
+    $idx = shift;
+    $l = $cl[$idx];
+    $r = $cr[$idx];
+    for ($round = 15; $round >= 0; $round -= 1) {
+        $nr = $l;
+        $l = ($r ^ &feistel($l, $rk[$round])) & 0x7fffffff;
+        $r = $nr;
+    }
+    $pl[$idx] = $l;
+    $pr[$idx] = $r;
+}
+
+$nblocks = 10;
+$checksum = 0;
+$ok = 1;
+
+&init_tables();
+for ($i = 0; $i < $nblocks; $i += 1) {
+    $pl[$i] = ($i * 12345 + 6789) & 0x7fffffff;
+    $pr[$i] = ($i * 54321 + 999) & 0x7fffffff;
+}
+for ($i = 0; $i < $nblocks; $i += 1) {
+    &encrypt_block($i);
+}
+for ($i = 0; $i < $nblocks; $i += 1) {
+    $checksum = (($checksum * 31) + $cl[$i]) & 0x7fffffff;
+    $checksum = (($checksum * 31) + $cr[$i]) & 0x7fffffff;
+}
+for ($i = 0; $i < $nblocks; $i += 1) {
+    &decrypt_block($i);
+}
+for ($i = 0; $i < $nblocks; $i += 1) {
+    $ok = 0 if $pl[$i] != (($i * 12345 + 6789) & 0x7fffffff);
+    $ok = 0 if $pr[$i] != (($i * 54321 + 999) & 0x7fffffff);
+}
+print "des checksum=$checksum roundtrip=$ok\n";

@@ -1,0 +1,86 @@
+# plexus.pl — an HTTP server's request-handling loop, after the
+# paper's plexus benchmark. Requests are read from "requests.in"
+# (one connection per paragraph); each is parsed with regexes, routed
+# against a virtual document table kept in hashes, and answered into
+# "responses.out".
+
+# The virtual document tree.
+$doc{"/"} = "<html>home page</html>";
+$doc{"/index.html"} = "<html>index</html>";
+$doc{"/about"} = "<html>about us and the project</html>";
+$doc{"/paper.ps"} = "postscript postscript postscript";
+$doc{"/data/table1"} = "microbenchmark slowdowns";
+$doc{"/data/table2"} = "baseline performance of the interpreters";
+$type{"/paper.ps"} = "application/postscript";
+
+open(IN, "requests.in") || die "plexus: no input";
+open(LOG, ">responses.out");
+
+$requests = 0;
+$ok = 0;
+$notfound = 0;
+$badreq = 0;
+$bytes = 0;
+
+$method = "";
+$path = "";
+$agent = "";
+
+sub respond {
+    local($status, $body) = 0;
+    $status = shift;
+    $body = shift;
+    print LOG "HTTP/1.0 $status\r\n";
+    $ctype = "text/html";
+    $ctype = $type{$path} if defined($type{$path});
+    print LOG "Content-Type: $ctype\r\n";
+    $len = length($body);
+    print LOG "Content-Length: $len\r\n\r\n";
+    print LOG "$body\n";
+    $bytes += $len;
+}
+
+sub handle_request {
+    return if $method eq "";
+    $requests += 1;
+    if ($method ne "GET" && $method ne "HEAD") {
+        $badreq += 1;
+        &respond("501 Not Implemented", "method $method unsupported");
+        return;
+    }
+    # Normalize the path: strip query, collapse double slashes.
+    $path =~ s/\?.*$//;
+    while ($path =~ /\/\//) {
+        $path =~ s/\/\//\//;
+    }
+    if (defined($doc{$path})) {
+        $ok += 1;
+        &respond("200 OK", $doc{$path});
+    } else {
+        $notfound += 1;
+        &respond("404 Not Found", "no such document: $path");
+    }
+}
+
+while ($line = <IN>) {
+    chop($line);
+    if ($line =~ /^(\w+) (\S+) HTTP/) {
+        $method = $1;
+        $path = $2;
+        $agent = "";
+    } elsif ($line =~ /^User-Agent: (.*)$/) {
+        $agent = $1;
+        $seen_agents{$agent} += 1;
+    } elsif ($line =~ /^\s*$/) {
+        &handle_request();
+        $method = "";
+        $path = "";
+    }
+}
+&handle_request();
+close(IN);
+close(LOG);
+
+$agents = scalar(keys(%seen_agents));
+print "requests=$requests ok=$ok 404=$notfound bad=$badreq ";
+print "agents=$agents bytes=$bytes\n";

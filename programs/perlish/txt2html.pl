@@ -1,0 +1,71 @@
+# txt2html.pl — convert plain text to HTML, after the paper's
+# txt2html benchmark. Regex substitution dominates the execute
+# instructions (the paper: `match` is 9% of commands and 84% of the
+# execute instructions for this workload).
+#
+# Reads "txt2html.in", writes "txt2html.out".
+
+open(IN, "txt2html.in") || die "no input";
+open(OUT, ">txt2html.out");
+
+print OUT "<html><body>\n";
+$para_open = 0;
+$lines = 0;
+$links = 0;
+$emphs = 0;
+
+while ($line = <IN>) {
+    chop($line);
+    $lines += 1;
+
+    # Escape the HTML metacharacters.
+    $line =~ s/&/&amp;/g;
+    $line =~ s/</&lt;/g;
+    $line =~ s/>/&gt;/g;
+
+    # Headings: lines of the form "== Title ==".
+    if ($line =~ /^== (.+) ==$/) {
+        if ($para_open) {
+            print OUT "</p>\n";
+            $para_open = 0;
+        }
+        print OUT "<h2>$1</h2>\n";
+        next;
+    }
+
+    # Blank lines close paragraphs.
+    if ($line =~ /^\s*$/) {
+        if ($para_open) {
+            print OUT "</p>\n";
+            $para_open = 0;
+        }
+        next;
+    }
+
+    # *emphasis* and _underline_.
+    $emphs += ($line =~ s/\*(\w[\w ]*\w)\*/<b>$1<\/b>/g);
+    $line =~ s/_(\w+)_/<i>$1<\/i>/g;
+
+    # Bare URLs become links.
+    $links += ($line =~ s/(http:\/\/[\w\.\/]+)/<a href="$1">$1<\/a>/g);
+
+    # Bullet items.
+    if ($line =~ /^- (.+)/) {
+        print OUT "<li>$1</li>\n";
+        next;
+    }
+
+    if (!$para_open) {
+        print OUT "<p>\n";
+        $para_open = 1;
+    }
+    print OUT "$line\n";
+}
+if ($para_open) {
+    print OUT "</p>\n";
+}
+print OUT "</body></html>\n";
+close(IN);
+close(OUT);
+
+print "lines=$lines links=$links emph=$emphs\n";

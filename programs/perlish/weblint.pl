@@ -1,0 +1,80 @@
+# weblint.pl — an HTML syntax checker, after the paper's weblint
+# benchmark: tag extraction with regexes, a hash of known tags, and a
+# stack (array) of open elements checked for proper nesting.
+#
+# Reads "weblint.in", reports problems on stdout.
+
+# Known tags and whether they need a closing tag.
+$known{html} = 1;  $known{head} = 1;  $known{body} = 1;
+$known{title} = 1; $known{h1} = 1;    $known{h2} = 1;
+$known{p} = 1;     $known{ul} = 1;    $known{li} = 1;
+$known{a} = 1;     $known{b} = 1;     $known{i} = 1;
+$known{img} = 2;   $known{br} = 2;    $known{hr} = 2; # 2 = empty tag
+
+open(IN, "weblint.in") || die "weblint: no input";
+
+$lineno = 0;
+$errors = 0;
+$tags = 0;
+@stack = ();
+
+while ($line = <IN>) {
+    chop($line);
+    $lineno += 1;
+
+    # Pull every tag out of the line.
+    while ($line =~ /<(\/?)([a-zA-Z][a-zA-Z0-9]*)([^>]*)>/) {
+        $closing = $1;
+        $name = $2;
+        $attrs = $3;
+        $tags += 1;
+        $line =~ s/<(\/?)([a-zA-Z][a-zA-Z0-9]*)([^>]*)>//;
+
+        if (!defined($known{$name})) {
+            print "line $lineno: unknown element <$name>\n";
+            $errors += 1;
+            next;
+        }
+        if ($closing eq "/") {
+            if ($known{$name} == 2) {
+                print "line $lineno: </$name> for empty element\n";
+                $errors += 1;
+                next;
+            }
+            $top = pop(@stack);
+            if ($top ne $name) {
+                print "line $lineno: </$name> but <$top> is open\n";
+                $errors += 1;
+                # Push it back: tolerate and continue.
+                push(@stack, $top) if defined($top);
+            }
+            next;
+        }
+        if ($known{$name} == 1) {
+            push(@stack, $name);
+        }
+        # Attribute checks: img needs alt=, a needs href=.
+        if ($name eq "img") {
+            if ($attrs =~ /alt=/) {
+            } else {
+                print "line $lineno: <img> without alt\n";
+                $errors += 1;
+            }
+        }
+        if ($name eq "a") {
+            unless ($attrs =~ /href=/) {
+                print "line $lineno: <a> without href\n";
+                $errors += 1;
+            }
+        }
+    }
+}
+close(IN);
+
+while ($#stack >= 0) {
+    $open = pop(@stack);
+    print "eof: <$open> never closed\n";
+    $errors += 1;
+}
+
+print "checked $lineno lines, $tags tags, $errors problems\n";

@@ -1,0 +1,76 @@
+# des.tcl — the same DES-style Feistel cipher as des.mc, in tclish.
+# Prints the same checksum as the other four implementations when run
+# with the same block count.
+
+proc init_tables {} {
+    global sbox rk
+    for {set i 0} {$i < 256} {incr i} {
+        set sbox($i) [expr {(($i * 37) ^ ($i >> 3) ^ (($i * $i) % 251)) & 255}]
+    }
+    set rk(0) 982824901
+    for {set i 1} {$i < 16} {incr i} {
+        set p $rk([expr {$i - 1}])
+        set rk($i) [expr {((($p << 1) & 0x7fffffff) ^ (($p >> 27) & 31) ^ ($i * 17)) & 0x7fffffff}]
+    }
+}
+
+proc feistel {r k} {
+    global sbox
+    set t [expr {($r ^ $k) & 0x7fffffff}]
+    set a $sbox([expr {$t & 255}])
+    set b $sbox([expr {($t >> 8) & 255}])
+    set c $sbox([expr {($t >> 16) & 255}])
+    set d $sbox([expr {($t >> 23) & 255}])
+    return [expr {($a + ($b << 8) + ($c << 16) + ($d << 23)) & 0x7fffffff}]
+}
+
+proc encrypt_block {idx} {
+    global pl pr cl cr rk
+    set l $pl($idx)
+    set r $pr($idx)
+    for {set round 0} {$round < 16} {incr round} {
+        set nl $r
+        set r [expr {($l ^ [feistel $r $rk($round)]) & 0x7fffffff}]
+        set l $nl
+    }
+    set cl($idx) $l
+    set cr($idx) $r
+}
+
+proc decrypt_block {idx} {
+    global pl pr cl cr rk
+    set l $cl($idx)
+    set r $cr($idx)
+    for {set round 15} {$round >= 0} {incr round -1} {
+        set nr $l
+        set l [expr {($r ^ [feistel $l $rk($round)]) & 0x7fffffff}]
+        set r $nr
+    }
+    set pl($idx) $l
+    set pr($idx) $r
+}
+
+set nblocks 6
+set checksum 0
+set ok 1
+
+init_tables
+for {set i 0} {$i < $nblocks} {incr i} {
+    set pl($i) [expr {($i * 12345 + 6789) & 0x7fffffff}]
+    set pr($i) [expr {($i * 54321 + 999) & 0x7fffffff}]
+}
+for {set i 0} {$i < $nblocks} {incr i} {
+    encrypt_block $i
+}
+for {set i 0} {$i < $nblocks} {incr i} {
+    set checksum [expr {(($checksum * 31) + $cl($i)) & 0x7fffffff}]
+    set checksum [expr {(($checksum * 31) + $cr($i)) & 0x7fffffff}]
+}
+for {set i 0} {$i < $nblocks} {incr i} {
+    decrypt_block $i
+}
+for {set i 0} {$i < $nblocks} {incr i} {
+    if {$pl($i) != (($i * 12345 + 6789) & 0x7fffffff)} { set ok 0 }
+    if {$pr($i) != (($i * 54321 + 999) & 0x7fffffff)} { set ok 0 }
+}
+puts "des checksum=$checksum roundtrip=$ok"

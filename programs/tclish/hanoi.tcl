@@ -1,0 +1,56 @@
+# hanoi.tcl — Tk Towers of Hanoi (5 disks), after the paper's Tcl
+# hanoi benchmark: every move redraws the board through the tk_*
+# native drawing commands.
+
+set ndisks 5
+set moves 0
+
+proc draw_all {} {
+    global pegs d0 d1 d2 ndisks
+    tk_clear 0
+    for {set p 0} {$p < 3} {incr p} {
+        set base [expr {40 + $p * 80}]
+        tk_fillrect [expr {$base - 2}] 20 4 100 7
+        tk_fillrect [expr {$base - 30}] 120 60 6 7
+        set count $pegs($p)
+        for {set lvl 0} {$lvl < $count} {incr lvl} {
+            set size $d0([expr {$p * 8 + $lvl}])
+            set w [expr {10 + $size * 8}]
+            tk_fillrect [expr {$base - $w / 2}] [expr {112 - $lvl * 8}] $w 7 [expr {$size + 1}]
+        }
+    }
+    tk_text 4 4 "HANOI" 6
+    tk_update
+}
+
+proc move_disk {from to} {
+    global pegs d0 moves
+    set fl [expr {$pegs($from) - 1}]
+    set size $d0([expr {$from * 8 + $fl}])
+    set pegs($from) $fl
+    set d0([expr {$to * 8 + $pegs($to)}]) $size
+    set pegs($to) [expr {$pegs($to) + 1}]
+    incr moves
+    draw_all
+}
+
+proc solve {n from to via} {
+    if {$n == 1} {
+        move_disk $from $to
+        return
+    }
+    solve [expr {$n - 1}] $from $via $to
+    move_disk $from $to
+    solve [expr {$n - 1}] $via $to $from
+}
+
+tk_init 256 144
+for {set i 0} {$i < $ndisks} {incr i} {
+    set d0($i) [expr {$ndisks - $i}]
+}
+set pegs(0) $ndisks
+set pegs(1) 0
+set pegs(2) 0
+draw_all
+solve $ndisks 0 2 1
+puts "moves=$moves"

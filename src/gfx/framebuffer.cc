@@ -1,0 +1,235 @@
+#include "gfx/framebuffer.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/logging.hh"
+
+namespace interp::gfx {
+
+namespace {
+
+/**
+ * 5x7 bitmap font covering ASCII 32..90 (uppercase only; lowercase is
+ * folded to uppercase). Each glyph is 5 column bytes, LSB = top row.
+ */
+const uint8_t kFont[][5] = {
+    {0x00, 0x00, 0x00, 0x00, 0x00}, // ' '
+    {0x00, 0x00, 0x5f, 0x00, 0x00}, // '!'
+    {0x00, 0x07, 0x00, 0x07, 0x00}, // '"'
+    {0x14, 0x7f, 0x14, 0x7f, 0x14}, // '#'
+    {0x24, 0x2a, 0x7f, 0x2a, 0x12}, // '$'
+    {0x23, 0x13, 0x08, 0x64, 0x62}, // '%'
+    {0x36, 0x49, 0x55, 0x22, 0x50}, // '&'
+    {0x00, 0x05, 0x03, 0x00, 0x00}, // '\''
+    {0x00, 0x1c, 0x22, 0x41, 0x00}, // '('
+    {0x00, 0x41, 0x22, 0x1c, 0x00}, // ')'
+    {0x14, 0x08, 0x3e, 0x08, 0x14}, // '*'
+    {0x08, 0x08, 0x3e, 0x08, 0x08}, // '+'
+    {0x00, 0x50, 0x30, 0x00, 0x00}, // ','
+    {0x08, 0x08, 0x08, 0x08, 0x08}, // '-'
+    {0x00, 0x60, 0x60, 0x00, 0x00}, // '.'
+    {0x20, 0x10, 0x08, 0x04, 0x02}, // '/'
+    {0x3e, 0x51, 0x49, 0x45, 0x3e}, // '0'
+    {0x00, 0x42, 0x7f, 0x40, 0x00}, // '1'
+    {0x42, 0x61, 0x51, 0x49, 0x46}, // '2'
+    {0x21, 0x41, 0x45, 0x4b, 0x31}, // '3'
+    {0x18, 0x14, 0x12, 0x7f, 0x10}, // '4'
+    {0x27, 0x45, 0x45, 0x45, 0x39}, // '5'
+    {0x3c, 0x4a, 0x49, 0x49, 0x30}, // '6'
+    {0x01, 0x71, 0x09, 0x05, 0x03}, // '7'
+    {0x36, 0x49, 0x49, 0x49, 0x36}, // '8'
+    {0x06, 0x49, 0x49, 0x29, 0x1e}, // '9'
+    {0x00, 0x36, 0x36, 0x00, 0x00}, // ':'
+    {0x00, 0x56, 0x36, 0x00, 0x00}, // ';'
+    {0x08, 0x14, 0x22, 0x41, 0x00}, // '<'
+    {0x14, 0x14, 0x14, 0x14, 0x14}, // '='
+    {0x00, 0x41, 0x22, 0x14, 0x08}, // '>'
+    {0x02, 0x01, 0x51, 0x09, 0x06}, // '?'
+    {0x32, 0x49, 0x79, 0x41, 0x3e}, // '@'
+    {0x7e, 0x11, 0x11, 0x11, 0x7e}, // 'A'
+    {0x7f, 0x49, 0x49, 0x49, 0x36}, // 'B'
+    {0x3e, 0x41, 0x41, 0x41, 0x22}, // 'C'
+    {0x7f, 0x41, 0x41, 0x22, 0x1c}, // 'D'
+    {0x7f, 0x49, 0x49, 0x49, 0x41}, // 'E'
+    {0x7f, 0x09, 0x09, 0x09, 0x01}, // 'F'
+    {0x3e, 0x41, 0x49, 0x49, 0x7a}, // 'G'
+    {0x7f, 0x08, 0x08, 0x08, 0x7f}, // 'H'
+    {0x00, 0x41, 0x7f, 0x41, 0x00}, // 'I'
+    {0x20, 0x40, 0x41, 0x3f, 0x01}, // 'J'
+    {0x7f, 0x08, 0x14, 0x22, 0x41}, // 'K'
+    {0x7f, 0x40, 0x40, 0x40, 0x40}, // 'L'
+    {0x7f, 0x02, 0x0c, 0x02, 0x7f}, // 'M'
+    {0x7f, 0x04, 0x08, 0x10, 0x7f}, // 'N'
+    {0x3e, 0x41, 0x41, 0x41, 0x3e}, // 'O'
+    {0x7f, 0x09, 0x09, 0x09, 0x06}, // 'P'
+    {0x3e, 0x41, 0x51, 0x21, 0x5e}, // 'Q'
+    {0x7f, 0x09, 0x19, 0x29, 0x46}, // 'R'
+    {0x46, 0x49, 0x49, 0x49, 0x31}, // 'S'
+    {0x01, 0x01, 0x7f, 0x01, 0x01}, // 'T'
+    {0x3f, 0x40, 0x40, 0x40, 0x3f}, // 'U'
+    {0x1f, 0x20, 0x40, 0x20, 0x1f}, // 'V'
+    {0x3f, 0x40, 0x38, 0x40, 0x3f}, // 'W'
+    {0x63, 0x14, 0x08, 0x14, 0x63}, // 'X'
+    {0x07, 0x08, 0x70, 0x08, 0x07}, // 'Y'
+    {0x61, 0x51, 0x49, 0x45, 0x43}, // 'Z'
+};
+
+const int kFirstGlyph = 32;
+const int kLastGlyph = 90;
+
+} // namespace
+
+Framebuffer::Framebuffer(int width, int height)
+    : fb_width(width), fb_height(height),
+      data((size_t)width * (size_t)height, 0)
+{
+    if (width <= 0 || height <= 0)
+        panic("framebuffer dimensions must be positive (%dx%d)",
+              width, height);
+}
+
+void
+Framebuffer::clear(uint8_t color)
+{
+    std::fill(data.begin(), data.end(), color);
+}
+
+void
+Framebuffer::setPixel(int x, int y, uint8_t color)
+{
+    if (x < 0 || y < 0 || x >= fb_width || y >= fb_height)
+        return;
+    data[(size_t)y * fb_width + x] = color;
+}
+
+uint8_t
+Framebuffer::pixel(int x, int y) const
+{
+    if (x < 0 || y < 0 || x >= fb_width || y >= fb_height)
+        return 0;
+    return data[(size_t)y * fb_width + x];
+}
+
+void
+Framebuffer::drawLine(int x0, int y0, int x1, int y1, uint8_t color)
+{
+    int dx = std::abs(x1 - x0);
+    int dy = -std::abs(y1 - y0);
+    int sx = x0 < x1 ? 1 : -1;
+    int sy = y0 < y1 ? 1 : -1;
+    int err = dx + dy;
+    while (true) {
+        setPixel(x0, y0, color);
+        if (x0 == x1 && y0 == y1)
+            break;
+        int e2 = 2 * err;
+        if (e2 >= dy) {
+            err += dy;
+            x0 += sx;
+        }
+        if (e2 <= dx) {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+void
+Framebuffer::fillRect(int x, int y, int w, int h, uint8_t color)
+{
+    int x0 = std::max(x, 0);
+    int y0 = std::max(y, 0);
+    int x1 = std::min(x + w, fb_width);
+    int y1 = std::min(y + h, fb_height);
+    for (int yy = y0; yy < y1; ++yy)
+        std::fill(data.begin() + (size_t)yy * fb_width + x0,
+                  data.begin() + (size_t)yy * fb_width + x1, color);
+}
+
+void
+Framebuffer::drawRect(int x, int y, int w, int h, uint8_t color)
+{
+    if (w <= 0 || h <= 0)
+        return;
+    drawLine(x, y, x + w - 1, y, color);
+    drawLine(x, y + h - 1, x + w - 1, y + h - 1, color);
+    drawLine(x, y, x, y + h - 1, color);
+    drawLine(x + w - 1, y, x + w - 1, y + h - 1, color);
+}
+
+void
+Framebuffer::drawCircle(int cx, int cy, int radius, uint8_t color)
+{
+    int x = radius;
+    int y = 0;
+    int err = 1 - radius;
+    while (x >= y) {
+        setPixel(cx + x, cy + y, color);
+        setPixel(cx + y, cy + x, color);
+        setPixel(cx - y, cy + x, color);
+        setPixel(cx - x, cy + y, color);
+        setPixel(cx - x, cy - y, color);
+        setPixel(cx - y, cy - x, color);
+        setPixel(cx + y, cy - x, color);
+        setPixel(cx + x, cy - y, color);
+        ++y;
+        if (err < 0) {
+            err += 2 * y + 1;
+        } else {
+            --x;
+            err += 2 * (y - x) + 1;
+        }
+    }
+}
+
+void
+Framebuffer::fillCircle(int cx, int cy, int radius, uint8_t color)
+{
+    for (int dy = -radius; dy <= radius; ++dy) {
+        int span = 0;
+        while ((span + 1) * (span + 1) + dy * dy <= radius * radius)
+            ++span;
+        for (int dx = -span; dx <= span; ++dx)
+            setPixel(cx + dx, cy + dy, color);
+    }
+}
+
+int
+Framebuffer::drawText(int x, int y, std::string_view text, uint8_t color)
+{
+    int advance = 0;
+    for (char raw : text) {
+        int c = (unsigned char)raw;
+        if (c >= 'a' && c <= 'z')
+            c -= 'a' - 'A';
+        if (c < kFirstGlyph || c > kLastGlyph)
+            c = '?';
+        const uint8_t *glyph = kFont[c - kFirstGlyph];
+        for (int col = 0; col < 5; ++col)
+            for (int row = 0; row < 7; ++row)
+                if (glyph[col] & (1 << row))
+                    setPixel(x + advance + col, y + row, color);
+        advance += 6;
+    }
+    return advance;
+}
+
+int64_t
+Framebuffer::countPixels(uint8_t color) const
+{
+    return std::count(data.begin(), data.end(), color);
+}
+
+uint64_t
+Framebuffer::checksum() const
+{
+    uint64_t hash = 1469598103934665603ull;
+    for (uint8_t byte : data) {
+        hash ^= byte;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+} // namespace interp::gfx

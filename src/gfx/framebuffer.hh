@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Software rasterizer over an in-memory framebuffer.
+ *
+ * This stands in for the native graphics runtime libraries of the
+ * paper's environment (the X server for Tk, AWT's native code for
+ * Java 1.0). The graphics-heavy benchmarks (asteroids, mand, Tk
+ * hanoi, Tk demos) spend most of their execute instructions inside
+ * this library, which is exactly the effect §3.2 attributes to
+ * "native" bars in Figure 2.
+ *
+ * The rasterizer does real work (Bresenham lines, span fills,
+ * midpoint circles, a 5x7 bitmap font) so the instruction and data
+ * traffic it generates under instrumentation is genuine.
+ */
+
+#ifndef INTERP_GFX_FRAMEBUFFER_HH
+#define INTERP_GFX_FRAMEBUFFER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace interp::gfx {
+
+/** An 8-bit-per-pixel in-memory framebuffer with drawing primitives. */
+class Framebuffer
+{
+  public:
+    Framebuffer(int width, int height);
+
+    int width() const { return fb_width; }
+    int height() const { return fb_height; }
+
+    /** Fill the whole framebuffer with @p color. */
+    void clear(uint8_t color);
+
+    /** Set one pixel; out-of-bounds writes are clipped. */
+    void setPixel(int x, int y, uint8_t color);
+
+    /** Read one pixel; out-of-bounds reads return 0. */
+    uint8_t pixel(int x, int y) const;
+
+    /** Bresenham line from (x0,y0) to (x1,y1). */
+    void drawLine(int x0, int y0, int x1, int y1, uint8_t color);
+
+    /** Axis-aligned filled rectangle; clipped. */
+    void fillRect(int x, int y, int w, int h, uint8_t color);
+
+    /** Axis-aligned rectangle outline; clipped. */
+    void drawRect(int x, int y, int w, int h, uint8_t color);
+
+    /** Midpoint circle outline centered at (cx,cy). */
+    void drawCircle(int cx, int cy, int radius, uint8_t color);
+
+    /** Filled circle. */
+    void fillCircle(int cx, int cy, int radius, uint8_t color);
+
+    /** Draw ASCII text with a built-in 5x7 font; returns advance in px. */
+    int drawText(int x, int y, std::string_view text, uint8_t color);
+
+    /** Number of pixels whose value equals @p color. */
+    int64_t countPixels(uint8_t color) const;
+
+    /** FNV-1a hash of the pixel contents, for golden tests. */
+    uint64_t checksum() const;
+
+    /** Raw pixel storage (row-major). */
+    const std::vector<uint8_t> &pixels() const { return data; }
+
+  private:
+    int fb_width;
+    int fb_height;
+    std::vector<uint8_t> data;
+};
+
+} // namespace interp::gfx
+
+#endif // INTERP_GFX_FRAMEBUFFER_HH

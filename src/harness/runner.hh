@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Benchmark registry and runner: the paper's methodology as a
+ * library. A BenchSpec names a program, its language and workload;
+ * run() executes it under full instrumentation (software Profile +
+ * Table 3 machine model, plus any extra sinks) and returns the
+ * Measurement every table and figure is derived from.
+ */
+
+#ifndef INTERP_HARNESS_RUNNER_HH
+#define INTERP_HARNESS_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mips/image.hh"
+#include "sim/machine.hh"
+#include "trace/profile.hh"
+
+namespace interp::harness {
+
+/** The execution modes of the study. */
+enum class Lang : uint8_t
+{
+    C,     ///< compiled MiniC, direct execution (the baseline)
+    Mipsi, ///< MiniC compiled to MIPS, interpreted by MIPSI
+    Java,  ///< MiniC compiled to bytecode, run on the JVM-like VM
+    Perl,  ///< perlish source
+    Tcl,   ///< tclish source
+};
+
+const char *langName(Lang lang);
+
+/** One benchmark to run. */
+struct BenchSpec
+{
+    Lang lang;
+    std::string name;     ///< benchmark name (des, compress, ...)
+    std::string source;   ///< full program text
+    /**
+     * Pre-linked guest image (C/MIPSI only). When set, `source` is
+     * ignored. Used by the microbenchmarks, whose C baselines are
+     * hand-scheduled assembly — the paper's baseline was an optimizing
+     * C compiler, and MiniC's naive codegen would flatter the
+     * interpreters by a constant factor otherwise.
+     */
+    std::shared_ptr<mips::Image> image;
+    bool needsInputs = false; ///< install the standard input files
+    uint64_t maxCommands = 400'000'000;
+};
+
+/** Everything measured from one run. */
+struct Measurement
+{
+    Lang lang;
+    std::string name;
+    size_t programBytes = 0;
+    uint64_t commands = 0;
+    uint64_t cycles = 0;
+    trace::Profile profile;
+    sim::SlotBreakdown breakdown;
+    double imissPer100 = 0;
+    std::string stdoutText;
+    bool finished = false;
+    /** Command names resolved from the interpreter's command set. */
+    std::vector<std::string> commandNames;
+};
+
+/**
+ * Run one benchmark under a Profile and (optionally) the Table 3
+ * machine model.
+ * @param extra_sinks  additional consumers of the instruction stream
+ * @param machine_cfg  machine configuration (null = Table 3 default)
+ * @param with_machine simulate timing (disable for counting-only runs)
+ */
+Measurement run(const BenchSpec &spec,
+                const std::vector<trace::Sink *> &extra_sinks = {},
+                const sim::MachineConfig *machine_cfg = nullptr,
+                bool with_machine = true);
+
+// --- suites ------------------------------------------------------------
+
+/** The Table 2 macro suite (des in all languages + per-language apps). */
+std::vector<BenchSpec> macroSuite();
+
+/** One microbenchmark from Table 1, for one language. */
+BenchSpec microBench(Lang lang, const std::string &op, int iterations);
+
+/** The Table 1 microbenchmark names. */
+std::vector<std::string> microOps();
+
+/** Default per-language iteration counts for the micro suite. */
+int microIterations(Lang lang);
+
+} // namespace interp::harness
+
+#endif // INTERP_HARNESS_RUNNER_HH

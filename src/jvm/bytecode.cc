@@ -1,0 +1,66 @@
+#include "jvm/bytecode.hh"
+
+namespace interp::jvm {
+
+const char *
+bcName(Bc op)
+{
+    switch (op) {
+      case Bc::IConst: return "iconst";
+      case Bc::LdcStr: return "ldc_str";
+      case Bc::ILoad: return "iload";
+      case Bc::IStore: return "istore";
+      case Bc::GetStatic: return "getstatic";
+      case Bc::PutStatic: return "putstatic";
+      case Bc::NewArrayI: return "newarray_i";
+      case Bc::NewArrayB: return "newarray_b";
+      case Bc::ArrayLen: return "arraylength";
+      case Bc::IALoad: return "iaload";
+      case Bc::IAStore: return "iastore";
+      case Bc::BALoad: return "baload";
+      case Bc::BAStore: return "bastore";
+      case Bc::Add: return "iadd";
+      case Bc::Sub: return "isub";
+      case Bc::Mul: return "imul";
+      case Bc::Div: return "idiv";
+      case Bc::Rem: return "irem";
+      case Bc::And: return "iand";
+      case Bc::Or: return "ior";
+      case Bc::Xor: return "ixor";
+      case Bc::Shl: return "ishl";
+      case Bc::Shr: return "ishr";
+      case Bc::Neg: return "ineg";
+      case Bc::Not: return "inot";
+      case Bc::CmpEq: return "icmpeq";
+      case Bc::CmpNe: return "icmpne";
+      case Bc::CmpLt: return "icmplt";
+      case Bc::CmpLe: return "icmple";
+      case Bc::CmpGt: return "icmpgt";
+      case Bc::CmpGe: return "icmpge";
+      case Bc::IfZero: return "ifeq";
+      case Bc::IfNonZero: return "ifne";
+      case Bc::Goto: return "goto";
+      case Bc::InvokeStatic: return "invokestatic";
+      case Bc::InvokeNative: return "invokenative";
+      case Bc::Return: return "return";
+      case Bc::IReturn: return "ireturn";
+      case Bc::Pop: return "pop";
+      case Bc::Dup: return "dup";
+      default: return "?";
+    }
+}
+
+size_t
+Module::sizeBytes() const
+{
+    size_t bytes = 0;
+    for (const FuncDesc &fn : funcs)
+        bytes += fn.code.size() * 5 + 16; // 1-byte op + 4-byte operand
+    for (const FieldDesc &f : fields)
+        bytes += 16 + f.initData.size() * 4;
+    for (const std::string &s : strings)
+        bytes += s.size() + 1;
+    return bytes;
+}
+
+} // namespace interp::jvm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bytecode definitions for the Java-like virtual machine.
+ *
+ * Mirrors the JVM's architecture as described in §2: programs are
+ * compiled *offline* (by the MiniC bytecode backend) into a module of
+ * stack-machine bytecodes; the interpreter operates directly on the
+ * module. Values live on per-frame operand stacks and in local slots;
+ * longer-lived data lives in static fields and heap-allocated arrays
+ * (accessed only through dedicated bytecodes, as with getfield/
+ * putfield — the §3.3 Java memory model).
+ */
+
+#ifndef INTERP_JVM_BYTECODE_HH
+#define INTERP_JVM_BYTECODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace interp::jvm {
+
+/** Bytecode opcodes. */
+enum class Bc : uint8_t
+{
+    IConst,     ///< push immediate a
+    LdcStr,     ///< push reference to interned string a (byte array)
+    ILoad,      ///< push local slot a
+    IStore,     ///< pop into local slot a
+    GetStatic,  ///< push static field a
+    PutStatic,  ///< pop into static field a
+    NewArrayI,  ///< pop length; push ref to new int array
+    NewArrayB,  ///< pop length; push ref to new byte array
+    ArrayLen,   ///< pop ref; push length
+    IALoad,     ///< pop index, ref; push int element
+    IAStore,    ///< pop value, index, ref; store int element
+    BALoad,     ///< pop index, ref; push byte element (zero-extended)
+    BAStore,    ///< pop value, index, ref; store byte element
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Neg, Not,
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, ///< pop 2; push 0/1
+    IfZero,     ///< pop; branch to a if == 0
+    IfNonZero,  ///< pop; branch to a if != 0
+    Goto,       ///< branch to a
+    InvokeStatic, ///< call function a
+    InvokeNative, ///< call native routine a (Builtin numbering)
+    Return,     ///< return void
+    IReturn,    ///< pop; return value
+    Pop,        ///< discard top of stack
+    Dup,        ///< duplicate top of stack
+    NumOps,
+};
+
+/** Printable mnemonic (the virtual-command name in profiles). */
+const char *bcName(Bc op);
+
+/** One fixed-width instruction. */
+struct Insn
+{
+    Bc op = Bc::Return;
+    int32_t a = 0; ///< immediate / slot / field / target / callee
+};
+
+/** A static field ("global"). */
+struct FieldDesc
+{
+    std::string name;
+    /**
+     * For scalar fields, initValue seeds the field. For array fields
+     * (isArray), an array object of `arrayLen` elements (elemBytes 1
+     * or 4) is allocated at startup and the field holds its reference;
+     * initData seeds the first elements.
+     */
+    bool isArray = false;
+    uint8_t elemBytes = 4;
+    int32_t initValue = 0;
+    int32_t arrayLen = 0;
+    std::vector<int32_t> initData;
+};
+
+/** A function ("static method"). */
+struct FuncDesc
+{
+    std::string name;
+    int numParams = 0;
+    int numLocals = 0; ///< includes params
+    bool returnsValue = false;
+    std::vector<Insn> code;
+};
+
+/** A loaded module (the unit the interpreter executes). */
+struct Module
+{
+    std::vector<FieldDesc> fields;
+    std::vector<FuncDesc> funcs;
+    std::vector<std::string> strings; ///< string-literal pool
+    int mainFunc = -1;
+
+    /** Size of the module in bytes (Table 2's Size column). */
+    size_t sizeBytes() const;
+};
+
+} // namespace interp::jvm
+
+#endif // INTERP_JVM_BYTECODE_HH

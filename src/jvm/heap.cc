@@ -1,0 +1,170 @@
+#include "jvm/heap.hh"
+
+#include "support/logging.hh"
+
+namespace interp::jvm {
+
+Heap::Heap(trace::Execution &exec_) : exec(exec_)
+{
+    rAlloc = exec.code().registerRoutine("jvm.rt.alloc", 96,
+                                         trace::Segment::Runtime);
+    rGc = exec.code().registerRoutine("jvm.rt.gc", 256,
+                                      trace::Segment::Runtime);
+}
+
+int32_t
+Heap::alloc(uint8_t elem_bytes, int32_t length)
+{
+    if (length < 0)
+        fatal("jvm: negative array length %d", length);
+    maybeCollect();
+
+    trace::RoutineScope r(exec, rAlloc);
+    exec.alu(8);       // size computation, limit checks
+    exec.branch(true); // fast path available?
+
+    int32_t index;
+    if (!freeList.empty()) {
+        index = freeList.back();
+        freeList.pop_back();
+        exec.load(&freeList);
+    } else {
+        index = (int32_t)objects.size();
+        objects.emplace_back();
+    }
+    HeapObject &obj = objects[index];
+    obj.elemBytes = elem_bytes;
+    obj.length = length;
+    obj.marked = false;
+    obj.live = true;
+    obj.data.assign((size_t)length * elem_bytes, 0);
+    ++liveCount;
+    ++sinceGc;
+    ++totalAllocs;
+
+    // Header initialization + zero fill (one store per 32 bytes).
+    exec.store(&obj.length);
+    exec.store(&obj.elemBytes);
+    size_t bytes = obj.data.size();
+    for (size_t off = 0; off < bytes; off += 32)
+        exec.store(obj.data.data() + off);
+    exec.alu((uint32_t)(bytes / 16 + 2));
+
+    return kRefBase + index;
+}
+
+bool
+Heap::isRef(int32_t value) const
+{
+    if (value < kRefBase)
+        return false;
+    size_t index = (size_t)(value - kRefBase);
+    return index < objects.size() && objects[index].live;
+}
+
+HeapObject &
+Heap::object(int32_t ref)
+{
+    if (!isRef(ref))
+        fatal("jvm: bad reference 0x%x", (unsigned)ref);
+    return objects[(size_t)(ref - kRefBase)];
+}
+
+const HeapObject &
+Heap::object(int32_t ref) const
+{
+    if (ref < kRefBase ||
+        (size_t)(ref - kRefBase) >= objects.size() ||
+        !objects[(size_t)(ref - kRefBase)].live)
+        fatal("jvm: bad reference 0x%x", (unsigned)ref);
+    return objects[(size_t)(ref - kRefBase)];
+}
+
+int32_t
+Heap::loadElem(int32_t ref, int32_t index)
+{
+    HeapObject &obj = object(ref);
+    if (index < 0 || index >= obj.length)
+        fatal("jvm: index %d out of bounds [0,%d)", index, obj.length);
+    if (obj.elemBytes == 4) {
+        int32_t value;
+        __builtin_memcpy(&value, obj.data.data() + (size_t)index * 4, 4);
+        return value;
+    }
+    return obj.data[(size_t)index];
+}
+
+void
+Heap::storeElem(int32_t ref, int32_t index, int32_t value)
+{
+    HeapObject &obj = object(ref);
+    if (index < 0 || index >= obj.length)
+        fatal("jvm: index %d out of bounds [0,%d)", index, obj.length);
+    if (obj.elemBytes == 4)
+        __builtin_memcpy(obj.data.data() + (size_t)index * 4, &value, 4);
+    else
+        obj.data[(size_t)index] = (uint8_t)value;
+}
+
+void
+Heap::maybeCollect()
+{
+    if (sinceGc < gcThreshold || !rootScanner)
+        return;
+    std::vector<const int32_t *> ranges;
+    std::vector<size_t> lengths;
+    rootScanner(rootCtx, ranges, lengths);
+    collect(ranges, lengths);
+}
+
+size_t
+Heap::collect(const std::vector<const int32_t *> &root_ranges,
+              const std::vector<size_t> &root_lengths)
+{
+    trace::RoutineScope r(exec, rGc);
+    ++gcRuns;
+    sinceGc = 0;
+
+    // Mark phase: conservative scan of every root slot.
+    INTERP_ASSERT(root_ranges.size() == root_lengths.size());
+    for (size_t i = 0; i < root_ranges.size(); ++i) {
+        const int32_t *slots = root_ranges[i];
+        for (size_t j = 0; j < root_lengths[i]; ++j) {
+            exec.load(&slots[j]);
+            exec.alu(2);        // range test
+            exec.branch(false); // "is it a plausible ref?"
+            if (isRef(slots[j])) {
+                HeapObject &obj = objects[(size_t)(slots[j] - kRefBase)];
+                if (!obj.marked) {
+                    obj.marked = true;
+                    exec.store(&obj.marked);
+                }
+            }
+        }
+    }
+
+    // Sweep phase.
+    size_t freed = 0;
+    for (size_t i = 0; i < objects.size(); ++i) {
+        HeapObject &obj = objects[i];
+        exec.load(&obj.marked);
+        exec.branch(obj.live && !obj.marked);
+        if (!obj.live)
+            continue;
+        if (obj.marked) {
+            obj.marked = false;
+            continue;
+        }
+        obj.live = false;
+        obj.data.clear();
+        obj.data.shrink_to_fit();
+        freeList.push_back((int32_t)i);
+        --liveCount;
+        ++freed;
+        exec.store(&obj.live);
+        exec.alu(4);
+    }
+    return freed;
+}
+
+} // namespace interp::jvm

@@ -1,0 +1,248 @@
+#include "jvm/natives.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace interp::jvm {
+
+using minic::Builtin;
+
+NativeRuntime::NativeRuntime(trace::Execution &exec_, vfs::FileSystem &fs_)
+    : exec(exec_), fs(fs_)
+{
+    rGfx = exec.code().registerRoutine("jvm.native.gfx", 1400,
+                                       trace::Segment::NativeLib);
+    rIo = exec.code().registerRoutine("jvm.native.io", 300,
+                                      trace::Segment::NativeLib);
+    rKernel = exec.code().registerRoutine("jvm.native.kernel", 200,
+                                          trace::Segment::NativeLib);
+}
+
+void
+NativeRuntime::chargeDraw(uint64_t pixels)
+{
+    // The rasterizer's inner loops: address generation, masking and a
+    // byte store per pixel; one emitted store per 8 pixels keeps the
+    // event volume bounded while touching the real framebuffer pages.
+    trace::NativeScope nat(exec);
+    trace::RoutineScope r(exec, rGfx);
+    exec.alu(40); // setup: clipping, edge tables
+    if (!fb)
+        return;
+    const auto &data = fb->pixels();
+    uint64_t stores = pixels / 8 + 1;
+    size_t step = std::max<size_t>(64, data.size() / (stores + 1));
+    size_t off = 0;
+    for (uint64_t i = 0; i < stores; ++i) {
+        exec.store(data.data() + off);
+        exec.shortInt(3);
+        exec.alu(2);
+        off = (off + step) % (data.size() ? data.size() : 1);
+        if ((i & 15) == 15)
+            exec.branch(true); // scanline loop
+    }
+}
+
+void
+NativeRuntime::chargeKernel(uint32_t bytes)
+{
+    trace::SystemScope sys(exec);
+    trace::RoutineScope r(exec, rKernel);
+    exec.alu(80);
+    exec.shortInt(16);
+    for (uint32_t off = 0; off < bytes; off += 32) {
+        exec.loadAt(0xffe00000u + off % 8192);
+        exec.storeAt(0xffe10020u + off % 8192);
+        exec.alu(6);
+    }
+}
+
+std::string
+NativeRuntime::heapString(Heap &heap, int32_t ref)
+{
+    const HeapObject &obj = heap.object(ref);
+    std::string out;
+    for (int32_t i = 0; i < obj.length; ++i) {
+        char c = (char)obj.data[(size_t)i];
+        if (c == '\0')
+            break;
+        out.push_back(c);
+    }
+    return out;
+}
+
+int32_t
+NativeRuntime::invoke(int id, const int32_t *args, int num_args,
+                      Heap &heap, bool &returns_value)
+{
+    const auto &info = minic::builtinInfo((Builtin)id);
+    if (num_args != info.numArgs)
+        panic("native %s: expected %d args, got %d", info.name,
+              info.numArgs, num_args);
+    returns_value = info.returnsValue;
+
+    switch ((Builtin)id) {
+      case Builtin::PrintInt: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        exec.alu(60); // itoa
+        exec.shortInt(10);
+        std::string text = std::to_string(args[0]);
+        fs.write(1, text.data(), (int64_t)text.size());
+        chargeKernel((uint32_t)text.size());
+        return 0;
+      }
+      case Builtin::PrintChar: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        exec.alu(10);
+        char c = (char)args[0];
+        fs.write(1, &c, 1);
+        chargeKernel(1);
+        return 0;
+      }
+      case Builtin::PrintStr: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        std::string text = heapString(heap, args[0]);
+        exec.alu((uint32_t)text.size() / 4 + 10);
+        fs.write(1, text.data(), (int64_t)text.size());
+        chargeKernel((uint32_t)text.size());
+        return 0;
+      }
+      case Builtin::ReadInt: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        exec.alu(50);
+        std::string line;
+        char c;
+        while (fs.read(0, &c, 1) == 1 && c != '\n')
+            line.push_back(c);
+        chargeKernel((uint32_t)line.size());
+        return atoi(line.c_str());
+      }
+      case Builtin::Open: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        exec.alu(40);
+        std::string path = heapString(heap, args[0]);
+        auto mode = args[1] == 0 ? vfs::OpenMode::Read
+                    : args[1] == 2 ? vfs::OpenMode::Append
+                                   : vfs::OpenMode::Write;
+        chargeKernel((uint32_t)path.size());
+        return fs.open(path, mode);
+      }
+      case Builtin::Read: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        exec.alu(2500);   // java.io stream layers above the syscall
+        exec.shortInt(80);
+        HeapObject &buf = heap.object(args[1]);
+        int32_t want = std::min(args[2], buf.length);
+        std::vector<char> tmp((size_t)std::max(want, 0));
+        int64_t n = fs.read(args[0], tmp.data(), want);
+        for (int64_t i = 0; i < n; ++i)
+            buf.data[(size_t)i] = (uint8_t)tmp[(size_t)i];
+        chargeKernel(n > 0 ? (uint32_t)n : 0);
+        return (int32_t)n;
+      }
+      case Builtin::Write: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        exec.alu(2500);   // java.io stream layers above the syscall
+        exec.shortInt(80);
+        HeapObject &buf = heap.object(args[1]);
+        int32_t n = std::min(args[2], buf.length);
+        int64_t written = fs.write(
+            args[0], (const char *)buf.data.data(), n);
+        chargeKernel(n > 0 ? (uint32_t)n : 0);
+        return (int32_t)written;
+      }
+      case Builtin::Close: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rIo);
+        exec.alu(20);
+        chargeKernel(0);
+        return fs.close(args[0]) ? 0 : -1;
+      }
+      case Builtin::Exit:
+        // Handled by the VM (halts the loop); nothing to do here.
+        return args[0];
+      case Builtin::GfxInit: {
+        trace::NativeScope nat(exec);
+        trace::RoutineScope r(exec, rGfx);
+        exec.alu(200);
+        int w = std::clamp(args[0], 1, 1024);
+        int h = std::clamp(args[1], 1, 1024);
+        fb = std::make_unique<gfx::Framebuffer>(w, h);
+        return 0;
+      }
+      case Builtin::GfxClear:
+        if (fb) {
+            fb->clear((uint8_t)args[0]);
+            chargeDraw((uint64_t)fb->width() * fb->height() / 4);
+        }
+        return 0;
+      case Builtin::GfxLine:
+        if (fb) {
+            fb->drawLine(args[0], args[1], args[2], args[3],
+                         (uint8_t)args[4]);
+            chargeDraw((uint64_t)std::max(std::abs(args[2] - args[0]),
+                                          std::abs(args[3] - args[1])) +
+                       1);
+        }
+        return 0;
+      case Builtin::GfxFillRect:
+        if (fb) {
+            fb->fillRect(args[0], args[1], args[2], args[3],
+                         (uint8_t)args[4]);
+            chargeDraw((uint64_t)std::max(args[2], 0) *
+                       (uint64_t)std::max(args[3], 0));
+        }
+        return 0;
+      case Builtin::GfxRect:
+        if (fb) {
+            fb->drawRect(args[0], args[1], args[2], args[3],
+                         (uint8_t)args[4]);
+            chargeDraw(2ull * (std::max(args[2], 0) + std::max(args[3], 0)));
+        }
+        return 0;
+      case Builtin::GfxCircle:
+        if (fb) {
+            fb->drawCircle(args[0], args[1], args[2], (uint8_t)args[3]);
+            chargeDraw((uint64_t)(6.3 * std::max(args[2], 1)));
+        }
+        return 0;
+      case Builtin::GfxFillCircle:
+        if (fb) {
+            fb->fillCircle(args[0], args[1], args[2], (uint8_t)args[3]);
+            chargeDraw((uint64_t)(3.15 * args[2] * args[2]));
+        }
+        return 0;
+      case Builtin::GfxText:
+        if (fb) {
+            std::string text = heapString(heap, args[2]);
+            fb->drawText(args[0], args[1], text, (uint8_t)args[3]);
+            chargeDraw(text.size() * 35);
+        }
+        return 0;
+      case Builtin::GfxPixel:
+        if (fb) {
+            fb->setPixel(args[0], args[1], (uint8_t)args[2]);
+            chargeDraw(1);
+        }
+        return 0;
+      case Builtin::GfxFlush:
+        // Presenting the frame: akin to an X protocol round trip.
+        if (fb)
+            chargeKernel((uint32_t)(fb->width() * fb->height() / 16));
+        return 0;
+      default:
+        fatal("native routine %d not available on the JVM target", id);
+    }
+}
+
+} // namespace interp::jvm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The Java-like bytecode interpreter.
+ *
+ * Per §2/§3.2: a simple, low-level virtual machine — fetch/decode is
+ * small and nearly fixed (~16 native instructions per bytecode in the
+ * paper) thanks to the uniform bytecode representation; values move
+ * through per-frame operand stacks (≈2 instructions per stack access)
+ * while statics and arrays cost an order of magnitude more (≈11 per
+ * field access, §3.3); and native runtime libraries absorb the heavy
+ * lifting for graphics programs. The interpreter loop and handlers
+ * occupy only a few KB of code, giving the good i-cache behaviour of
+ * Figure 3.
+ */
+
+#ifndef INTERP_JVM_VM_HH
+#define INTERP_JVM_VM_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "jvm/bytecode.hh"
+#include "jvm/heap.hh"
+#include "jvm/natives.hh"
+#include "trace/execution.hh"
+#include "vfs/vfs.hh"
+
+namespace interp::jvm {
+
+/** The virtual machine. Load a module, then run(). */
+class Vm
+{
+  public:
+    Vm(trace::Execution &exec, vfs::FileSystem &fs);
+
+    /** Load a module (copied): allocates statics, resets frames. */
+    void load(const Module &module);
+
+    struct RunResult
+    {
+        bool exited = false;
+        int exitCode = 0;
+        uint64_t commands = 0; ///< bytecodes interpreted
+    };
+
+    /** Interpret until main returns / exit() / command budget. */
+    RunResult run(uint64_t max_commands = UINT64_MAX);
+
+    trace::CommandSet &commandSet() { return commands; }
+    Heap &heap() { return heap_; }
+    NativeRuntime &natives() { return native; }
+
+    /** Value of static field @p name (tests). */
+    int32_t staticValue(const std::string &name) const;
+
+  private:
+    struct Frame
+    {
+        int funcId;
+        uint32_t pc;
+        uint32_t localsBase;
+        uint32_t stackBase; ///< operand-stack floor for this frame
+    };
+
+    // Stack manipulation with memory-model emission (§3.3: ~2
+    // instructions per stack access).
+    void push(int32_t value);
+    int32_t pop();
+
+    void pushFrame(int func_id);
+
+    static void scanRoots(void *ctx,
+                          std::vector<const int32_t *> &ranges,
+                          std::vector<size_t> &lengths);
+
+    trace::Execution &exec;
+    vfs::FileSystem &fs;
+    Module moduleStorage; ///< owned copy of the loaded module
+    const Module *module = nullptr;
+    Heap heap_;
+    NativeRuntime native;
+    trace::CommandSet commands;
+    std::array<trace::CommandId, (size_t)Bc::NumOps> bcCommand{};
+
+    std::vector<int32_t> stack;  ///< shared operand stack
+    std::vector<int32_t> locals; ///< all frames' locals, contiguous
+    std::vector<Frame> frames;
+    std::vector<int32_t> statics;
+    uint32_t sp = 0;
+    uint32_t localsTop = 0;
+
+    // Interpreter code regions.
+    trace::RoutineId rLoop;
+    trace::RoutineId rStack;
+    trace::RoutineId rStatic;
+    trace::RoutineId rArray;
+    trace::RoutineId rArith;
+    trace::RoutineId rBranch;
+    trace::RoutineId rInvoke;
+    trace::RoutineId rNative;
+    trace::RoutineId rNew;
+
+    uint32_t dispatchTable[(size_t)Bc::NumOps] = {};
+    std::vector<int32_t> stringRefs; ///< interned LdcStr arrays
+};
+
+} // namespace interp::jvm
+
+#endif // INTERP_JVM_VM_HH

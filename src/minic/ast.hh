@@ -1,0 +1,205 @@
+/**
+ * @file
+ * MiniC abstract syntax tree, shared by the parser, the semantic
+ * analyzer and both code generators.
+ */
+
+#ifndef INTERP_MINIC_AST_HH
+#define INTERP_MINIC_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "minic/token.hh"
+
+namespace interp::minic {
+
+/** A MiniC type: void, int, char, or pointer(s) to those. */
+struct Type
+{
+    enum class Base : uint8_t { Void, Int, Char };
+
+    Base base = Base::Int;
+    int ptr = 0; ///< pointer depth
+
+    bool isPointer() const { return ptr > 0; }
+    bool isVoid() const { return base == Base::Void && ptr == 0; }
+
+    /** Size of a value of this type in bytes. */
+    int
+    sizeOf() const
+    {
+        if (ptr > 0)
+            return 4;
+        return base == Base::Char ? 1 : 4;
+    }
+
+    /** Size of the pointed-to / element type. */
+    int
+    elemSize() const
+    {
+        Type e = *this;
+        e.ptr -= 1;
+        return e.sizeOf();
+    }
+
+    Type
+    pointee() const
+    {
+        Type e = *this;
+        e.ptr -= 1;
+        return e;
+    }
+
+    Type
+    pointerTo() const
+    {
+        Type e = *this;
+        e.ptr += 1;
+        return e;
+    }
+
+    bool
+    operator==(const Type &o) const
+    {
+        return base == o.base && ptr == o.ptr;
+    }
+
+    static Type intType() { return {Base::Int, 0}; }
+    static Type charType() { return {Base::Char, 0}; }
+    static Type voidType() { return {Base::Void, 0}; }
+};
+
+/** Expression node kinds. */
+enum class ExprKind : uint8_t
+{
+    IntLit,  ///< integer / character literal
+    StrLit,  ///< string literal (char*)
+    Var,     ///< variable reference
+    Binary,  ///< lhs op rhs (arithmetic / comparison / logical)
+    Unary,   ///< op rhs (-, !, ~)
+    Assign,  ///< lhs = rhs (also += and -=)
+    Call,    ///< function or builtin call
+    Index,   ///< lhs[rhs]
+    Deref,   ///< *rhs
+    AddrOf,  ///< &rhs
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** One expression node; fields used depend on kind. */
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    int32_t intValue = 0;           // IntLit
+    std::string name;               // Var / Call; StrLit payload
+    Tok op = Tok::End;              // Binary / Unary / Assign
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;      // Call
+
+    // --- sema annotations ---------------------------------------------
+    Type type;        ///< result type
+    int localSlot = -1;  ///< Var: index into the function's locals
+    int globalId = -1;   ///< Var: index into the program's globals
+    int builtinId = -1;  ///< Call: builtin index, or -1 for user call
+    int funcId = -1;     ///< Call: user function index
+    int strId = -1;      ///< StrLit: string-pool index
+    bool isArrayVar = false; ///< Var names an array (decays to pointer)
+};
+
+/** Statement node kinds. */
+enum class StmtKind : uint8_t
+{
+    ExprStmt, If, While, For, Return, Break, Continue, Block, VarDecl,
+    Empty,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One statement node; fields used depend on kind. */
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    ExprPtr expr;  // ExprStmt / Return value / VarDecl initializer
+    ExprPtr cond;  // If / While / For condition
+    ExprPtr inc;   // For increment
+    StmtPtr init;  // For initializer
+    StmtPtr thenStmt;
+    StmtPtr elseStmt;
+    StmtPtr body;  // While / For body
+    std::vector<StmtPtr> stmts; // Block
+
+    // VarDecl
+    Type declType;
+    std::string name;
+    int arraySize = -1; ///< -1: scalar; else element count
+
+    // --- sema annotations ---------------------------------------------
+    int localSlot = -1;
+};
+
+/** A global variable declaration. */
+struct GlobalDecl
+{
+    Type type;
+    std::string name;
+    int arraySize = -1;           ///< -1: scalar
+    std::vector<int32_t> initValues;
+    std::string initString;
+    bool hasInitString = false;
+    int line = 0;
+
+    // --- sema annotations ---------------------------------------------
+    uint32_t byteSize = 0;
+};
+
+/** A function parameter. */
+struct Param
+{
+    Type type;
+    std::string name;
+};
+
+/** A function definition. */
+struct FuncDecl
+{
+    Type retType;
+    std::string name;
+    std::vector<Param> params;
+    StmtPtr body;
+    int line = 0;
+
+    // --- sema annotations ---------------------------------------------
+    /** One stack slot (scalar or array) in the frame. */
+    struct Local
+    {
+        std::string name;
+        Type type;
+        int arraySize = -1;
+        uint32_t offset = 0; ///< byte offset from the frame base
+    };
+
+    std::vector<Local> locals; ///< params first, then block locals
+    uint32_t frameBytes = 0;
+};
+
+/** A whole translation unit. */
+struct Program
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> funcs;
+    std::vector<std::string> strings; ///< string-literal pool (sema)
+};
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_AST_HH

@@ -1,0 +1,54 @@
+#include "minic/builtins.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace interp::minic {
+
+namespace {
+
+const BuiltinInfo kBuiltins[(int)Builtin::Count] = {
+    {"print_int", 1, false},
+    {"print_char", 1, false},
+    {"print_str", 1, false},
+    {"read_int", 0, true},
+    {"open", 2, true},
+    {"read", 3, true},
+    {"write", 3, true},
+    {"close", 1, true},
+    {"sbrk", 1, true},
+    {"exit", 1, false},
+    {"gfx_init", 2, false},
+    {"gfx_clear", 1, false},
+    {"gfx_line", 5, false},
+    {"gfx_fillrect", 5, false},
+    {"gfx_rect", 5, false},
+    {"gfx_circle", 4, false},
+    {"gfx_fillcircle", 4, false},
+    {"gfx_text", 4, false},
+    {"gfx_pixel", 3, false},
+    {"gfx_flush", 0, false},
+};
+
+} // namespace
+
+const BuiltinInfo &
+builtinInfo(Builtin b)
+{
+    int idx = (int)b;
+    if (idx < 0 || idx >= (int)Builtin::Count)
+        panic("bad builtin id %d", idx);
+    return kBuiltins[idx];
+}
+
+int
+findBuiltin(const char *name)
+{
+    for (int i = 0; i < (int)Builtin::Count; ++i)
+        if (std::strcmp(kBuiltins[i].name, name) == 0)
+            return i;
+    return -1;
+}
+
+} // namespace interp::minic

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MiniC builtin functions.
+ *
+ * The I/O and memory builtins map to guest system calls on the MIPS
+ * backend and to native runtime-library calls on the bytecode backend.
+ * The gfx_* builtins are the "native graphics runtime library" of the
+ * Java-like VM (§3.2): bytecode programs call them to draw into the
+ * software framebuffer, and the work they trigger is attributed to the
+ * `native` category.
+ */
+
+#ifndef INTERP_MINIC_BUILTINS_HH
+#define INTERP_MINIC_BUILTINS_HH
+
+namespace interp::minic {
+
+/** Builtin identifiers, in a fixed ABI order. */
+enum class Builtin : int
+{
+    PrintInt,   ///< print_int(v)
+    PrintChar,  ///< print_char(c)
+    PrintStr,   ///< print_str(s)
+    ReadInt,    ///< read_int() -> int
+    Open,       ///< open(path, mode) -> fd   (mode 0 = read, 1 = write)
+    Read,       ///< read(fd, buf, n) -> n
+    Write,      ///< write(fd, buf, n) -> n
+    Close,      ///< close(fd) -> 0
+    Sbrk,       ///< sbrk(n) -> old break (pointer as int)
+    Exit,       ///< exit(code)
+    GfxInit,    ///< gfx_init(w, h)
+    GfxClear,   ///< gfx_clear(color)
+    GfxLine,    ///< gfx_line(x0, y0, x1, y1, color)
+    GfxFillRect,///< gfx_fillrect(x, y, w, h, color)
+    GfxRect,    ///< gfx_rect(x, y, w, h, color)
+    GfxCircle,  ///< gfx_circle(cx, cy, r, color)
+    GfxFillCircle, ///< gfx_fillcircle(cx, cy, r, color)
+    GfxText,    ///< gfx_text(x, y, s, color)
+    GfxPixel,   ///< gfx_pixel(x, y, color)
+    GfxFlush,   ///< gfx_flush()
+    Count,
+};
+
+/** Static description of a builtin. */
+struct BuiltinInfo
+{
+    const char *name;
+    int numArgs;
+    bool returnsValue;
+};
+
+/** Table indexed by Builtin. */
+const BuiltinInfo &builtinInfo(Builtin b);
+
+/** Find a builtin by name; returns -1 if not a builtin. */
+int findBuiltin(const char *name);
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_BUILTINS_HH

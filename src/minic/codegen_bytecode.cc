@@ -1,0 +1,530 @@
+#include "minic/codegen_bytecode.hh"
+
+#include <vector>
+
+#include "minic/builtins.hh"
+#include "support/logging.hh"
+
+namespace interp::minic {
+
+namespace {
+
+using jvm::Bc;
+using jvm::Insn;
+
+/** Emits one function's bytecode. */
+class BcGen
+{
+  public:
+    BcGen(const Program &prog, jvm::Module &module)
+        : prog_(prog), module_(module)
+    {}
+
+    void
+    run()
+    {
+        // Fields mirror the globals, index-for-index.
+        for (const GlobalDecl &g : prog_.globals) {
+            jvm::FieldDesc field;
+            field.name = g.name;
+            if (g.arraySize >= 0) {
+                field.isArray = true;
+                field.elemBytes = (uint8_t)g.type.sizeOf();
+                if (field.elemBytes != 1)
+                    field.elemBytes = 4;
+                field.arrayLen = g.arraySize;
+                if (g.hasInitString) {
+                    for (char c : g.initString)
+                        field.initData.push_back((uint8_t)c);
+                    field.initData.push_back(0);
+                } else {
+                    field.initData = g.initValues;
+                }
+            } else {
+                field.initValue =
+                    g.initValues.empty() ? 0 : g.initValues[0];
+            }
+            module_.fields.push_back(std::move(field));
+        }
+
+        module_.strings = prog_.strings;
+
+        for (size_t i = 0; i < prog_.funcs.size(); ++i) {
+            module_.funcs.push_back(genFunc(prog_.funcs[i]));
+            if (prog_.funcs[i].name == "main")
+                module_.mainFunc = (int)i;
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const char *msg)
+    {
+        fatal("bytecode backend: line %d: %s", line, msg);
+    }
+
+    // --- emission helpers ----------------------------------------------
+    void
+    emit(Bc op, int32_t a = 0)
+    {
+        code.push_back({op, a});
+    }
+
+    size_t
+    emitBranchPlaceholder(Bc op)
+    {
+        code.push_back({op, -1});
+        return code.size() - 1;
+    }
+
+    void
+    patch(size_t at)
+    {
+        code[at].a = (int32_t)code.size();
+    }
+
+    void
+    patchTo(size_t at, size_t target)
+    {
+        code[at].a = (int32_t)target;
+    }
+
+    // --- functions --------------------------------------------------------
+    jvm::FuncDesc
+    genFunc(const FuncDecl &fn)
+    {
+        fn_ = &fn;
+        code.clear();
+        breakFixups.clear();
+        continueTargets.clear();
+
+        // Slot assignment: sema locals in order, then scratch slots.
+        // Array locals get a ref slot plus prologue allocation.
+        slotOf.assign(fn.locals.size(), -1);
+        int next = 0;
+        for (size_t i = 0; i < fn.locals.size(); ++i)
+            slotOf[i] = next++;
+        scratch0 = next++;
+        scratch1 = next++;
+        scratch2 = next++;
+
+        for (size_t i = fn.params.size(); i < fn.locals.size(); ++i) {
+            const auto &local = fn.locals[i];
+            if (local.arraySize >= 0) {
+                emit(Bc::IConst, local.arraySize);
+                emit(local.type.sizeOf() == 1 ? Bc::NewArrayB
+                                              : Bc::NewArrayI);
+                emit(Bc::IStore, slotOf[i]);
+            }
+        }
+
+        genStmt(*fn.body);
+        // Implicit return (0 for value-returning functions).
+        if (fn.retType.isVoid()) {
+            emit(Bc::Return);
+        } else {
+            emit(Bc::IConst, 0);
+            emit(Bc::IReturn);
+        }
+
+        jvm::FuncDesc out;
+        out.name = fn.name;
+        out.numParams = (int)fn.params.size();
+        out.numLocals = next;
+        out.returnsValue = !fn.retType.isVoid();
+        out.code = code;
+        return out;
+    }
+
+    // --- statements -----------------------------------------------------
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const auto &child : s.stmts)
+                genStmt(*child);
+            break;
+          case StmtKind::VarDecl:
+            if (s.expr) {
+                genExpr(*s.expr);
+                emit(Bc::IStore, slotOf[s.localSlot]);
+            }
+            break;
+          case StmtKind::ExprStmt:
+            genExprForEffect(*s.expr);
+            break;
+          case StmtKind::If: {
+            genExpr(*s.cond);
+            size_t to_else = emitBranchPlaceholder(Bc::IfZero);
+            genStmt(*s.thenStmt);
+            if (s.elseStmt) {
+                size_t to_end = emitBranchPlaceholder(Bc::Goto);
+                patch(to_else);
+                genStmt(*s.elseStmt);
+                patch(to_end);
+            } else {
+                patch(to_else);
+            }
+            break;
+          }
+          case StmtKind::While: {
+            size_t head = code.size();
+            genExpr(*s.cond);
+            size_t to_exit = emitBranchPlaceholder(Bc::IfZero);
+            enterLoop(head);
+            genStmt(*s.body);
+            exitLoop();
+            emit(Bc::Goto, (int32_t)head);
+            patch(to_exit);
+            fixBreaks();
+            break;
+          }
+          case StmtKind::For: {
+            if (s.init)
+                genStmt(*s.init);
+            size_t head = code.size();
+            size_t to_exit = SIZE_MAX;
+            if (s.cond) {
+                genExpr(*s.cond);
+                to_exit = emitBranchPlaceholder(Bc::IfZero);
+            }
+            // continue jumps to the increment, which we emit after the
+            // body; collect them as fixups too.
+            enterLoop(SIZE_MAX);
+            genStmt(*s.body);
+            size_t inc_at = code.size();
+            if (s.inc)
+                genExprForEffect(*s.inc);
+            emit(Bc::Goto, (int32_t)head);
+            exitLoopFor(inc_at);
+            if (to_exit != SIZE_MAX)
+                patch(to_exit);
+            fixBreaks();
+            break;
+          }
+          case StmtKind::Return:
+            if (s.expr) {
+                genExpr(*s.expr);
+                emit(Bc::IReturn);
+            } else {
+                emit(Bc::Return);
+            }
+            break;
+          case StmtKind::Break:
+            breakFixups.back().push_back(
+                emitBranchPlaceholder(Bc::Goto));
+            break;
+          case StmtKind::Continue: {
+            size_t target = continueTargets.back();
+            if (target == SIZE_MAX) {
+                // for-loop: target known only after the body.
+                continueFixups.back().push_back(
+                    emitBranchPlaceholder(Bc::Goto));
+            } else {
+                emit(Bc::Goto, (int32_t)target);
+            }
+            break;
+          }
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    void
+    enterLoop(size_t continue_target)
+    {
+        breakFixups.emplace_back();
+        continueTargets.push_back(continue_target);
+        continueFixups.emplace_back();
+    }
+
+    void
+    exitLoop()
+    {
+        continueTargets.pop_back();
+        INTERP_ASSERT(continueFixups.back().empty());
+        continueFixups.pop_back();
+    }
+
+    void
+    exitLoopFor(size_t inc_at)
+    {
+        continueTargets.pop_back();
+        for (size_t at : continueFixups.back())
+            patchTo(at, inc_at);
+        continueFixups.pop_back();
+    }
+
+    void
+    fixBreaks()
+    {
+        for (size_t at : breakFixups.back())
+            patch(at);
+        breakFixups.pop_back();
+    }
+
+    // --- expressions ------------------------------------------------------
+    static Bc
+    arrayLoadOp(const Type &elem)
+    {
+        return elem.sizeOf() == 1 ? Bc::BALoad : Bc::IALoad;
+    }
+
+    static Bc
+    arrayStoreOp(const Type &elem)
+    {
+        return elem.sizeOf() == 1 ? Bc::BAStore : Bc::IAStore;
+    }
+
+    /** Evaluate for side effects only (assignments skip the result). */
+    void
+    genExprForEffect(const Expr &e)
+    {
+        if (e.kind == ExprKind::Assign) {
+            genAssign(e, false);
+            return;
+        }
+        genExpr(e);
+        if (!e.type.isVoid())
+            emit(Bc::Pop);
+    }
+
+    /** Evaluate @p e, leaving its value on the operand stack. */
+    void
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            emit(Bc::IConst, e.intValue);
+            break;
+          case ExprKind::StrLit:
+            emit(Bc::LdcStr, e.strId);
+            break;
+          case ExprKind::Var:
+            // Scalars and array refs load identically: a slot or a
+            // static field holds either an int or a reference.
+            if (e.localSlot >= 0)
+                emit(Bc::ILoad, slotOf[e.localSlot]);
+            else
+                emit(Bc::GetStatic, e.globalId);
+            break;
+          case ExprKind::Index:
+            genExpr(*e.lhs);
+            genExpr(*e.rhs);
+            emit(arrayLoadOp(e.type));
+            break;
+          case ExprKind::Deref:
+            // *p is p[0] on this target.
+            genExpr(*e.rhs);
+            emit(Bc::IConst, 0);
+            emit(arrayLoadOp(e.type));
+            break;
+          case ExprKind::AddrOf:
+            err(e.line, "'&' is not supported on the bytecode target");
+          case ExprKind::Unary:
+            genExpr(*e.rhs);
+            switch (e.op) {
+              case Tok::Minus: emit(Bc::Neg); break;
+              case Tok::Tilde: emit(Bc::Not); break;
+              case Tok::Bang:
+                emit(Bc::IConst, 0);
+                emit(Bc::CmpEq);
+                break;
+              default: panic("bad unary op");
+            }
+            break;
+          case ExprKind::Assign:
+            genAssign(e, true);
+            break;
+          case ExprKind::Binary:
+            genBinary(e);
+            break;
+          case ExprKind::Call:
+            genCall(e, true);
+            break;
+        }
+    }
+
+    void
+    genAssign(const Expr &e, bool want_value)
+    {
+        const Expr &lhs = *e.lhs;
+        if (e.op != Tok::Assign) {
+            genCompoundAssign(e, want_value);
+            return;
+        }
+        if (lhs.kind == ExprKind::Var) {
+            genExpr(*e.rhs);
+            if (want_value)
+                emit(Bc::Dup);
+            if (lhs.localSlot >= 0)
+                emit(Bc::IStore, slotOf[lhs.localSlot]);
+            else
+                emit(Bc::PutStatic, lhs.globalId);
+            return;
+        }
+        // Array element (or deref) target.
+        if (lhs.kind == ExprKind::Index) {
+            genExpr(*lhs.lhs);
+            genExpr(*lhs.rhs);
+        } else if (lhs.kind == ExprKind::Deref) {
+            genExpr(*lhs.rhs);
+            emit(Bc::IConst, 0);
+        } else {
+            err(e.line, "unsupported assignment target");
+        }
+        genExpr(*e.rhs);
+        if (want_value) {
+            emit(Bc::IStore, scratch2);
+            emit(Bc::ILoad, scratch2);
+        }
+        emit(arrayStoreOp(lhs.type));
+        if (want_value)
+            emit(Bc::ILoad, scratch2);
+    }
+
+    void
+    genCompoundAssign(const Expr &e, bool want_value)
+    {
+        const Expr &lhs = *e.lhs;
+        Bc op = e.op == Tok::PlusAssign ? Bc::Add : Bc::Sub;
+        if (lhs.type.isPointer())
+            err(e.line, "pointer arithmetic is not supported on the "
+                        "bytecode target");
+        if (lhs.kind == ExprKind::Var) {
+            genExpr(lhs); // current value
+            genExpr(*e.rhs);
+            emit(op);
+            if (want_value)
+                emit(Bc::Dup);
+            if (lhs.localSlot >= 0)
+                emit(Bc::IStore, slotOf[lhs.localSlot]);
+            else
+                emit(Bc::PutStatic, lhs.globalId);
+            return;
+        }
+        if (lhs.kind != ExprKind::Index && lhs.kind != ExprKind::Deref)
+            err(e.line, "unsupported assignment target");
+
+        // Evaluate ref and index once, via scratch slots.
+        if (lhs.kind == ExprKind::Index) {
+            genExpr(*lhs.lhs);
+            emit(Bc::IStore, scratch0);
+            genExpr(*lhs.rhs);
+            emit(Bc::IStore, scratch1);
+        } else {
+            genExpr(*lhs.rhs);
+            emit(Bc::IStore, scratch0);
+            emit(Bc::IConst, 0);
+            emit(Bc::IStore, scratch1);
+        }
+        emit(Bc::ILoad, scratch0);
+        emit(Bc::ILoad, scratch1);
+        emit(Bc::ILoad, scratch0);
+        emit(Bc::ILoad, scratch1);
+        emit(arrayLoadOp(lhs.type));
+        genExpr(*e.rhs);
+        emit(op);
+        if (want_value) {
+            emit(Bc::IStore, scratch2);
+            emit(Bc::ILoad, scratch2);
+        }
+        emit(arrayStoreOp(lhs.type));
+        if (want_value)
+            emit(Bc::ILoad, scratch2);
+    }
+
+    void
+    genBinary(const Expr &e)
+    {
+        if (e.op == Tok::AmpAmp || e.op == Tok::PipePipe) {
+            bool is_and = e.op == Tok::AmpAmp;
+            genExpr(*e.lhs);
+            size_t shortcut = emitBranchPlaceholder(
+                is_and ? Bc::IfZero : Bc::IfNonZero);
+            genExpr(*e.rhs);
+            size_t shortcut2 = emitBranchPlaceholder(
+                is_and ? Bc::IfZero : Bc::IfNonZero);
+            emit(Bc::IConst, is_and ? 1 : 0);
+            size_t to_end = emitBranchPlaceholder(Bc::Goto);
+            patch(shortcut);
+            patch(shortcut2);
+            emit(Bc::IConst, is_and ? 0 : 1);
+            patch(to_end);
+            return;
+        }
+
+        if ((e.lhs->type.isPointer() || e.rhs->type.isPointer()) &&
+            (e.op == Tok::Plus || e.op == Tok::Minus))
+            err(e.line, "pointer arithmetic is not supported on the "
+                        "bytecode target; use indexing");
+
+        genExpr(*e.lhs);
+        genExpr(*e.rhs);
+        switch (e.op) {
+          case Tok::Plus: emit(Bc::Add); break;
+          case Tok::Minus: emit(Bc::Sub); break;
+          case Tok::Star: emit(Bc::Mul); break;
+          case Tok::Slash: emit(Bc::Div); break;
+          case Tok::Percent: emit(Bc::Rem); break;
+          case Tok::Amp: emit(Bc::And); break;
+          case Tok::Pipe: emit(Bc::Or); break;
+          case Tok::Caret: emit(Bc::Xor); break;
+          case Tok::Shl: emit(Bc::Shl); break;
+          case Tok::Shr: emit(Bc::Shr); break;
+          case Tok::Eq: emit(Bc::CmpEq); break;
+          case Tok::Ne: emit(Bc::CmpNe); break;
+          case Tok::Lt: emit(Bc::CmpLt); break;
+          case Tok::Le: emit(Bc::CmpLe); break;
+          case Tok::Gt: emit(Bc::CmpGt); break;
+          case Tok::Ge: emit(Bc::CmpGe); break;
+          default: panic("bad binary op");
+        }
+    }
+
+    void
+    genCall(const Expr &e, bool want_value)
+    {
+        for (const auto &arg : e.args)
+            genExpr(*arg);
+        if (e.builtinId >= 0) {
+            Builtin builtin = (Builtin)e.builtinId;
+            if (builtin == Builtin::Sbrk)
+                err(e.line, "sbrk is not available on the bytecode "
+                            "target; use arrays");
+            emit(Bc::InvokeNative, e.builtinId);
+            const auto &info = builtinInfo(builtin);
+            if (info.returnsValue && !want_value)
+                emit(Bc::Pop);
+        } else {
+            emit(Bc::InvokeStatic, e.funcId);
+            const FuncDecl &callee = prog_.funcs[e.funcId];
+            if (!callee.retType.isVoid() && !want_value)
+                emit(Bc::Pop);
+        }
+    }
+
+    const Program &prog_;
+    jvm::Module &module_;
+    const FuncDecl *fn_ = nullptr;
+    std::vector<Insn> code;
+    std::vector<int> slotOf;
+    int scratch0 = 0, scratch1 = 0, scratch2 = 0;
+    std::vector<std::vector<size_t>> breakFixups;
+    std::vector<size_t> continueTargets;
+    std::vector<std::vector<size_t>> continueFixups;
+};
+
+} // namespace
+
+jvm::Module
+compileToBytecode(const Program &prog)
+{
+    jvm::Module module;
+    BcGen gen(prog, module);
+    gen.run();
+    return module;
+}
+
+} // namespace interp::minic

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * MiniC -> JVM-like bytecode code generator.
+ *
+ * Produces the offline-compiled module the bytecode VM interprets
+ * (the "javac" of this repository). The mapping is straightforwardly
+ * Java-flavored: locals to slots, globals to static fields, arrays to
+ * heap objects, builtins to native runtime calls. C pointers exist
+ * only as array references on this target — pointer arithmetic and
+ * address-of are rejected (write indexing-style MiniC for programs
+ * that must run on both backends).
+ */
+
+#ifndef INTERP_MINIC_CODEGEN_BYTECODE_HH
+#define INTERP_MINIC_CODEGEN_BYTECODE_HH
+
+#include "jvm/bytecode.hh"
+#include "minic/ast.hh"
+
+namespace interp::minic {
+
+/** Compile an analyzed program (see analyze()) to a bytecode module. */
+jvm::Module compileToBytecode(const Program &prog);
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_CODEGEN_BYTECODE_HH

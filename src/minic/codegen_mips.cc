@@ -1,0 +1,571 @@
+#include "minic/codegen_mips.hh"
+
+#include <vector>
+
+#include "minic/builtins.hh"
+#include "mips/asm_builder.hh"
+#include "support/logging.hh"
+
+namespace interp::minic {
+
+namespace {
+
+using mips::AsmBuilder;
+using mips::Op;
+using mips::Reg;
+
+/** Emits one program through an AsmBuilder. */
+class MipsGen
+{
+  public:
+    explicit MipsGen(const Program &prog) : prog_(prog) {}
+
+    mips::Image
+    run()
+    {
+        layoutData();
+
+        // Entry stub: call main, then exit with its return value.
+        funcLabels.resize(prog_.funcs.size());
+        for (size_t i = 0; i < prog_.funcs.size(); ++i)
+            funcLabels[i] = b.newLabel();
+
+        b.here("__start");
+        int main_id = -1;
+        for (size_t i = 0; i < prog_.funcs.size(); ++i)
+            if (prog_.funcs[i].name == "main")
+                main_id = (int)i;
+        INTERP_ASSERT(main_id >= 0);
+        b.jal(funcLabels[main_id]);
+        b.move(mips::A0, mips::V0);
+        b.li(mips::V0, mips::SYS_EXIT2);
+        b.syscall();
+
+        for (size_t i = 0; i < prog_.funcs.size(); ++i)
+            genFunc(prog_.funcs[i], funcLabels[i]);
+
+        return b.link();
+    }
+
+  private:
+    // --- data layout -------------------------------------------------------
+    void
+    layoutData()
+    {
+        globalAddr.resize(prog_.globals.size());
+        for (size_t i = 0; i < prog_.globals.size(); ++i) {
+            const GlobalDecl &g = prog_.globals[i];
+            if (g.type.sizeOf() >= 4 || g.type.isPointer())
+                b.dataAlign(4);
+            uint32_t addr;
+            if (g.hasInitString) {
+                addr = b.dataAsciiz(g.initString);
+                uint32_t used = (uint32_t)g.initString.size() + 1;
+                if (g.byteSize > used)
+                    b.dataSpace(g.byteSize - used);
+            } else if (!g.initValues.empty()) {
+                int elem = g.type.sizeOf();
+                if (elem == 1) {
+                    std::string bytes;
+                    for (int32_t v : g.initValues)
+                        bytes.push_back((char)v);
+                    addr = b.dataBytes(bytes);
+                } else {
+                    addr = 0;
+                    for (size_t k = 0; k < g.initValues.size(); ++k) {
+                        uint32_t a = b.dataWord((uint32_t)g.initValues[k]);
+                        if (k == 0)
+                            addr = a;
+                    }
+                }
+                uint32_t used =
+                    (uint32_t)(g.initValues.size() * g.type.sizeOf());
+                if (g.byteSize > used)
+                    b.dataSpace(g.byteSize - used);
+            } else {
+                addr = b.dataSpace(g.byteSize ? g.byteSize : 4);
+            }
+            globalAddr[i] = addr;
+            b.dataSymbol(g.name, addr);
+        }
+        strAddr.resize(prog_.strings.size());
+        for (size_t i = 0; i < prog_.strings.size(); ++i)
+            strAddr[i] = b.dataAsciiz(prog_.strings[i]);
+    }
+
+    // --- frame helpers -----------------------------------------------------
+    /** Push V0 onto the runtime stack. */
+    void
+    push()
+    {
+        b.itype(Op::Addiu, mips::SP, mips::SP, -4);
+        b.loadStore(Op::Sw, mips::V0, 0, mips::SP);
+    }
+
+    /** Pop the runtime stack into @p reg. */
+    void
+    pop(Reg reg)
+    {
+        b.loadStore(Op::Lw, reg, 0, mips::SP);
+        b.itype(Op::Addiu, mips::SP, mips::SP, 4);
+    }
+
+    // --- functions --------------------------------------------------------
+    void
+    genFunc(const FuncDecl &fn, AsmBuilder::Label entry)
+    {
+        fn_ = &fn;
+        b.bind(entry);
+        namedEntry(fn.name);
+
+        frameBytes = ((fn.frameBytes + 8) + 7) & ~7u;
+        epilogue = b.newLabel();
+
+        // Prologue.
+        b.itype(Op::Addiu, mips::SP, mips::SP,
+                (int16_t)-(int32_t)frameBytes);
+        b.loadStore(Op::Sw, mips::RA, (int16_t)(frameBytes - 4), mips::SP);
+        b.loadStore(Op::Sw, mips::FP, (int16_t)(frameBytes - 8), mips::SP);
+        b.move(mips::FP, mips::SP);
+        static const Reg kArgRegs[4] = {mips::A0, mips::A1, mips::A2,
+                                        mips::A3};
+        for (size_t i = 0; i < fn.params.size(); ++i)
+            b.loadStore(Op::Sw, kArgRegs[i],
+                        (int16_t)fn.locals[i].offset, mips::FP);
+
+        genStmt(*fn.body);
+
+        // Fall-through return (void or missing return gives 0).
+        b.li(mips::V0, 0);
+        b.bind(epilogue);
+        b.move(mips::SP, mips::FP);
+        b.loadStore(Op::Lw, mips::RA, (int16_t)(frameBytes - 4), mips::SP);
+        b.loadStore(Op::Lw, mips::FP, (int16_t)(frameBytes - 8), mips::SP);
+        b.itype(Op::Addiu, mips::SP, mips::SP, (int16_t)frameBytes);
+        b.jr(mips::RA);
+    }
+
+    void
+    namedEntry(const std::string &name)
+    {
+        b.here("fn." + name);
+    }
+
+    // --- statements -----------------------------------------------------
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const auto &child : s.stmts)
+                genStmt(*child);
+            break;
+          case StmtKind::VarDecl:
+            if (s.expr) {
+                genExpr(*s.expr);
+                b.loadStore(Op::Sw, mips::V0,
+                            (int16_t)fn_->locals[s.localSlot].offset,
+                            mips::FP);
+            }
+            break;
+          case StmtKind::ExprStmt:
+            genExpr(*s.expr);
+            break;
+          case StmtKind::If: {
+            auto else_l = b.newLabel();
+            genExpr(*s.cond);
+            b.branch(Op::Beq, mips::V0, mips::ZERO, else_l);
+            genStmt(*s.thenStmt);
+            if (s.elseStmt) {
+                auto end_l = b.newLabel();
+                b.j(end_l);
+                b.bind(else_l);
+                genStmt(*s.elseStmt);
+                b.bind(end_l);
+            } else {
+                b.bind(else_l);
+            }
+            break;
+          }
+          case StmtKind::While: {
+            auto head = b.newLabel();
+            auto exit = b.newLabel();
+            b.bind(head);
+            genExpr(*s.cond);
+            b.branch(Op::Beq, mips::V0, mips::ZERO, exit);
+            breakStack.push_back(exit);
+            continueStack.push_back(head);
+            genStmt(*s.body);
+            breakStack.pop_back();
+            continueStack.pop_back();
+            b.j(head);
+            b.bind(exit);
+            break;
+          }
+          case StmtKind::For: {
+            auto head = b.newLabel();
+            auto step = b.newLabel();
+            auto exit = b.newLabel();
+            if (s.init)
+                genStmt(*s.init);
+            b.bind(head);
+            if (s.cond) {
+                genExpr(*s.cond);
+                b.branch(Op::Beq, mips::V0, mips::ZERO, exit);
+            }
+            breakStack.push_back(exit);
+            continueStack.push_back(step);
+            genStmt(*s.body);
+            breakStack.pop_back();
+            continueStack.pop_back();
+            b.bind(step);
+            if (s.inc)
+                genExpr(*s.inc);
+            b.j(head);
+            b.bind(exit);
+            break;
+          }
+          case StmtKind::Return:
+            if (s.expr)
+                genExpr(*s.expr);
+            else
+                b.li(mips::V0, 0);
+            b.j(epilogue);
+            break;
+          case StmtKind::Break:
+            b.j(breakStack.back());
+            break;
+          case StmtKind::Continue:
+            b.j(continueStack.back());
+            break;
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    // --- expressions ------------------------------------------------------
+    /** Memory op for a value of @p type. */
+    static Op
+    loadOpFor(const Type &type)
+    {
+        return type.sizeOf() == 1 ? Op::Lbu : Op::Lw;
+    }
+
+    static Op
+    storeOpFor(const Type &type)
+    {
+        return type.sizeOf() == 1 ? Op::Sb : Op::Sw;
+    }
+
+    /** Leave the address of lvalue @p e in V0. */
+    void
+    genAddr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::Var:
+            if (e.localSlot >= 0) {
+                b.itype(Op::Addiu, mips::V0, mips::FP,
+                        (int16_t)fn_->locals[e.localSlot].offset);
+            } else {
+                b.la(mips::V0, globalAddr[e.globalId]);
+            }
+            break;
+          case ExprKind::Index: {
+            genExpr(*e.lhs); // pointer value
+            push();
+            genExpr(*e.rhs); // index
+            if (e.lhs->type.elemSize() == 4)
+                b.shift(Op::Sll, mips::V0, mips::V0, 2);
+            pop(mips::T1);
+            b.rtype(Op::Addu, mips::V0, mips::T1, mips::V0);
+            break;
+          }
+          case ExprKind::Deref:
+            genExpr(*e.rhs);
+            break;
+          default:
+            panic("genAddr on non-lvalue");
+        }
+    }
+
+    /** Evaluate @p e, leaving the value in V0. */
+    void
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            b.li(mips::V0, e.intValue);
+            break;
+          case ExprKind::StrLit:
+            b.la(mips::V0, strAddr[e.strId]);
+            break;
+          case ExprKind::Var:
+            if (e.isArrayVar) {
+                genAddr2ArrayBase(e);
+            } else if (e.localSlot >= 0) {
+                b.loadStore(Op::Lw, mips::V0,
+                            (int16_t)fn_->locals[e.localSlot].offset,
+                            mips::FP);
+            } else {
+                b.la(mips::V0, globalAddr[e.globalId]);
+                b.loadStore(loadOpFor(e.type), mips::V0, 0, mips::V0);
+            }
+            break;
+          case ExprKind::Index:
+            genAddr(e);
+            b.loadStore(loadOpFor(e.type), mips::V0, 0, mips::V0);
+            break;
+          case ExprKind::Deref:
+            genExpr(*e.rhs);
+            b.loadStore(loadOpFor(e.type), mips::V0, 0, mips::V0);
+            break;
+          case ExprKind::AddrOf:
+            genAddr(*e.rhs);
+            break;
+          case ExprKind::Unary:
+            genExpr(*e.rhs);
+            switch (e.op) {
+              case Tok::Minus:
+                b.rtype(Op::Subu, mips::V0, mips::ZERO, mips::V0);
+                break;
+              case Tok::Tilde:
+                b.rtype(Op::Nor, mips::V0, mips::V0, mips::ZERO);
+                break;
+              case Tok::Bang:
+                b.itype(Op::Sltiu, mips::V0, mips::V0, 1);
+                break;
+              default:
+                panic("bad unary op");
+            }
+            break;
+          case ExprKind::Assign:
+            genAssign(e);
+            break;
+          case ExprKind::Binary:
+            genBinary(e);
+            break;
+          case ExprKind::Call:
+            genCall(e);
+            break;
+        }
+    }
+
+    /** Array-variable reference decays to its base address. */
+    void
+    genAddr2ArrayBase(const Expr &e)
+    {
+        if (e.localSlot >= 0)
+            b.itype(Op::Addiu, mips::V0, mips::FP,
+                    (int16_t)fn_->locals[e.localSlot].offset);
+        else
+            b.la(mips::V0, globalAddr[e.globalId]);
+    }
+
+    void
+    genAssign(const Expr &e)
+    {
+        const Type &lt = e.lhs->type;
+        if (e.op == Tok::Assign) {
+            genExpr(*e.rhs);
+            // Fast path: direct store for scalar locals.
+            if (e.lhs->kind == ExprKind::Var && e.lhs->localSlot >= 0 &&
+                !e.lhs->isArrayVar) {
+                b.loadStore(Op::Sw, mips::V0,
+                            (int16_t)fn_->locals[e.lhs->localSlot].offset,
+                            mips::FP);
+                return;
+            }
+            push();
+            genAddr(*e.lhs);
+            pop(mips::T1);
+            b.loadStore(storeOpFor(lt), mips::T1, 0, mips::V0);
+            b.move(mips::V0, mips::T1);
+            return;
+        }
+        // += / -= : evaluate the lvalue address once.
+        genAddr(*e.lhs);
+        push();
+        genExpr(*e.rhs);
+        if (lt.isPointer() && lt.elemSize() == 4)
+            b.shift(Op::Sll, mips::V0, mips::V0, 2);
+        pop(mips::T1);                                // address
+        b.loadStore(loadOpFor(lt), mips::T2, 0, mips::T1);
+        if (e.op == Tok::PlusAssign)
+            b.rtype(Op::Addu, mips::V0, mips::T2, mips::V0);
+        else
+            b.rtype(Op::Subu, mips::V0, mips::T2, mips::V0);
+        b.loadStore(storeOpFor(lt), mips::V0, 0, mips::T1);
+    }
+
+    void
+    genBinary(const Expr &e)
+    {
+        // Short-circuit logical operators.
+        if (e.op == Tok::AmpAmp || e.op == Tok::PipePipe) {
+            auto out_l = b.newLabel();
+            auto end_l = b.newLabel();
+            bool is_and = e.op == Tok::AmpAmp;
+            genExpr(*e.lhs);
+            if (is_and)
+                b.branch(Op::Beq, mips::V0, mips::ZERO, out_l);
+            else
+                b.branch(Op::Bne, mips::V0, mips::ZERO, out_l);
+            genExpr(*e.rhs);
+            if (is_and)
+                b.branch(Op::Beq, mips::V0, mips::ZERO, out_l);
+            else
+                b.branch(Op::Bne, mips::V0, mips::ZERO, out_l);
+            b.li(mips::V0, is_and ? 1 : 0);
+            b.j(end_l);
+            b.bind(out_l);
+            b.li(mips::V0, is_and ? 0 : 1);
+            b.bind(end_l);
+            return;
+        }
+
+        genExpr(*e.lhs);
+        push();
+        genExpr(*e.rhs);
+
+        bool lp = e.lhs->type.isPointer();
+        bool rp = e.rhs->type.isPointer();
+
+        // Pointer arithmetic scaling (word-sized elements only).
+        if (e.op == Tok::Plus && lp && !rp && e.lhs->type.elemSize() == 4)
+            b.shift(Op::Sll, mips::V0, mips::V0, 2);
+        if (e.op == Tok::Minus && lp && !rp &&
+            e.lhs->type.elemSize() == 4)
+            b.shift(Op::Sll, mips::V0, mips::V0, 2);
+
+        pop(mips::T1);
+
+        if (e.op == Tok::Plus && rp && !lp && e.rhs->type.elemSize() == 4)
+            b.shift(Op::Sll, mips::T1, mips::T1, 2);
+
+        switch (e.op) {
+          case Tok::Plus:
+            b.rtype(Op::Addu, mips::V0, mips::T1, mips::V0);
+            break;
+          case Tok::Minus:
+            b.rtype(Op::Subu, mips::V0, mips::T1, mips::V0);
+            if (lp && rp && e.lhs->type.elemSize() == 4)
+                b.shift(Op::Sra, mips::V0, mips::V0, 2);
+            break;
+          case Tok::Star:
+            b.multDiv(Op::Mult, mips::T1, mips::V0);
+            b.mflo(mips::V0);
+            break;
+          case Tok::Slash:
+            b.multDiv(Op::Div, mips::T1, mips::V0);
+            b.mflo(mips::V0);
+            break;
+          case Tok::Percent:
+            b.multDiv(Op::Div, mips::T1, mips::V0);
+            b.mfhi(mips::V0);
+            break;
+          case Tok::Amp:
+            b.rtype(Op::And, mips::V0, mips::T1, mips::V0);
+            break;
+          case Tok::Pipe:
+            b.rtype(Op::Or, mips::V0, mips::T1, mips::V0);
+            break;
+          case Tok::Caret:
+            b.rtype(Op::Xor, mips::V0, mips::T1, mips::V0);
+            break;
+          case Tok::Shl:
+            b.shiftVar(Op::Sllv, mips::V0, mips::T1, mips::V0);
+            break;
+          case Tok::Shr:
+            b.shiftVar(Op::Srav, mips::V0, mips::T1, mips::V0);
+            break;
+          case Tok::Eq:
+            b.rtype(Op::Xor, mips::V0, mips::T1, mips::V0);
+            b.itype(Op::Sltiu, mips::V0, mips::V0, 1);
+            break;
+          case Tok::Ne:
+            b.rtype(Op::Xor, mips::V0, mips::T1, mips::V0);
+            b.rtype(Op::Sltu, mips::V0, mips::ZERO, mips::V0);
+            break;
+          case Tok::Lt:
+            b.rtype(Op::Slt, mips::V0, mips::T1, mips::V0);
+            break;
+          case Tok::Gt:
+            b.rtype(Op::Slt, mips::V0, mips::V0, mips::T1);
+            break;
+          case Tok::Le:
+            b.rtype(Op::Slt, mips::V0, mips::V0, mips::T1);
+            b.itype(Op::Xori, mips::V0, mips::V0, 1);
+            break;
+          case Tok::Ge:
+            b.rtype(Op::Slt, mips::V0, mips::T1, mips::V0);
+            b.itype(Op::Xori, mips::V0, mips::V0, 1);
+            break;
+          default:
+            panic("bad binary op");
+        }
+    }
+
+    void
+    genCall(const Expr &e)
+    {
+        for (const auto &arg : e.args) {
+            genExpr(*arg);
+            push();
+        }
+        static const Reg kArgRegs[4] = {mips::A0, mips::A1, mips::A2,
+                                        mips::A3};
+        for (int i = (int)e.args.size() - 1; i >= 0; --i)
+            pop(kArgRegs[i]);
+
+        if (e.builtinId >= 0) {
+            genBuiltin((Builtin)e.builtinId, e.line);
+        } else {
+            b.jal(funcLabels[e.funcId]);
+        }
+    }
+
+    void
+    genBuiltin(Builtin builtin, int line)
+    {
+        uint32_t nr;
+        switch (builtin) {
+          case Builtin::PrintInt: nr = mips::SYS_PRINT_INT; break;
+          case Builtin::PrintChar: nr = mips::SYS_PRINT_CHAR; break;
+          case Builtin::PrintStr: nr = mips::SYS_PRINT_STRING; break;
+          case Builtin::ReadInt: nr = mips::SYS_READ_INT; break;
+          case Builtin::Open: nr = mips::SYS_OPEN; break;
+          case Builtin::Read: nr = mips::SYS_READ; break;
+          case Builtin::Write: nr = mips::SYS_WRITE; break;
+          case Builtin::Close: nr = mips::SYS_CLOSE; break;
+          case Builtin::Sbrk: nr = mips::SYS_SBRK; break;
+          case Builtin::Exit: nr = mips::SYS_EXIT2; break;
+          default:
+            fatal("line %d: builtin '%s' is not available on the MIPS "
+                  "target", line, builtinInfo(builtin).name);
+        }
+        b.li(mips::V0, (int32_t)nr);
+        b.syscall();
+    }
+
+    const Program &prog_;
+    AsmBuilder b;
+    std::vector<uint32_t> globalAddr;
+    std::vector<uint32_t> strAddr;
+    std::vector<AsmBuilder::Label> funcLabels;
+    std::vector<AsmBuilder::Label> breakStack;
+    std::vector<AsmBuilder::Label> continueStack;
+    const FuncDecl *fn_ = nullptr;
+    uint32_t frameBytes = 0;
+    AsmBuilder::Label epilogue = 0;
+};
+
+} // namespace
+
+mips::Image
+compileToMips(const Program &prog)
+{
+    MipsGen gen(prog);
+    return gen.run();
+}
+
+} // namespace interp::minic

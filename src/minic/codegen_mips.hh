@@ -1,0 +1,26 @@
+/**
+ * @file
+ * MiniC -> MIPS R3000 code generator.
+ *
+ * A classic non-optimizing, stack-discipline tree-walk generator (in
+ * the spirit of a 1990s `cc -O0`): expression operands are pushed to
+ * the stack around subexpression evaluation, locals live in the frame
+ * and every branch/jump delay slot is filled with a no-op by the
+ * assembler. The resulting load/store and no-op densities are what
+ * give the MIPSI rows of Table 2 and Figure 2 their shape.
+ */
+
+#ifndef INTERP_MINIC_CODEGEN_MIPS_HH
+#define INTERP_MINIC_CODEGEN_MIPS_HH
+
+#include "minic/ast.hh"
+#include "mips/image.hh"
+
+namespace interp::minic {
+
+/** Compile an analyzed program (see analyze()) to a linked image. */
+mips::Image compileToMips(const Program &prog);
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_CODEGEN_MIPS_HH

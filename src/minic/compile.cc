@@ -1,0 +1,32 @@
+#include "minic/compile.hh"
+
+#include "minic/codegen_bytecode.hh"
+#include "minic/codegen_mips.hh"
+#include "minic/parser.hh"
+#include "minic/sema.hh"
+
+namespace interp::minic {
+
+Program
+frontend(std::string_view source, const std::string &filename)
+{
+    Program prog = parse(source, filename);
+    analyze(prog, filename);
+    return prog;
+}
+
+mips::Image
+compileMips(std::string_view source, const std::string &filename)
+{
+    Program prog = frontend(source, filename);
+    return compileToMips(prog);
+}
+
+jvm::Module
+compileBytecode(std::string_view source, const std::string &filename)
+{
+    Program prog = frontend(source, filename);
+    return compileToBytecode(prog);
+}
+
+} // namespace interp::minic

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * One-call MiniC driver helpers: source text in, linked artifact out.
+ */
+
+#ifndef INTERP_MINIC_COMPILE_HH
+#define INTERP_MINIC_COMPILE_HH
+
+#include <string>
+#include <string_view>
+
+#include "jvm/bytecode.hh"
+#include "minic/ast.hh"
+#include "mips/image.hh"
+
+namespace interp::minic {
+
+/** Parse + analyze; returns the annotated AST. */
+Program frontend(std::string_view source,
+                 const std::string &filename = "<input>");
+
+/** Full pipeline to a MIPS image. */
+mips::Image compileMips(std::string_view source,
+                        const std::string &filename = "<input>");
+
+/** Full pipeline to a bytecode module for the Java-like VM. */
+jvm::Module compileBytecode(std::string_view source,
+                            const std::string &filename = "<input>");
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_COMPILE_HH

@@ -1,0 +1,283 @@
+#include "minic/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace interp::minic {
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "end of input";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::CharLit: return "character literal";
+      case Tok::StrLit: return "string literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwChar: return "'char'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Assign: return "'='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Bang: return "'!'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Eq: return "'=='";
+      case Tok::Ne: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      default: return "?";
+    }
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok> kKeywords = {
+    {"int", Tok::KwInt},       {"char", Tok::KwChar},
+    {"void", Tok::KwVoid},     {"if", Tok::KwIf},
+    {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+    {"for", Tok::KwFor},       {"return", Tok::KwReturn},
+    {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+};
+
+/** Decode one (possibly escaped) character; advances @p i. */
+char
+unescape(std::string_view src, size_t &i, const std::string &file, int line)
+{
+    char c = src[i++];
+    if (c != '\\')
+        return c;
+    if (i >= src.size())
+        fatal("%s:%d: dangling escape", file.c_str(), line);
+    char e = src[i++];
+    switch (e) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default:
+        fatal("%s:%d: unknown escape '\\%c'", file.c_str(), line, e);
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view src, const std::string &file)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(std::move(t));
+    };
+
+    while (i < src.size()) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace((unsigned char)c)) {
+            ++i;
+            continue;
+        }
+        // comments
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+            while (i < src.size() && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < src.size() &&
+                   !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i + 1 >= src.size())
+                fatal("%s:%d: unterminated comment", file.c_str(), line);
+            i += 2;
+            continue;
+        }
+        // identifiers / keywords
+        if (std::isalpha((unsigned char)c) || c == '_') {
+            size_t start = i;
+            while (i < src.size() &&
+                   (std::isalnum((unsigned char)src[i]) || src[i] == '_'))
+                ++i;
+            std::string word(src.substr(start, i - start));
+            auto kw = kKeywords.find(word);
+            Token t;
+            t.kind = kw != kKeywords.end() ? kw->second : Tok::Ident;
+            t.text = std::move(word);
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        // numbers
+        if (std::isdigit((unsigned char)c)) {
+            size_t start = i;
+            int base = 10;
+            if (c == '0' && i + 1 < src.size() &&
+                (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+                base = 16;
+                i += 2;
+                start = i;
+                while (i < src.size() &&
+                       std::isxdigit((unsigned char)src[i]))
+                    ++i;
+            } else {
+                while (i < src.size() && std::isdigit((unsigned char)src[i]))
+                    ++i;
+            }
+            Token t;
+            t.kind = Tok::IntLit;
+            t.intValue = (int32_t)strtoul(
+                std::string(src.substr(start, i - start)).c_str(), nullptr,
+                base);
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        // character literal
+        if (c == '\'') {
+            ++i;
+            if (i >= src.size())
+                fatal("%s:%d: unterminated char literal", file.c_str(),
+                      line);
+            char v = unescape(src, i, file, line);
+            if (i >= src.size() || src[i] != '\'')
+                fatal("%s:%d: unterminated char literal", file.c_str(),
+                      line);
+            ++i;
+            Token t;
+            t.kind = Tok::CharLit;
+            t.intValue = (uint8_t)v;
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        // string literal
+        if (c == '"') {
+            ++i;
+            std::string text;
+            while (i < src.size() && src[i] != '"') {
+                if (src[i] == '\n')
+                    fatal("%s:%d: newline in string literal", file.c_str(),
+                          line);
+                text.push_back(unescape(src, i, file, line));
+            }
+            if (i >= src.size())
+                fatal("%s:%d: unterminated string literal", file.c_str(),
+                      line);
+            ++i;
+            Token t;
+            t.kind = Tok::StrLit;
+            t.text = std::move(text);
+            t.line = line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        // operators and punctuation
+        auto two = [&](char second) {
+            return i + 1 < src.size() && src[i + 1] == second;
+        };
+        switch (c) {
+          case '(': push(Tok::LParen); ++i; break;
+          case ')': push(Tok::RParen); ++i; break;
+          case '{': push(Tok::LBrace); ++i; break;
+          case '}': push(Tok::RBrace); ++i; break;
+          case '[': push(Tok::LBracket); ++i; break;
+          case ']': push(Tok::RBracket); ++i; break;
+          case ',': push(Tok::Comma); ++i; break;
+          case ';': push(Tok::Semi); ++i; break;
+          case '~': push(Tok::Tilde); ++i; break;
+          case '^': push(Tok::Caret); ++i; break;
+          case '%': push(Tok::Percent); ++i; break;
+          case '/': push(Tok::Slash); ++i; break;
+          case '*': push(Tok::Star); ++i; break;
+          case '+':
+            if (two('=')) { push(Tok::PlusAssign); i += 2; }
+            else { push(Tok::Plus); ++i; }
+            break;
+          case '-':
+            if (two('=')) { push(Tok::MinusAssign); i += 2; }
+            else { push(Tok::Minus); ++i; }
+            break;
+          case '&':
+            if (two('&')) { push(Tok::AmpAmp); i += 2; }
+            else { push(Tok::Amp); ++i; }
+            break;
+          case '|':
+            if (two('|')) { push(Tok::PipePipe); i += 2; }
+            else { push(Tok::Pipe); ++i; }
+            break;
+          case '=':
+            if (two('=')) { push(Tok::Eq); i += 2; }
+            else { push(Tok::Assign); ++i; }
+            break;
+          case '!':
+            if (two('=')) { push(Tok::Ne); i += 2; }
+            else { push(Tok::Bang); ++i; }
+            break;
+          case '<':
+            if (two('=')) { push(Tok::Le); i += 2; }
+            else if (two('<')) { push(Tok::Shl); i += 2; }
+            else { push(Tok::Lt); ++i; }
+            break;
+          case '>':
+            if (two('=')) { push(Tok::Ge); i += 2; }
+            else if (two('>')) { push(Tok::Shr); i += 2; }
+            else { push(Tok::Gt); ++i; }
+            break;
+          default:
+            fatal("%s:%d: unexpected character '%c'", file.c_str(), line,
+                  c);
+        }
+    }
+    push(Tok::End);
+    return out;
+}
+
+} // namespace interp::minic

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * MiniC lexer: hand-written scanner producing the token stream.
+ */
+
+#ifndef INTERP_MINIC_LEXER_HH
+#define INTERP_MINIC_LEXER_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "minic/token.hh"
+
+namespace interp::minic {
+
+/** Lex @p source completely; reports errors through fatal(). */
+std::vector<Token> lex(std::string_view source,
+                       const std::string &filename = "<input>");
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_LEXER_HH

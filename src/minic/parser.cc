@@ -1,0 +1,516 @@
+#include "minic/parser.hh"
+
+#include "minic/lexer.hh"
+#include "support/logging.hh"
+
+namespace interp::minic {
+
+namespace {
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, std::string file)
+        : toks(std::move(tokens)), filename(std::move(file))
+    {}
+
+    Program
+    parseProgram()
+    {
+        Program prog;
+        while (!at(Tok::End)) {
+            // Both globals and functions start with: type ident
+            Type type = parseType();
+            Token name = expect(Tok::Ident);
+            if (at(Tok::LParen)) {
+                prog.funcs.push_back(parseFunc(type, name.text));
+            } else {
+                prog.globals.push_back(parseGlobal(type, name.text));
+            }
+        }
+        return prog;
+    }
+
+  private:
+    // --- token helpers ----------------------------------------------------
+    const Token &peek() const { return toks[pos]; }
+    bool at(Tok kind) const { return toks[pos].kind == kind; }
+
+    Token
+    advance()
+    {
+        return toks[pos++];
+    }
+
+    bool
+    accept(Tok kind)
+    {
+        if (at(kind)) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    Token
+    expect(Tok kind)
+    {
+        if (!at(kind))
+            fatal("%s:%d: expected %s, found %s", filename.c_str(),
+                  peek().line, tokName(kind), tokName(peek().kind));
+        return advance();
+    }
+
+    [[noreturn]] void
+    error(const char *msg)
+    {
+        fatal("%s:%d: %s", filename.c_str(), peek().line, msg);
+    }
+
+    // --- types ---------------------------------------------------------
+    bool
+    atType() const
+    {
+        return at(Tok::KwInt) || at(Tok::KwChar) || at(Tok::KwVoid);
+    }
+
+    Type
+    parseType()
+    {
+        Type type;
+        if (accept(Tok::KwInt))
+            type.base = Type::Base::Int;
+        else if (accept(Tok::KwChar))
+            type.base = Type::Base::Char;
+        else if (accept(Tok::KwVoid))
+            type.base = Type::Base::Void;
+        else
+            error("expected a type");
+        while (accept(Tok::Star))
+            ++type.ptr;
+        return type;
+    }
+
+    // --- declarations ------------------------------------------------------
+    GlobalDecl
+    parseGlobal(Type type, std::string name)
+    {
+        GlobalDecl g;
+        g.type = type;
+        g.name = std::move(name);
+        g.line = peek().line;
+        if (accept(Tok::LBracket)) {
+            Token size = expect(Tok::IntLit);
+            g.arraySize = size.intValue;
+            expect(Tok::RBracket);
+        }
+        if (accept(Tok::Assign)) {
+            if (at(Tok::StrLit)) {
+                g.initString = advance().text;
+                g.hasInitString = true;
+            } else if (accept(Tok::LBrace)) {
+                while (!accept(Tok::RBrace)) {
+                    g.initValues.push_back(parseConstInt());
+                    if (!at(Tok::RBrace))
+                        expect(Tok::Comma);
+                }
+            } else {
+                g.initValues.push_back(parseConstInt());
+            }
+        }
+        expect(Tok::Semi);
+        return g;
+    }
+
+    int32_t
+    parseConstInt()
+    {
+        bool neg = accept(Tok::Minus);
+        Token t = peek();
+        if (!at(Tok::IntLit) && !at(Tok::CharLit))
+            error("expected a constant");
+        advance();
+        return neg ? -t.intValue : t.intValue;
+    }
+
+    FuncDecl
+    parseFunc(Type ret, std::string name)
+    {
+        FuncDecl fn;
+        fn.retType = ret;
+        fn.name = std::move(name);
+        fn.line = peek().line;
+        expect(Tok::LParen);
+        if (!at(Tok::RParen) && !at(Tok::KwVoid)) {
+            do {
+                Param p;
+                p.type = parseType();
+                p.name = expect(Tok::Ident).text;
+                fn.params.push_back(std::move(p));
+            } while (accept(Tok::Comma));
+        } else {
+            accept(Tok::KwVoid); // allow f(void)
+        }
+        expect(Tok::RParen);
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    // --- statements -----------------------------------------------------
+    StmtPtr
+    makeStmt(StmtKind kind)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = peek().line;
+        return s;
+    }
+
+    StmtPtr
+    parseBlock()
+    {
+        auto block = makeStmt(StmtKind::Block);
+        expect(Tok::LBrace);
+        while (!accept(Tok::RBrace))
+            block->stmts.push_back(parseStmt());
+        return block;
+    }
+
+    StmtPtr
+    parseVarDecl()
+    {
+        auto s = makeStmt(StmtKind::VarDecl);
+        s->declType = parseType();
+        s->name = expect(Tok::Ident).text;
+        if (accept(Tok::LBracket)) {
+            s->arraySize = expect(Tok::IntLit).intValue;
+            expect(Tok::RBracket);
+        }
+        if (accept(Tok::Assign))
+            s->expr = parseExpr();
+        expect(Tok::Semi);
+        return s;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        if (atType())
+            return parseVarDecl();
+        if (at(Tok::LBrace))
+            return parseBlock();
+        if (accept(Tok::Semi))
+            return makeStmt(StmtKind::Empty);
+        if (accept(Tok::KwIf)) {
+            auto s = makeStmt(StmtKind::If);
+            expect(Tok::LParen);
+            s->cond = parseExpr();
+            expect(Tok::RParen);
+            s->thenStmt = parseStmt();
+            if (accept(Tok::KwElse))
+                s->elseStmt = parseStmt();
+            return s;
+        }
+        if (accept(Tok::KwWhile)) {
+            auto s = makeStmt(StmtKind::While);
+            expect(Tok::LParen);
+            s->cond = parseExpr();
+            expect(Tok::RParen);
+            s->body = parseStmt();
+            return s;
+        }
+        if (accept(Tok::KwFor)) {
+            auto s = makeStmt(StmtKind::For);
+            expect(Tok::LParen);
+            if (!at(Tok::Semi)) {
+                if (atType()) {
+                    // for (int i = 0; ...) — reuse var-decl parsing, but
+                    // it consumes the ';' itself.
+                    s->init = parseVarDecl();
+                } else {
+                    auto init = makeStmt(StmtKind::ExprStmt);
+                    init->expr = parseExpr();
+                    s->init = std::move(init);
+                    expect(Tok::Semi);
+                }
+            } else {
+                expect(Tok::Semi);
+            }
+            if (!at(Tok::Semi))
+                s->cond = parseExpr();
+            expect(Tok::Semi);
+            if (!at(Tok::RParen))
+                s->inc = parseExpr();
+            expect(Tok::RParen);
+            s->body = parseStmt();
+            return s;
+        }
+        if (accept(Tok::KwReturn)) {
+            auto s = makeStmt(StmtKind::Return);
+            if (!at(Tok::Semi))
+                s->expr = parseExpr();
+            expect(Tok::Semi);
+            return s;
+        }
+        if (accept(Tok::KwBreak)) {
+            expect(Tok::Semi);
+            return makeStmt(StmtKind::Break);
+        }
+        if (accept(Tok::KwContinue)) {
+            expect(Tok::Semi);
+            return makeStmt(StmtKind::Continue);
+        }
+        auto s = makeStmt(StmtKind::ExprStmt);
+        s->expr = parseExpr();
+        expect(Tok::Semi);
+        return s;
+    }
+
+    // --- expressions ------------------------------------------------------
+    ExprPtr
+    makeExpr(ExprKind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = peek().line;
+        return e;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseAssign();
+    }
+
+    ExprPtr
+    parseAssign()
+    {
+        ExprPtr lhs = parseLogicalOr();
+        if (at(Tok::Assign) || at(Tok::PlusAssign) || at(Tok::MinusAssign)) {
+            auto e = makeExpr(ExprKind::Assign);
+            e->op = advance().kind;
+            e->lhs = std::move(lhs);
+            e->rhs = parseAssign();
+            return e;
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    binary(Tok op, ExprPtr lhs, ExprPtr rhs)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Binary;
+        e->line = lhs->line;
+        e->op = op;
+        e->lhs = std::move(lhs);
+        e->rhs = std::move(rhs);
+        return e;
+    }
+
+    ExprPtr
+    parseLogicalOr()
+    {
+        ExprPtr e = parseLogicalAnd();
+        while (at(Tok::PipePipe)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseLogicalAnd());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseLogicalAnd()
+    {
+        ExprPtr e = parseBitOr();
+        while (at(Tok::AmpAmp)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseBitOr());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitOr()
+    {
+        ExprPtr e = parseBitXor();
+        while (at(Tok::Pipe)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseBitXor());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitXor()
+    {
+        ExprPtr e = parseBitAnd();
+        while (at(Tok::Caret)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseBitAnd());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseBitAnd()
+    {
+        ExprPtr e = parseEquality();
+        while (at(Tok::Amp)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseEquality());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseEquality()
+    {
+        ExprPtr e = parseRelational();
+        while (at(Tok::Eq) || at(Tok::Ne)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseRelational());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseRelational()
+    {
+        ExprPtr e = parseShift();
+        while (at(Tok::Lt) || at(Tok::Le) || at(Tok::Gt) || at(Tok::Ge)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseShift());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseShift()
+    {
+        ExprPtr e = parseAdditive();
+        while (at(Tok::Shl) || at(Tok::Shr)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseAdditive());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseAdditive()
+    {
+        ExprPtr e = parseMultiplicative();
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseMultiplicative());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseMultiplicative()
+    {
+        ExprPtr e = parseUnary();
+        while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+            Tok op = advance().kind;
+            e = binary(op, std::move(e), parseUnary());
+        }
+        return e;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (at(Tok::Minus) || at(Tok::Bang) || at(Tok::Tilde)) {
+            auto e = makeExpr(ExprKind::Unary);
+            e->op = advance().kind;
+            e->rhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Star)) {
+            auto e = makeExpr(ExprKind::Deref);
+            e->rhs = parseUnary();
+            return e;
+        }
+        if (accept(Tok::Amp)) {
+            auto e = makeExpr(ExprKind::AddrOf);
+            e->rhs = parseUnary();
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr e = parsePrimary();
+        while (true) {
+            if (accept(Tok::LBracket)) {
+                auto idx = std::make_unique<Expr>();
+                idx->kind = ExprKind::Index;
+                idx->line = e->line;
+                idx->lhs = std::move(e);
+                idx->rhs = parseExpr();
+                expect(Tok::RBracket);
+                e = std::move(idx);
+            } else if (at(Tok::LParen) && e->kind == ExprKind::Var) {
+                advance();
+                auto call = std::make_unique<Expr>();
+                call->kind = ExprKind::Call;
+                call->line = e->line;
+                call->name = e->name;
+                if (!at(Tok::RParen)) {
+                    do {
+                        call->args.push_back(parseExpr());
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RParen);
+                e = std::move(call);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (at(Tok::IntLit) || at(Tok::CharLit)) {
+            auto e = makeExpr(ExprKind::IntLit);
+            e->intValue = advance().intValue;
+            return e;
+        }
+        if (at(Tok::StrLit)) {
+            auto e = makeExpr(ExprKind::StrLit);
+            e->name = advance().text;
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            auto e = makeExpr(ExprKind::Var);
+            e->name = advance().text;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen);
+            return e;
+        }
+        error("expected an expression");
+    }
+
+    std::vector<Token> toks;
+    std::string filename;
+    size_t pos = 0;
+};
+
+} // namespace
+
+Program
+parse(std::string_view source, const std::string &filename)
+{
+    Parser parser(lex(source, filename), filename);
+    return parser.parseProgram();
+}
+
+} // namespace interp::minic

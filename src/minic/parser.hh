@@ -1,0 +1,22 @@
+/**
+ * @file
+ * MiniC recursive-descent parser.
+ */
+
+#ifndef INTERP_MINIC_PARSER_HH
+#define INTERP_MINIC_PARSER_HH
+
+#include <string>
+#include <string_view>
+
+#include "minic/ast.hh"
+
+namespace interp::minic {
+
+/** Parse a full translation unit; errors are fatal(). */
+Program parse(std::string_view source,
+              const std::string &filename = "<input>");
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_PARSER_HH

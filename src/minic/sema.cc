@@ -1,0 +1,360 @@
+#include "minic/sema.hh"
+
+#include <unordered_map>
+#include <vector>
+
+#include "minic/builtins.hh"
+#include "support/logging.hh"
+
+namespace interp::minic {
+
+namespace {
+
+/** Per-program analysis state. */
+class Analyzer
+{
+  public:
+    Analyzer(Program &prog, std::string file)
+        : prog_(prog), filename(std::move(file))
+    {
+        for (size_t i = 0; i < prog_.globals.size(); ++i) {
+            GlobalDecl &g = prog_.globals[i];
+            if (globalIds.count(g.name))
+                err(g.line, "duplicate global '%s'", g.name.c_str());
+            if (g.type.isVoid())
+                err(g.line, "global '%s' cannot be void", g.name.c_str());
+            uint32_t elem = (uint32_t)g.type.sizeOf();
+            g.byteSize = g.arraySize >= 0 ? elem * (uint32_t)g.arraySize
+                                          : elem;
+            if (g.hasInitString) {
+                if (g.arraySize < 0 ||
+                    !(g.type == Type::charType()))
+                    err(g.line, "string initializer needs char array");
+                if (g.initString.size() + 1 > (size_t)g.arraySize)
+                    err(g.line, "string initializer too long");
+            }
+            if ((int)g.initValues.size() >
+                (g.arraySize >= 0 ? g.arraySize : 1))
+                err(g.line, "too many initializers for '%s'",
+                    g.name.c_str());
+            globalIds[g.name] = (int)i;
+        }
+        for (size_t i = 0; i < prog_.funcs.size(); ++i) {
+            FuncDecl &fn = prog_.funcs[i];
+            if (funcIds.count(fn.name) ||
+                findBuiltin(fn.name.c_str()) >= 0)
+                err(fn.line, "duplicate function '%s'", fn.name.c_str());
+            if (fn.params.size() > 4)
+                err(fn.line, "'%s': at most 4 parameters supported",
+                    fn.name.c_str());
+            funcIds[fn.name] = (int)i;
+        }
+    }
+
+    void
+    run()
+    {
+        for (FuncDecl &fn : prog_.funcs)
+            analyzeFunc(fn);
+        if (!funcIds.count("main"))
+            fatal("%s: no 'main' function", filename.c_str());
+    }
+
+  private:
+    template <typename... Args>
+    [[noreturn]] void
+    err(int line, const char *fmt, Args... args)
+    {
+        std::string full = "%s:%d: " + std::string(fmt);
+        fatal(full.c_str(), filename.c_str(), line, args...);
+    }
+
+    // --- scope management ----------------------------------------------
+    void pushScope() { scopes.emplace_back(); }
+    void popScope() { scopes.pop_back(); }
+
+    int
+    declareLocal(int line, const std::string &name, Type type,
+                 int array_size)
+    {
+        if (scopes.back().count(name))
+            err(line, "duplicate variable '%s'", name.c_str());
+        FuncDecl::Local local;
+        local.name = name;
+        local.type = type;
+        local.arraySize = array_size;
+        uint32_t bytes = array_size >= 0
+                             ? ((uint32_t)type.sizeOf() * array_size + 3) &
+                                   ~3u
+                             : 4;
+        local.offset = fn_->frameBytes;
+        fn_->frameBytes += bytes;
+        fn_->locals.push_back(local);
+        int slot = (int)fn_->locals.size() - 1;
+        scopes.back()[name] = slot;
+        return slot;
+    }
+
+    /** Resolve @p name to a local slot, or -1. */
+    int
+    lookupLocal(const std::string &name) const
+    {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return found->second;
+        }
+        return -1;
+    }
+
+    // --- functions --------------------------------------------------------
+    void
+    analyzeFunc(FuncDecl &fn)
+    {
+        fn_ = &fn;
+        fn.locals.clear();
+        fn.frameBytes = 0;
+        scopes.clear();
+        pushScope();
+        for (const Param &p : fn.params) {
+            if (p.type.isVoid())
+                err(fn.line, "parameter '%s' cannot be void",
+                    p.name.c_str());
+            declareLocal(fn.line, p.name, p.type, -1);
+        }
+        analyzeStmt(*fn.body);
+        popScope();
+    }
+
+    // --- statements -----------------------------------------------------
+    void
+    analyzeStmt(Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Block:
+            pushScope();
+            for (auto &child : s.stmts)
+                analyzeStmt(*child);
+            popScope();
+            break;
+          case StmtKind::VarDecl: {
+            if (s.declType.isVoid())
+                err(s.line, "variable '%s' cannot be void",
+                    s.name.c_str());
+            if (s.expr) {
+                if (s.arraySize >= 0)
+                    err(s.line, "array initializers not supported on "
+                                "locals");
+                analyzeExpr(*s.expr);
+                requireValue(*s.expr);
+            }
+            s.localSlot =
+                declareLocal(s.line, s.name, s.declType, s.arraySize);
+            break;
+          }
+          case StmtKind::ExprStmt:
+            analyzeExpr(*s.expr);
+            break;
+          case StmtKind::If:
+            analyzeExpr(*s.cond);
+            requireValue(*s.cond);
+            analyzeStmt(*s.thenStmt);
+            if (s.elseStmt)
+                analyzeStmt(*s.elseStmt);
+            break;
+          case StmtKind::While:
+            analyzeExpr(*s.cond);
+            requireValue(*s.cond);
+            ++loopDepth;
+            analyzeStmt(*s.body);
+            --loopDepth;
+            break;
+          case StmtKind::For:
+            pushScope();
+            if (s.init)
+                analyzeStmt(*s.init);
+            if (s.cond) {
+                analyzeExpr(*s.cond);
+                requireValue(*s.cond);
+            }
+            if (s.inc)
+                analyzeExpr(*s.inc);
+            ++loopDepth;
+            analyzeStmt(*s.body);
+            --loopDepth;
+            popScope();
+            break;
+          case StmtKind::Return:
+            if (s.expr) {
+                analyzeExpr(*s.expr);
+                requireValue(*s.expr);
+                if (fn_->retType.isVoid())
+                    err(s.line, "returning a value from void function");
+            } else if (!fn_->retType.isVoid()) {
+                err(s.line, "missing return value");
+            }
+            break;
+          case StmtKind::Break:
+          case StmtKind::Continue:
+            if (loopDepth == 0)
+                err(s.line, "break/continue outside a loop");
+            break;
+          case StmtKind::Empty:
+            break;
+        }
+    }
+
+    // --- expressions ------------------------------------------------------
+    void
+    requireValue(const Expr &e)
+    {
+        if (e.type.isVoid())
+            err(e.line, "void value used in expression");
+    }
+
+    bool
+    isLvalue(const Expr &e) const
+    {
+        if (e.kind == ExprKind::Var && !e.isArrayVar)
+            return true;
+        return e.kind == ExprKind::Index || e.kind == ExprKind::Deref;
+    }
+
+    void
+    analyzeExpr(Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            e.type = Type::intType();
+            break;
+          case ExprKind::StrLit:
+            e.strId = (int)prog_.strings.size();
+            prog_.strings.push_back(e.name);
+            e.type = Type::charType().pointerTo();
+            break;
+          case ExprKind::Var: {
+            int slot = lookupLocal(e.name);
+            if (slot >= 0) {
+                const auto &local = fn_->locals[slot];
+                e.localSlot = slot;
+                e.isArrayVar = local.arraySize >= 0;
+                e.type = e.isArrayVar ? local.type.pointerTo()
+                                      : local.type;
+            } else {
+                auto it = globalIds.find(e.name);
+                if (it == globalIds.end())
+                    err(e.line, "undefined variable '%s'",
+                        e.name.c_str());
+                const GlobalDecl &g = prog_.globals[it->second];
+                e.globalId = it->second;
+                e.isArrayVar = g.arraySize >= 0;
+                e.type = e.isArrayVar ? g.type.pointerTo() : g.type;
+            }
+            break;
+          }
+          case ExprKind::Index: {
+            analyzeExpr(*e.lhs);
+            analyzeExpr(*e.rhs);
+            requireValue(*e.rhs);
+            if (!e.lhs->type.isPointer())
+                err(e.line, "indexing a non-pointer");
+            e.type = e.lhs->type.pointee();
+            break;
+          }
+          case ExprKind::Deref:
+            analyzeExpr(*e.rhs);
+            if (!e.rhs->type.isPointer())
+                err(e.line, "dereferencing a non-pointer");
+            e.type = e.rhs->type.pointee();
+            break;
+          case ExprKind::AddrOf:
+            analyzeExpr(*e.rhs);
+            if (!isLvalue(*e.rhs))
+                err(e.line, "'&' needs an lvalue");
+            e.type = e.rhs->type.pointerTo();
+            break;
+          case ExprKind::Unary:
+            analyzeExpr(*e.rhs);
+            requireValue(*e.rhs);
+            e.type = Type::intType();
+            break;
+          case ExprKind::Assign: {
+            analyzeExpr(*e.lhs);
+            analyzeExpr(*e.rhs);
+            requireValue(*e.rhs);
+            if (!isLvalue(*e.lhs))
+                err(e.line, "assignment needs an lvalue");
+            e.type = e.lhs->type;
+            break;
+          }
+          case ExprKind::Binary: {
+            analyzeExpr(*e.lhs);
+            analyzeExpr(*e.rhs);
+            requireValue(*e.lhs);
+            requireValue(*e.rhs);
+            bool lp = e.lhs->type.isPointer();
+            bool rp = e.rhs->type.isPointer();
+            if (e.op == Tok::Plus && (lp || rp)) {
+                if (lp && rp)
+                    err(e.line, "adding two pointers");
+                e.type = lp ? e.lhs->type : e.rhs->type;
+            } else if (e.op == Tok::Minus && lp) {
+                e.type = rp ? Type::intType() : e.lhs->type;
+            } else {
+                e.type = Type::intType();
+            }
+            break;
+          }
+          case ExprKind::Call: {
+            for (auto &arg : e.args) {
+                analyzeExpr(*arg);
+                requireValue(*arg);
+            }
+            int b = findBuiltin(e.name.c_str());
+            if (b >= 0) {
+                const BuiltinInfo &info = builtinInfo((Builtin)b);
+                if ((int)e.args.size() != info.numArgs)
+                    err(e.line, "'%s' expects %d arguments, got %d",
+                        e.name.c_str(), info.numArgs,
+                        (int)e.args.size());
+                e.builtinId = b;
+                e.type = info.returnsValue ? Type::intType()
+                                           : Type::voidType();
+            } else {
+                auto it = funcIds.find(e.name);
+                if (it == funcIds.end())
+                    err(e.line, "undefined function '%s'",
+                        e.name.c_str());
+                const FuncDecl &callee = prog_.funcs[it->second];
+                if (e.args.size() != callee.params.size())
+                    err(e.line, "'%s' expects %d arguments, got %d",
+                        e.name.c_str(), (int)callee.params.size(),
+                        (int)e.args.size());
+                e.funcId = it->second;
+                e.type = callee.retType;
+            }
+            break;
+          }
+        }
+    }
+
+    Program &prog_;
+    std::string filename;
+    std::unordered_map<std::string, int> globalIds;
+    std::unordered_map<std::string, int> funcIds;
+    std::vector<std::unordered_map<std::string, int>> scopes;
+    FuncDecl *fn_ = nullptr;
+    int loopDepth = 0;
+};
+
+} // namespace
+
+void
+analyze(Program &prog, const std::string &filename)
+{
+    prog.strings.clear();
+    Analyzer analyzer(prog, filename);
+    analyzer.run();
+}
+
+} // namespace interp::minic

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * MiniC semantic analysis: name resolution, type checking, frame
+ * layout. Annotates the AST in place; both code generators consume
+ * the annotated program.
+ */
+
+#ifndef INTERP_MINIC_SEMA_HH
+#define INTERP_MINIC_SEMA_HH
+
+#include <string>
+
+#include "minic/ast.hh"
+
+namespace interp::minic {
+
+/**
+ * Analyze @p prog in place. Errors are fatal() with @p filename in
+ * the message. Requires a function `int main()` (or `void main()`).
+ */
+void analyze(Program &prog, const std::string &filename = "<input>");
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_SEMA_HH

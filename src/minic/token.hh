@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MiniC token definitions.
+ *
+ * MiniC is the small C-like language this repository uses to produce
+ * *compiled* guest workloads: the MIPS backend yields binaries for the
+ * MIPSI emulator and the direct-mode (compiled-C) baseline; the
+ * bytecode backend yields modules for the Java-like VM.
+ */
+
+#ifndef INTERP_MINIC_TOKEN_HH
+#define INTERP_MINIC_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace interp::minic {
+
+/** Token kinds. */
+enum class Tok : uint8_t
+{
+    End,
+    Ident, IntLit, CharLit, StrLit,
+    // keywords
+    KwInt, KwChar, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+    KwBreak, KwContinue,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi,
+    // operators
+    Assign, PlusAssign, MinusAssign,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    AmpAmp, PipePipe,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** One lexed token with source location. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;    ///< identifier / string payload
+    int32_t intValue = 0;
+    int line = 0;
+};
+
+/** Printable name of a token kind, for diagnostics. */
+const char *tokName(Tok kind);
+
+} // namespace interp::minic
+
+#endif // INTERP_MINIC_TOKEN_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Linked program image for the MIPS guest: text, data, entry point
+ * and a symbol table (used by tests and the disassembling tools).
+ */
+
+#ifndef INTERP_MIPS_IMAGE_HH
+#define INTERP_MIPS_IMAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mips/isa.hh"
+
+namespace interp::mips {
+
+/** A fully linked guest program. */
+struct Image
+{
+    uint32_t entry = kTextBase;
+    uint32_t textBase = kTextBase;
+    std::vector<uint32_t> text;   ///< instruction words
+    uint32_t dataBase = kDataBase;
+    std::vector<uint8_t> data;    ///< initialized data bytes
+    std::map<std::string, uint32_t> symbols; ///< name -> address
+
+    /** Size of the input to the interpreter, as Table 2's Size column. */
+    size_t
+    sizeBytes() const
+    {
+        return text.size() * 4 + data.size();
+    }
+
+    /** End of static data; the emulator starts the heap break here. */
+    uint32_t
+    initialBreak() const
+    {
+        return dataBase + (uint32_t)((data.size() + 7) & ~7ull);
+    }
+};
+
+} // namespace interp::mips
+
+#endif // INTERP_MIPS_IMAGE_HH

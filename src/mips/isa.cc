@@ -1,0 +1,357 @@
+#include "mips/isa.hh"
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace interp::mips {
+
+namespace {
+
+// SPECIAL (opcode 0) funct codes.
+enum Funct : uint8_t
+{
+    F_SLL = 0x00, F_SRL = 0x02, F_SRA = 0x03,
+    F_SLLV = 0x04, F_SRLV = 0x06, F_SRAV = 0x07,
+    F_JR = 0x08, F_JALR = 0x09, F_SYSCALL = 0x0c,
+    F_MFHI = 0x10, F_MTHI = 0x11, F_MFLO = 0x12, F_MTLO = 0x13,
+    F_MULT = 0x18, F_MULTU = 0x19, F_DIV = 0x1a, F_DIVU = 0x1b,
+    F_ADD = 0x20, F_ADDU = 0x21, F_SUB = 0x22, F_SUBU = 0x23,
+    F_AND = 0x24, F_OR = 0x25, F_XOR = 0x26, F_NOR = 0x27,
+    F_SLT = 0x2a, F_SLTU = 0x2b,
+};
+
+// Primary opcodes.
+enum Opcode : uint8_t
+{
+    OP_SPECIAL = 0x00, OP_REGIMM = 0x01, OP_J = 0x02, OP_JAL = 0x03,
+    OP_BEQ = 0x04, OP_BNE = 0x05, OP_BLEZ = 0x06, OP_BGTZ = 0x07,
+    OP_ADDI = 0x08, OP_ADDIU = 0x09, OP_SLTI = 0x0a, OP_SLTIU = 0x0b,
+    OP_ANDI = 0x0c, OP_ORI = 0x0d, OP_XORI = 0x0e, OP_LUI = 0x0f,
+    OP_LB = 0x20, OP_LH = 0x21, OP_LW = 0x23, OP_LBU = 0x24, OP_LHU = 0x25,
+    OP_SB = 0x28, OP_SH = 0x29, OP_SW = 0x2b,
+};
+
+Op
+functToOp(uint8_t funct)
+{
+    switch (funct) {
+      case F_SLL: return Op::Sll;
+      case F_SRL: return Op::Srl;
+      case F_SRA: return Op::Sra;
+      case F_SLLV: return Op::Sllv;
+      case F_SRLV: return Op::Srlv;
+      case F_SRAV: return Op::Srav;
+      case F_JR: return Op::Jr;
+      case F_JALR: return Op::Jalr;
+      case F_SYSCALL: return Op::Syscall;
+      case F_MFHI: return Op::Mfhi;
+      case F_MTHI: return Op::Mthi;
+      case F_MFLO: return Op::Mflo;
+      case F_MTLO: return Op::Mtlo;
+      case F_MULT: return Op::Mult;
+      case F_MULTU: return Op::Multu;
+      case F_DIV: return Op::Div;
+      case F_DIVU: return Op::Divu;
+      case F_ADD: return Op::Add;
+      case F_ADDU: return Op::Addu;
+      case F_SUB: return Op::Sub;
+      case F_SUBU: return Op::Subu;
+      case F_AND: return Op::And;
+      case F_OR: return Op::Or;
+      case F_XOR: return Op::Xor;
+      case F_NOR: return Op::Nor;
+      case F_SLT: return Op::Slt;
+      case F_SLTU: return Op::Sltu;
+      default: return Op::Invalid;
+    }
+}
+
+uint8_t
+opToFunct(Op op)
+{
+    switch (op) {
+      case Op::Sll: return F_SLL;
+      case Op::Srl: return F_SRL;
+      case Op::Sra: return F_SRA;
+      case Op::Sllv: return F_SLLV;
+      case Op::Srlv: return F_SRLV;
+      case Op::Srav: return F_SRAV;
+      case Op::Jr: return F_JR;
+      case Op::Jalr: return F_JALR;
+      case Op::Syscall: return F_SYSCALL;
+      case Op::Mfhi: return F_MFHI;
+      case Op::Mthi: return F_MTHI;
+      case Op::Mflo: return F_MFLO;
+      case Op::Mtlo: return F_MTLO;
+      case Op::Mult: return F_MULT;
+      case Op::Multu: return F_MULTU;
+      case Op::Div: return F_DIV;
+      case Op::Divu: return F_DIVU;
+      case Op::Add: return F_ADD;
+      case Op::Addu: return F_ADDU;
+      case Op::Sub: return F_SUB;
+      case Op::Subu: return F_SUBU;
+      case Op::And: return F_AND;
+      case Op::Or: return F_OR;
+      case Op::Xor: return F_XOR;
+      case Op::Nor: return F_NOR;
+      case Op::Slt: return F_SLT;
+      case Op::Sltu: return F_SLTU;
+      default: panic("opToFunct: not an R-type op");
+    }
+}
+
+Op
+opcodeToOp(uint8_t opcode)
+{
+    switch (opcode) {
+      case OP_BEQ: return Op::Beq;
+      case OP_BNE: return Op::Bne;
+      case OP_BLEZ: return Op::Blez;
+      case OP_BGTZ: return Op::Bgtz;
+      case OP_ADDI: return Op::Addi;
+      case OP_ADDIU: return Op::Addiu;
+      case OP_SLTI: return Op::Slti;
+      case OP_SLTIU: return Op::Sltiu;
+      case OP_ANDI: return Op::Andi;
+      case OP_ORI: return Op::Ori;
+      case OP_XORI: return Op::Xori;
+      case OP_LUI: return Op::Lui;
+      case OP_LB: return Op::Lb;
+      case OP_LH: return Op::Lh;
+      case OP_LW: return Op::Lw;
+      case OP_LBU: return Op::Lbu;
+      case OP_LHU: return Op::Lhu;
+      case OP_SB: return Op::Sb;
+      case OP_SH: return Op::Sh;
+      case OP_SW: return Op::Sw;
+      default: return Op::Invalid;
+    }
+}
+
+uint8_t
+opToOpcode(Op op)
+{
+    switch (op) {
+      case Op::Beq: return OP_BEQ;
+      case Op::Bne: return OP_BNE;
+      case Op::Blez: return OP_BLEZ;
+      case Op::Bgtz: return OP_BGTZ;
+      case Op::Addi: return OP_ADDI;
+      case Op::Addiu: return OP_ADDIU;
+      case Op::Slti: return OP_SLTI;
+      case Op::Sltiu: return OP_SLTIU;
+      case Op::Andi: return OP_ANDI;
+      case Op::Ori: return OP_ORI;
+      case Op::Xori: return OP_XORI;
+      case Op::Lui: return OP_LUI;
+      case Op::Lb: return OP_LB;
+      case Op::Lh: return OP_LH;
+      case Op::Lw: return OP_LW;
+      case Op::Lbu: return OP_LBU;
+      case Op::Lhu: return OP_LHU;
+      case Op::Sb: return OP_SB;
+      case Op::Sh: return OP_SH;
+      case Op::Sw: return OP_SW;
+      default: panic("opToOpcode: not an I-type op");
+    }
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Sll: return "sll";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::Sllv: return "sllv";
+      case Op::Srlv: return "srlv";
+      case Op::Srav: return "srav";
+      case Op::Jr: return "jr";
+      case Op::Jalr: return "jalr";
+      case Op::Syscall: return "syscall";
+      case Op::Mfhi: return "mfhi";
+      case Op::Mthi: return "mthi";
+      case Op::Mflo: return "mflo";
+      case Op::Mtlo: return "mtlo";
+      case Op::Mult: return "mult";
+      case Op::Multu: return "multu";
+      case Op::Div: return "div";
+      case Op::Divu: return "divu";
+      case Op::Add: return "add";
+      case Op::Addu: return "addu";
+      case Op::Sub: return "sub";
+      case Op::Subu: return "subu";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Nor: return "nor";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::Bltz: return "bltz";
+      case Op::Bgez: return "bgez";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blez: return "blez";
+      case Op::Bgtz: return "bgtz";
+      case Op::Addi: return "addi";
+      case Op::Addiu: return "addiu";
+      case Op::Slti: return "slti";
+      case Op::Sltiu: return "sltiu";
+      case Op::Andi: return "andi";
+      case Op::Ori: return "ori";
+      case Op::Xori: return "xori";
+      case Op::Lui: return "lui";
+      case Op::Lb: return "lb";
+      case Op::Lh: return "lh";
+      case Op::Lw: return "lw";
+      case Op::Lbu: return "lbu";
+      case Op::Lhu: return "lhu";
+      case Op::Sb: return "sb";
+      case Op::Sh: return "sh";
+      case Op::Sw: return "sw";
+      case Op::J: return "j";
+      case Op::Jal: return "jal";
+      default: return "invalid";
+    }
+}
+
+Inst
+decode(uint32_t word)
+{
+    Inst inst;
+    uint8_t opcode = (word >> 26) & 0x3f;
+    inst.rs = (word >> 21) & 0x1f;
+    inst.rt = (word >> 16) & 0x1f;
+    inst.rd = (word >> 11) & 0x1f;
+    inst.shamt = (word >> 6) & 0x1f;
+    inst.imm = (int16_t)(word & 0xffff);
+    inst.target = word & 0x03ffffff;
+
+    if (opcode == OP_SPECIAL) {
+        inst.op = functToOp(word & 0x3f);
+    } else if (opcode == OP_REGIMM) {
+        if (inst.rt == 0)
+            inst.op = Op::Bltz;
+        else if (inst.rt == 1)
+            inst.op = Op::Bgez;
+        else
+            inst.op = Op::Invalid;
+    } else if (opcode == OP_J) {
+        inst.op = Op::J;
+    } else if (opcode == OP_JAL) {
+        inst.op = Op::Jal;
+    } else {
+        inst.op = opcodeToOp(opcode);
+    }
+    return inst;
+}
+
+uint32_t
+encodeR(uint8_t funct, uint8_t rs, uint8_t rt, uint8_t rd, uint8_t shamt)
+{
+    return ((uint32_t)(rs & 0x1f) << 21) | ((uint32_t)(rt & 0x1f) << 16) |
+           ((uint32_t)(rd & 0x1f) << 11) | ((uint32_t)(shamt & 0x1f) << 6) |
+           (funct & 0x3f);
+}
+
+uint32_t
+encodeI(uint8_t opcode, uint8_t rs, uint8_t rt, uint16_t imm)
+{
+    return ((uint32_t)(opcode & 0x3f) << 26) |
+           ((uint32_t)(rs & 0x1f) << 21) | ((uint32_t)(rt & 0x1f) << 16) |
+           imm;
+}
+
+uint32_t
+encodeJ(uint8_t opcode, uint32_t target26)
+{
+    return ((uint32_t)(opcode & 0x3f) << 26) | (target26 & 0x03ffffff);
+}
+
+uint32_t
+encode(const Inst &inst)
+{
+    switch (inst.op) {
+      case Op::Sll: case Op::Srl: case Op::Sra:
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+      case Op::Jr: case Op::Jalr: case Op::Syscall:
+      case Op::Mfhi: case Op::Mthi: case Op::Mflo: case Op::Mtlo:
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu:
+        return encodeR(opToFunct(inst.op), inst.rs, inst.rt, inst.rd,
+                       inst.shamt);
+      case Op::Bltz:
+        return encodeI(OP_REGIMM, inst.rs, 0, (uint16_t)inst.imm);
+      case Op::Bgez:
+        return encodeI(OP_REGIMM, inst.rs, 1, (uint16_t)inst.imm);
+      case Op::J:
+        return encodeJ(OP_J, inst.target);
+      case Op::Jal:
+        return encodeJ(OP_JAL, inst.target);
+      case Op::Invalid:
+      case Op::NumOps:
+        panic("encode: invalid op");
+      default:
+        return encodeI(opToOpcode(inst.op), inst.rs, inst.rt,
+                       (uint16_t)inst.imm);
+    }
+}
+
+std::string
+disassemble(const Inst &inst, uint32_t pc)
+{
+    const char *name = opName(inst.op);
+    switch (inst.op) {
+      case Op::Sll: case Op::Srl: case Op::Sra:
+        if (inst.isNop())
+            return "nop";
+        return format("%s $%d, $%d, %d", name, inst.rd, inst.rt,
+                      inst.shamt);
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+        return format("%s $%d, $%d, $%d", name, inst.rd, inst.rt, inst.rs);
+      case Op::Jr:
+        return format("jr $%d", inst.rs);
+      case Op::Jalr:
+        return format("jalr $%d, $%d", inst.rd, inst.rs);
+      case Op::Syscall:
+        return "syscall";
+      case Op::Mfhi: case Op::Mflo:
+        return format("%s $%d", name, inst.rd);
+      case Op::Mthi: case Op::Mtlo:
+        return format("%s $%d", name, inst.rs);
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+        return format("%s $%d, $%d", name, inst.rs, inst.rt);
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu:
+        return format("%s $%d, $%d, $%d", name, inst.rd, inst.rs, inst.rt);
+      case Op::Bltz: case Op::Bgez: case Op::Blez: case Op::Bgtz:
+        return format("%s $%d, 0x%x", name, inst.rs,
+                      pc + 4 + ((int32_t)inst.imm << 2));
+      case Op::Beq: case Op::Bne:
+        return format("%s $%d, $%d, 0x%x", name, inst.rs, inst.rt,
+                      pc + 4 + ((int32_t)inst.imm << 2));
+      case Op::Lui:
+        return format("lui $%d, 0x%x", inst.rt, (uint16_t)inst.imm);
+      case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+        return format("%s $%d, $%d, %d", name, inst.rt, inst.rs, inst.imm);
+      case Op::Andi: case Op::Ori: case Op::Xori:
+        return format("%s $%d, $%d, 0x%x", name, inst.rt, inst.rs,
+                      (uint16_t)inst.imm);
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Sb: case Op::Sh: case Op::Sw:
+        return format("%s $%d, %d($%d)", name, inst.rt, inst.imm, inst.rs);
+      case Op::J: case Op::Jal:
+        return format("%s 0x%x",
+                      name, ((pc + 4) & 0xf0000000) | (inst.target << 2));
+      default:
+        return "invalid";
+    }
+}
+
+} // namespace interp::mips

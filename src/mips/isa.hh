@@ -1,0 +1,127 @@
+/**
+ * @file
+ * MIPS R3000 instruction subset: semantic opcodes, binary encodings,
+ * a decoder and a disassembler.
+ *
+ * This is the guest ISA of the study: the MiniC compiler emits it, the
+ * MIPSI emulator interprets it (one guest instruction = one virtual
+ * command), and direct-mode execution runs it as the compiled-C
+ * baseline. The subset covers the integer R3000: ALU ops, shifts,
+ * multiply/divide with HI/LO, all byte/half/word loads and stores,
+ * branches (with architectural branch delay slots), jumps and SYSCALL.
+ */
+
+#ifndef INTERP_MIPS_ISA_HH
+#define INTERP_MIPS_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace interp::mips {
+
+/** Register conventions (o32). */
+enum Reg : uint8_t
+{
+    ZERO = 0, AT = 1, V0 = 2, V1 = 3,
+    A0 = 4, A1 = 5, A2 = 6, A3 = 7,
+    T0 = 8, T1 = 9, T2 = 10, T3 = 11, T4 = 12, T5 = 13, T6 = 14, T7 = 15,
+    S0 = 16, S1 = 17, S2 = 18, S3 = 19, S4 = 20, S5 = 21, S6 = 22, S7 = 23,
+    T8 = 24, T9 = 25, K0 = 26, K1 = 27,
+    GP = 28, SP = 29, FP = 30, RA = 31,
+};
+
+/** Semantic opcode, independent of encoding format. */
+enum class Op : uint8_t
+{
+    Invalid,
+    // R-type ALU
+    Sll, Srl, Sra, Sllv, Srlv, Srav,
+    Jr, Jalr, Syscall,
+    Mfhi, Mflo, Mthi, Mtlo,
+    Mult, Multu, Div, Divu,
+    Add, Addu, Sub, Subu,
+    And, Or, Xor, Nor,
+    Slt, Sltu,
+    // I-type
+    Bltz, Bgez,
+    Beq, Bne, Blez, Bgtz,
+    Addi, Addiu, Slti, Sltiu,
+    Andi, Ori, Xori, Lui,
+    Lb, Lh, Lw, Lbu, Lhu,
+    Sb, Sh, Sw,
+    // J-type
+    J, Jal,
+    NumOps,
+};
+
+/** Printable mnemonic; `sll $0,$0,0` disassembles as "sll" (the
+ *  assembler's delay-slot no-op, per the paper's footnote 1). */
+const char *opName(Op op);
+
+/** Decoded instruction. */
+struct Inst
+{
+    Op op = Op::Invalid;
+    uint8_t rs = 0;
+    uint8_t rt = 0;
+    uint8_t rd = 0;
+    uint8_t shamt = 0;
+    int16_t imm = 0;      ///< sign-extended I-type immediate
+    uint32_t target = 0;  ///< J-type 26-bit target field
+
+    /** True for the canonical no-op encoding (sll $0,$0,0). */
+    bool isNop() const { return op == Op::Sll && rd == 0 && rt == 0 &&
+                                shamt == 0; }
+};
+
+/** Decode a 32-bit instruction word. Invalid encodings give Op::Invalid. */
+Inst decode(uint32_t word);
+
+// --- encoders ---------------------------------------------------------------
+
+/** Encode an R-type (SPECIAL) instruction from its funct code. */
+uint32_t encodeR(uint8_t funct, uint8_t rs, uint8_t rt, uint8_t rd,
+                 uint8_t shamt);
+
+/** Encode an I-type instruction. */
+uint32_t encodeI(uint8_t opcode, uint8_t rs, uint8_t rt, uint16_t imm);
+
+/** Encode a J-type instruction. */
+uint32_t encodeJ(uint8_t opcode, uint32_t target26);
+
+/** Encode a semantic Op with fields (inverse of decode). */
+uint32_t encode(const Inst &inst);
+
+/** The canonical no-op word. */
+constexpr uint32_t kNopWord = 0;
+
+/** Disassemble one instruction at @p pc (pc used for branch targets). */
+std::string disassemble(const Inst &inst, uint32_t pc);
+
+// --- memory layout conventions ----------------------------------------------
+
+constexpr uint32_t kTextBase = 0x00400000;
+constexpr uint32_t kDataBase = 0x10000000;
+constexpr uint32_t kStackTop = 0x7fff0000;
+
+// --- syscall numbers (SPIM-compatible) --------------------------------------
+
+enum Syscalls : uint32_t
+{
+    SYS_PRINT_INT = 1,
+    SYS_PRINT_STRING = 4,
+    SYS_READ_INT = 5,
+    SYS_SBRK = 9,
+    SYS_EXIT = 10,
+    SYS_PRINT_CHAR = 11,
+    SYS_READ_CHAR = 12,
+    SYS_OPEN = 13,
+    SYS_READ = 14,
+    SYS_WRITE = 15,
+    SYS_CLOSE = 16,
+    SYS_EXIT2 = 17,
+};
+
+} // namespace interp::mips
+
+#endif // INTERP_MIPS_ISA_HH

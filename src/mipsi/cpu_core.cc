@@ -1,0 +1,261 @@
+#include "mipsi/cpu_core.hh"
+
+namespace interp::mipsi {
+
+using mips::Op;
+
+StepInfo
+stepCpu(CpuState &state, GuestMemory &mem, const mips::Inst &inst)
+{
+    StepInfo info;
+    uint32_t *r = state.regs;
+    uint32_t pc = state.pc;
+    uint32_t new_npc = state.npc + 4;
+    int32_t simm = inst.imm;
+    uint32_t uimm = (uint16_t)inst.imm;
+
+    auto branch_to = [&](bool taken) {
+        info.isCondBranch = true;
+        info.taken = taken;
+        uint32_t target = pc + 4 + ((uint32_t)simm << 2);
+        info.targetPc = target;
+        if (taken)
+            new_npc = target;
+    };
+
+    switch (inst.op) {
+      case Op::Sll:
+        r[inst.rd] = r[inst.rt] << inst.shamt;
+        break;
+      case Op::Srl:
+        r[inst.rd] = r[inst.rt] >> inst.shamt;
+        break;
+      case Op::Sra:
+        r[inst.rd] = (uint32_t)((int32_t)r[inst.rt] >> inst.shamt);
+        break;
+      case Op::Sllv:
+        r[inst.rd] = r[inst.rt] << (r[inst.rs] & 31);
+        break;
+      case Op::Srlv:
+        r[inst.rd] = r[inst.rt] >> (r[inst.rs] & 31);
+        break;
+      case Op::Srav:
+        r[inst.rd] = (uint32_t)((int32_t)r[inst.rt] >> (r[inst.rs] & 31));
+        break;
+      case Op::Jr:
+        info.isJump = true;
+        info.isIndirect = true;
+        info.isReturn = inst.rs == mips::RA;
+        info.targetPc = r[inst.rs];
+        new_npc = r[inst.rs];
+        break;
+      case Op::Jalr:
+        info.isJump = true;
+        info.isIndirect = true;
+        info.isCall = true;
+        info.targetPc = r[inst.rs];
+        new_npc = r[inst.rs];
+        r[inst.rd ? inst.rd : (uint8_t)mips::RA] = pc + 8;
+        break;
+      case Op::Syscall:
+        info.isSyscall = true;
+        break;
+      case Op::Mfhi:
+        r[inst.rd] = state.hi;
+        break;
+      case Op::Mflo:
+        r[inst.rd] = state.lo;
+        break;
+      case Op::Mthi:
+        state.hi = r[inst.rs];
+        break;
+      case Op::Mtlo:
+        state.lo = r[inst.rs];
+        break;
+      case Op::Mult: {
+        info.isMultDiv = true;
+        int64_t prod = (int64_t)(int32_t)r[inst.rs] *
+                       (int64_t)(int32_t)r[inst.rt];
+        state.lo = (uint32_t)prod;
+        state.hi = (uint32_t)((uint64_t)prod >> 32);
+        break;
+      }
+      case Op::Multu: {
+        info.isMultDiv = true;
+        uint64_t prod = (uint64_t)r[inst.rs] * (uint64_t)r[inst.rt];
+        state.lo = (uint32_t)prod;
+        state.hi = (uint32_t)(prod >> 32);
+        break;
+      }
+      case Op::Div: {
+        info.isMultDiv = true;
+        int32_t a = (int32_t)r[inst.rs];
+        int32_t b = (int32_t)r[inst.rt];
+        if (b != 0 && !(a == INT32_MIN && b == -1)) {
+            state.lo = (uint32_t)(a / b);
+            state.hi = (uint32_t)(a % b);
+        }
+        break;
+      }
+      case Op::Divu: {
+        info.isMultDiv = true;
+        if (r[inst.rt] != 0) {
+            state.lo = r[inst.rs] / r[inst.rt];
+            state.hi = r[inst.rs] % r[inst.rt];
+        }
+        break;
+      }
+      case Op::Add: // overflow traps not modeled
+      case Op::Addu:
+        r[inst.rd] = r[inst.rs] + r[inst.rt];
+        break;
+      case Op::Sub:
+      case Op::Subu:
+        r[inst.rd] = r[inst.rs] - r[inst.rt];
+        break;
+      case Op::And:
+        r[inst.rd] = r[inst.rs] & r[inst.rt];
+        break;
+      case Op::Or:
+        r[inst.rd] = r[inst.rs] | r[inst.rt];
+        break;
+      case Op::Xor:
+        r[inst.rd] = r[inst.rs] ^ r[inst.rt];
+        break;
+      case Op::Nor:
+        r[inst.rd] = ~(r[inst.rs] | r[inst.rt]);
+        break;
+      case Op::Slt:
+        r[inst.rd] = (int32_t)r[inst.rs] < (int32_t)r[inst.rt] ? 1 : 0;
+        break;
+      case Op::Sltu:
+        r[inst.rd] = r[inst.rs] < r[inst.rt] ? 1 : 0;
+        break;
+      case Op::Bltz:
+        branch_to((int32_t)r[inst.rs] < 0);
+        break;
+      case Op::Bgez:
+        branch_to((int32_t)r[inst.rs] >= 0);
+        break;
+      case Op::Beq:
+        branch_to(r[inst.rs] == r[inst.rt]);
+        break;
+      case Op::Bne:
+        branch_to(r[inst.rs] != r[inst.rt]);
+        break;
+      case Op::Blez:
+        branch_to((int32_t)r[inst.rs] <= 0);
+        break;
+      case Op::Bgtz:
+        branch_to((int32_t)r[inst.rs] > 0);
+        break;
+      case Op::Addi:
+      case Op::Addiu:
+        r[inst.rt] = r[inst.rs] + (uint32_t)simm;
+        break;
+      case Op::Slti:
+        r[inst.rt] = (int32_t)r[inst.rs] < simm ? 1 : 0;
+        break;
+      case Op::Sltiu:
+        r[inst.rt] = r[inst.rs] < (uint32_t)simm ? 1 : 0;
+        break;
+      case Op::Andi:
+        r[inst.rt] = r[inst.rs] & uimm;
+        break;
+      case Op::Ori:
+        r[inst.rt] = r[inst.rs] | uimm;
+        break;
+      case Op::Xori:
+        r[inst.rt] = r[inst.rs] ^ uimm;
+        break;
+      case Op::Lui:
+        r[inst.rt] = uimm << 16;
+        break;
+      case Op::Lb: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Load;
+        info.memAddr = addr;
+        info.memSize = 1;
+        r[inst.rt] = (uint32_t)(int32_t)(int8_t)mem.read8(addr);
+        break;
+      }
+      case Op::Lbu: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Load;
+        info.memAddr = addr;
+        info.memSize = 1;
+        r[inst.rt] = mem.read8(addr);
+        break;
+      }
+      case Op::Lh: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Load;
+        info.memAddr = addr;
+        info.memSize = 2;
+        r[inst.rt] = (uint32_t)(int32_t)(int16_t)mem.read16(addr);
+        break;
+      }
+      case Op::Lhu: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Load;
+        info.memAddr = addr;
+        info.memSize = 2;
+        r[inst.rt] = mem.read16(addr);
+        break;
+      }
+      case Op::Lw: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Load;
+        info.memAddr = addr;
+        info.memSize = 4;
+        r[inst.rt] = mem.read32(addr);
+        break;
+      }
+      case Op::Sb: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Store;
+        info.memAddr = addr;
+        info.memSize = 1;
+        mem.write8(addr, (uint8_t)r[inst.rt]);
+        break;
+      }
+      case Op::Sh: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Store;
+        info.memAddr = addr;
+        info.memSize = 2;
+        mem.write16(addr, (uint16_t)r[inst.rt]);
+        break;
+      }
+      case Op::Sw: {
+        uint32_t addr = r[inst.rs] + (uint32_t)simm;
+        info.mem = StepInfo::Mem::Store;
+        info.memAddr = addr;
+        info.memSize = 4;
+        mem.write32(addr, r[inst.rt]);
+        break;
+      }
+      case Op::J:
+        info.isJump = true;
+        info.targetPc = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+        new_npc = info.targetPc;
+        break;
+      case Op::Jal:
+        info.isJump = true;
+        info.isCall = true;
+        info.targetPc = ((pc + 4) & 0xf0000000u) | (inst.target << 2);
+        new_npc = info.targetPc;
+        r[mips::RA] = pc + 8;
+        break;
+      default:
+        info.badInst = true;
+        break;
+    }
+
+    r[0] = 0;
+    state.pc = state.npc;
+    state.npc = new_npc;
+    return info;
+}
+
+} // namespace interp::mipsi

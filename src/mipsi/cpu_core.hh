@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared MIPS R3000 execution semantics.
+ *
+ * Both the MIPSI emulator (interpreted mode, full cost model) and the
+ * direct executor (compiled-C baseline) run guest instructions through
+ * stepCpu(), so the two modes cannot diverge semantically — the same
+ * program produces the same output either way, differing only in the
+ * native-instruction stream that execution emits.
+ *
+ * Branch delay slots are architectural: the CPU keeps (pc, npc) and a
+ * taken branch at pc redirects the instruction *after* the delay slot,
+ * and JAL links pc+8.
+ */
+
+#ifndef INTERP_MIPSI_CPU_CORE_HH
+#define INTERP_MIPSI_CPU_CORE_HH
+
+#include <cstdint>
+
+#include "mips/isa.hh"
+#include "mipsi/guest_memory.hh"
+
+namespace interp::mipsi {
+
+/** Architectural register state. */
+struct CpuState
+{
+    uint32_t pc = 0;
+    uint32_t npc = 0; ///< pc of the next instruction (delay-slot chain)
+    uint32_t regs[32] = {};
+    uint32_t hi = 0;
+    uint32_t lo = 0;
+
+    void
+    reset(uint32_t entry, uint32_t sp)
+    {
+        pc = entry;
+        npc = entry + 4;
+        for (auto &r : regs)
+            r = 0;
+        regs[mips::SP] = sp;
+        hi = lo = 0;
+    }
+};
+
+/** What one instruction did, for the tracing layers. */
+struct StepInfo
+{
+    enum class Mem : uint8_t { None, Load, Store };
+
+    Mem mem = Mem::None;
+    uint32_t memAddr = 0;
+    uint8_t memSize = 0;     ///< 1, 2 or 4 bytes
+    bool isCondBranch = false;
+    bool taken = false;      ///< conditional-branch outcome
+    bool isJump = false;     ///< unconditional control transfer
+    bool isCall = false;     ///< jal / jalr
+    bool isReturn = false;   ///< jr $ra
+    bool isIndirect = false; ///< jr / jalr (register target)
+    uint32_t targetPc = 0;   ///< control-transfer destination
+    bool isSyscall = false;
+    bool isMultDiv = false;  ///< long-latency integer op
+    bool badInst = false;
+};
+
+/**
+ * Execute the instruction @p inst (fetched from state.pc) and advance
+ * (pc, npc). Syscalls advance the PC but leave the actual system-call
+ * action to the caller.
+ */
+StepInfo stepCpu(CpuState &state, GuestMemory &mem, const mips::Inst &inst);
+
+} // namespace interp::mipsi
+
+#endif // INTERP_MIPSI_CPU_CORE_HH

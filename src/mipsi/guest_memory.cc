@@ -1,0 +1,130 @@
+#include "mipsi/guest_memory.hh"
+
+#include "support/logging.hh"
+
+namespace interp::mipsi {
+
+GuestMemory::GuestMemory() = default;
+
+GuestMemory::Page &
+GuestMemory::page(uint32_t addr)
+{
+    auto &l2 = l1[l1Index(addr)];
+    if (!l2)
+        l2 = std::make_unique<L2Table>();
+    auto &pg = l2->pages[l2Index(addr)];
+    if (!pg) {
+        pg = std::make_unique<Page>();
+        pg->fill(0);
+        ++pageCount;
+    }
+    return *pg;
+}
+
+void
+GuestMemory::loadImage(const mips::Image &image)
+{
+    for (size_t i = 0; i < image.text.size(); ++i)
+        write32(image.textBase + (uint32_t)i * 4, image.text[i]);
+    for (size_t i = 0; i < image.data.size(); ++i)
+        write8(image.dataBase + (uint32_t)i, image.data[i]);
+}
+
+uint8_t
+GuestMemory::read8(uint32_t addr)
+{
+    return page(addr)[addr & (kPageSize - 1)];
+}
+
+uint16_t
+GuestMemory::read16(uint32_t addr)
+{
+    return (uint16_t)(read8(addr) | (read8(addr + 1) << 8));
+}
+
+uint32_t
+GuestMemory::read32(uint32_t addr)
+{
+    uint32_t off = addr & (kPageSize - 1);
+    if (off <= kPageSize - 4) {
+        const uint8_t *p = page(addr).data() + off;
+        return (uint32_t)p[0] | ((uint32_t)p[1] << 8) |
+               ((uint32_t)p[2] << 16) | ((uint32_t)p[3] << 24);
+    }
+    return (uint32_t)read16(addr) | ((uint32_t)read16(addr + 2) << 16);
+}
+
+void
+GuestMemory::write8(uint32_t addr, uint8_t value)
+{
+    page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+void
+GuestMemory::write16(uint32_t addr, uint16_t value)
+{
+    write8(addr, (uint8_t)value);
+    write8(addr + 1, (uint8_t)(value >> 8));
+}
+
+void
+GuestMemory::write32(uint32_t addr, uint32_t value)
+{
+    uint32_t off = addr & (kPageSize - 1);
+    if (off <= kPageSize - 4) {
+        uint8_t *p = page(addr).data() + off;
+        p[0] = (uint8_t)value;
+        p[1] = (uint8_t)(value >> 8);
+        p[2] = (uint8_t)(value >> 16);
+        p[3] = (uint8_t)(value >> 24);
+        return;
+    }
+    write16(addr, (uint16_t)value);
+    write16(addr + 2, (uint16_t)(value >> 16));
+}
+
+std::vector<uint8_t>
+GuestMemory::readBlock(uint32_t addr, uint32_t len)
+{
+    std::vector<uint8_t> out(len);
+    for (uint32_t i = 0; i < len; ++i)
+        out[i] = read8(addr + i);
+    return out;
+}
+
+void
+GuestMemory::writeBlock(uint32_t addr, std::string_view bytes)
+{
+    for (size_t i = 0; i < bytes.size(); ++i)
+        write8(addr + (uint32_t)i, (uint8_t)bytes[i]);
+}
+
+std::string
+GuestMemory::readCString(uint32_t addr)
+{
+    std::string out;
+    for (uint32_t i = 0; i < (1u << 20); ++i) {
+        uint8_t c = read8(addr + i);
+        if (c == 0)
+            return out;
+        out.push_back((char)c);
+    }
+    panic("unterminated guest string at 0x%x", addr);
+}
+
+const void *
+GuestMemory::l1EntryAddr(uint32_t addr) const
+{
+    return &l1[l1Index(addr)];
+}
+
+const void *
+GuestMemory::l2EntryAddr(uint32_t addr)
+{
+    auto &l2 = l1[l1Index(addr)];
+    if (!l2)
+        l2 = std::make_unique<L2Table>();
+    return &l2->pages[l2Index(addr)];
+}
+
+} // namespace interp::mipsi

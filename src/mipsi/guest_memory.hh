@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Guest physical storage for the MIPS emulator and the direct-mode
+ * executor: a demand-allocated paged 32-bit address space.
+ *
+ * This class provides only *storage*. The interpretation-cost model of
+ * MIPSI's in-core page tables (§3.3) is layered on top by the Mipsi
+ * class, which emits the translation work for every access; the
+ * direct-mode executor uses the same storage with no translation
+ * charge, exactly as compiled code would.
+ */
+
+#ifndef INTERP_MIPSI_GUEST_MEMORY_HH
+#define INTERP_MIPSI_GUEST_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "mips/image.hh"
+
+namespace interp::mipsi {
+
+/**
+ * Synthetic data-space prefix for guest memory: a guest address A is
+ * surfaced to the memory-system model as (kGuestDataBit | A), keeping
+ * guest data disjoint from the interpreter's own (mapped) host data.
+ */
+constexpr uint32_t kGuestDataBit = 0x80000000u;
+
+/** Demand-paged guest memory (4 KB pages, little-endian). */
+class GuestMemory
+{
+  public:
+    static constexpr uint32_t kPageBits = 12;
+    static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+    GuestMemory();
+
+    /** Copy an image's text and data into memory. */
+    void loadImage(const mips::Image &image);
+
+    uint8_t read8(uint32_t addr);
+    uint16_t read16(uint32_t addr);
+    uint32_t read32(uint32_t addr);
+    void write8(uint32_t addr, uint8_t value);
+    void write16(uint32_t addr, uint16_t value);
+    void write32(uint32_t addr, uint32_t value);
+
+    /** Copy @p len bytes out of guest memory. */
+    std::vector<uint8_t> readBlock(uint32_t addr, uint32_t len);
+    /** Copy bytes into guest memory. */
+    void writeBlock(uint32_t addr, std::string_view bytes);
+    /** Read a NUL-terminated guest string (bounded at 1 MB). */
+    std::string readCString(uint32_t addr);
+
+    /** Number of pages materialized so far. */
+    size_t pagesAllocated() const { return pageCount; }
+
+    /**
+     * Depth-two table walk exposure, for the emulator's translation
+     * model: index of the first-level entry for @p addr.
+     */
+    static uint32_t l1Index(uint32_t addr) { return addr >> 22; }
+    static uint32_t l2Index(uint32_t addr)
+    {
+        return (addr >> kPageBits) & 0x3ff;
+    }
+
+    /** Host address of the page-table structures (for d-cache realism). */
+    const void *l1EntryAddr(uint32_t addr) const;
+    const void *l2EntryAddr(uint32_t addr);
+
+  private:
+    using Page = std::array<uint8_t, kPageSize>;
+    struct L2Table
+    {
+        std::array<std::unique_ptr<Page>, 1024> pages;
+    };
+
+    Page &page(uint32_t addr);
+
+    std::array<std::unique_ptr<L2Table>, 1024> l1;
+    size_t pageCount = 0;
+};
+
+} // namespace interp::mipsi
+
+#endif // INTERP_MIPSI_GUEST_MEMORY_HH

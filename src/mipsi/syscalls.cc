@@ -1,0 +1,142 @@
+#include "mipsi/syscalls.hh"
+
+#include <string>
+
+#include "support/logging.hh"
+
+namespace interp::mipsi {
+
+using mips::A0;
+using mips::A1;
+using mips::A2;
+using mips::V0;
+
+SyscallHandler::SyscallHandler(trace::Execution &exec_,
+                               vfs::FileSystem &fs_, GuestMemory &mem_,
+                               uint32_t initial_break)
+    : exec(exec_), fs(fs_), mem(mem_), brk(initial_break)
+{
+    rSysEntry = exec.code().registerRoutine(
+        "kernel.trap", 200, trace::Segment::NativeLib);
+    rSysCopy = exec.code().registerRoutine(
+        "kernel.copyio", 96, trace::Segment::NativeLib);
+}
+
+void
+SyscallHandler::emitKernelWork(uint32_t copy_bytes)
+{
+    trace::SystemScope sys(exec);
+    {
+        // Trap entry, dispatch, return: fixed kernel overhead.
+        trace::RoutineScope r(exec, rSysEntry);
+        exec.alu(90);
+        exec.shortInt(20);
+        for (int i = 0; i < 8; ++i)
+            exec.storeAt(0xfff00000u + 8u * (uint32_t)i); // kernel stack
+        exec.branch(true);
+    }
+    if (copy_bytes > 0) {
+        // copyin/copyout: one load+store per 8 bytes plus loop control.
+        trace::RoutineScope r(exec, rSysCopy);
+        uint32_t chunks = (copy_bytes + 31) / 32;
+        for (uint32_t i = 0; i < chunks; ++i) {
+            exec.loadAt(0xfff10000u + (i * 32) % 8192);
+            exec.storeAt(0xfff20020u + (i * 32) % 8192);
+            exec.alu(8);
+            exec.branch(i + 1 < chunks);
+        }
+    }
+}
+
+SyscallHandler::Result
+SyscallHandler::handle(CpuState &state)
+{
+    Result result;
+    uint32_t nr = state.regs[V0];
+    uint32_t a0 = state.regs[A0];
+    uint32_t a1 = state.regs[A1];
+    uint32_t a2 = state.regs[A2];
+
+    switch (nr) {
+      case mips::SYS_PRINT_INT: {
+        std::string text = std::to_string((int32_t)a0);
+        fs.write(1, text.data(), (int64_t)text.size());
+        emitKernelWork((uint32_t)text.size());
+        break;
+      }
+      case mips::SYS_PRINT_STRING: {
+        std::string text = mem.readCString(a0);
+        fs.write(1, text.data(), (int64_t)text.size());
+        emitKernelWork((uint32_t)text.size());
+        break;
+      }
+      case mips::SYS_PRINT_CHAR: {
+        char c = (char)a0;
+        fs.write(1, &c, 1);
+        emitKernelWork(1);
+        break;
+      }
+      case mips::SYS_READ_INT: {
+        // Reads a line from stdin and parses an integer.
+        std::string line;
+        char c;
+        while (fs.read(0, &c, 1) == 1 && c != '\n')
+            line.push_back(c);
+        state.regs[V0] = (uint32_t)atoi(line.c_str());
+        emitKernelWork((uint32_t)line.size());
+        break;
+      }
+      case mips::SYS_SBRK: {
+        uint32_t old = brk;
+        brk += a0;
+        state.regs[V0] = old;
+        emitKernelWork(0);
+        break;
+      }
+      case mips::SYS_EXIT:
+        result.exited = true;
+        result.exitCode = 0;
+        emitKernelWork(0);
+        break;
+      case mips::SYS_EXIT2:
+        result.exited = true;
+        result.exitCode = (int)a0;
+        emitKernelWork(0);
+        break;
+      case mips::SYS_OPEN: {
+        std::string path = mem.readCString(a0);
+        vfs::OpenMode mode = a1 == 0 ? vfs::OpenMode::Read
+                             : a1 == 2 ? vfs::OpenMode::Append
+                                       : vfs::OpenMode::Write;
+        state.regs[V0] = (uint32_t)fs.open(path, mode);
+        emitKernelWork((uint32_t)path.size());
+        break;
+      }
+      case mips::SYS_READ: {
+        std::vector<char> buf(a2);
+        int64_t n = fs.read((int)a0, buf.data(), (int64_t)a2);
+        for (int64_t i = 0; i < n; ++i)
+            mem.write8(a1 + (uint32_t)i, (uint8_t)buf[i]);
+        state.regs[V0] = (uint32_t)n;
+        emitKernelWork(n > 0 ? (uint32_t)n : 0);
+        break;
+      }
+      case mips::SYS_WRITE: {
+        auto bytes = mem.readBlock(a1, a2);
+        int64_t n = fs.write((int)a0, (const char *)bytes.data(),
+                             (int64_t)bytes.size());
+        state.regs[V0] = (uint32_t)n;
+        emitKernelWork(a2);
+        break;
+      }
+      case mips::SYS_CLOSE:
+        state.regs[V0] = fs.close((int)a0) ? 0 : (uint32_t)-1;
+        emitKernelWork(0);
+        break;
+      default:
+        fatal("unknown syscall %u at pc 0x%x", nr, state.pc);
+    }
+    return result;
+}
+
+} // namespace interp::mipsi

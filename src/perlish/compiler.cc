@@ -1,0 +1,1514 @@
+#include "perlish/compiler.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace interp::perlish {
+
+namespace {
+
+/** Token kinds for the perlish lexer. */
+enum class Pt : uint8_t
+{
+    End, Num, Str, InterpStr, ScalarVar, ArrayVar, HashVar, ArrayLast,
+    Name,
+    // punctuation / operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket, Semi, Comma,
+    Assign, PlusAssign, MinusAssign, StarAssign, DotAssign,
+    Plus, Minus, Star, Slash, Percent, Dot, DotDot,
+    Bang, Lt, Le, Gt, Ge, EqEq, BangEq,
+    AndAnd, OrOr, MatchBind, NotMatchBind,
+    Question, Colon,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+    ReadLine, // <NAME>
+};
+
+struct PTok
+{
+    Pt kind = Pt::End;
+    double num = 0;
+    std::string text;
+    int line = 1;
+};
+
+/** Hand-written scanner with Perl's value/operator '/'-context rule. */
+class Lexer
+{
+  public:
+    Lexer(std::string_view src, std::string file, trace::Execution *exec)
+        : src_(src), file_(std::move(file)), exec_(exec)
+    {
+        if (exec_) {
+            rLex = exec_->code().registerRoutine(
+                "perl.yylex", 400, trace::Segment::InterpCore);
+        }
+    }
+
+    [[noreturn]] void
+    error(const char *msg)
+    {
+        fatal("%s:%d: %s", file_.c_str(), line_, msg);
+    }
+
+    /** Lex the next token. */
+    PTok
+    next()
+    {
+        // Charge scanner work: Perl 4 re-lexes the script every run.
+        size_t start_pos = pos_;
+        PTok token = scan();
+        if (exec_) {
+            trace::RoutineScope r(*exec_, rLex);
+            uint32_t chars = (uint32_t)(pos_ - start_pos) + 1;
+            exec_->alu(12 + chars * 4);
+            exec_->shortInt(chars);
+            for (uint32_t i = 0; i < chars; i += 8)
+                exec_->loadAt(0x70000000u + ((uint32_t)start_pos + i));
+            exec_->branch(true);
+        }
+        prevValueLike = token.kind == Pt::Num || token.kind == Pt::Str ||
+                        token.kind == Pt::InterpStr ||
+                        token.kind == Pt::ScalarVar ||
+                        token.kind == Pt::ArrayVar ||
+                        token.kind == Pt::RParen ||
+                        token.kind == Pt::RBracket ||
+                        token.kind == Pt::RBrace;
+        return token;
+    }
+
+    /** Read a raw regex/substitution body up to @p delim. */
+    std::string
+    rawUntil(char delim)
+    {
+        std::string out;
+        while (pos_ < src_.size() && src_[pos_] != delim) {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+                char e = src_[pos_ + 1];
+                if (e == delim) {
+                    // Escaped delimiter: becomes a plain delimiter.
+                    out.push_back(delim);
+                } else {
+                    // Other escapes pass through intact ("\\", "\d").
+                    out.push_back('\\');
+                    out.push_back(e);
+                }
+                pos_ += 2;
+                continue;
+            }
+            if (src_[pos_] == '\n')
+                ++line_;
+            out.push_back(src_[pos_++]);
+        }
+        if (pos_ >= src_.size())
+            error("unterminated pattern");
+        ++pos_; // delim
+        return out;
+    }
+
+    /** Read trailing pattern flags (g, i ignored). */
+    std::string
+    flags()
+    {
+        std::string out;
+        while (pos_ < src_.size() &&
+               std::isalpha((unsigned char)src_[pos_]))
+            out.push_back(src_[pos_++]);
+        return out;
+    }
+
+    int line() const { return line_; }
+    size_t offset() const { return pos_; }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (c == '#') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+            } else if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace((unsigned char)c)) {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    PTok
+    make(Pt kind)
+    {
+        PTok t;
+        t.kind = kind;
+        t.line = line_;
+        return t;
+    }
+
+    PTok
+    scan()
+    {
+        skipSpace();
+        if (pos_ >= src_.size())
+            return make(Pt::End);
+        char c = src_[pos_];
+
+        // Variables.
+        if (c == '$' || c == '@' || c == '%') {
+            // '%' is modulus after a value.
+            if (c == '%' && prevValueLike) {
+                ++pos_;
+                return make(Pt::Percent);
+            }
+            if (c == '$' && pos_ + 1 < src_.size() &&
+                src_[pos_ + 1] == '#') {
+                pos_ += 2;
+                PTok t = make(Pt::ArrayLast);
+                t.text = ident();
+                return t;
+            }
+            ++pos_;
+            std::string name = ident();
+            if (name.empty())
+                error("bad variable name");
+            PTok t = make(c == '$'   ? Pt::ScalarVar
+                          : c == '@' ? Pt::ArrayVar
+                                     : Pt::HashVar);
+            t.text = std::move(name);
+            return t;
+        }
+
+        // Numbers.
+        if (std::isdigit((unsigned char)c)) {
+            size_t start = pos_;
+            while (pos_ < src_.size() &&
+                   (std::isdigit((unsigned char)src_[pos_]) ||
+                    src_[pos_] == '.') &&
+                   !(src_[pos_] == '.' && pos_ + 1 < src_.size() &&
+                     src_[pos_ + 1] == '.'))
+                ++pos_;
+            if (pos_ - start >= 2 && src_[start] == '0' &&
+                (src_[start + 1] == 'x' || src_[start + 1] == 'X')) {
+                // (hex handled below — reset and rescan)
+            }
+            if (src_[start] == '0' && start + 1 < src_.size() &&
+                (src_[start + 1] == 'x' || src_[start + 1] == 'X')) {
+                pos_ = start + 2;
+                while (pos_ < src_.size() &&
+                       std::isxdigit((unsigned char)src_[pos_]))
+                    ++pos_;
+                PTok t = make(Pt::Num);
+                t.num = (double)strtoul(
+                    std::string(src_.substr(start + 2, pos_ - start - 2))
+                        .c_str(),
+                    nullptr, 16);
+                return t;
+            }
+            PTok t = make(Pt::Num);
+            t.num = strtod(std::string(src_.substr(start, pos_ - start))
+                               .c_str(),
+                           nullptr);
+            return t;
+        }
+
+        // Identifiers / keywords / string-comparison ops. '&' is a
+        // sub-call sigil only when an identifier follows (else '&&').
+        bool amp_sigil = c == '&' && pos_ + 1 < src_.size() &&
+                         (std::isalpha((unsigned char)src_[pos_ + 1]) ||
+                          src_[pos_ + 1] == '_');
+        if (std::isalpha((unsigned char)c) || c == '_' || amp_sigil) {
+            bool amp = c == '&';
+            if (amp)
+                ++pos_;
+            PTok t = make(Pt::Name);
+            t.text = (amp ? "&" : "") + ident();
+            if (t.text.empty() || t.text == "&")
+                error("bad identifier");
+            return t;
+        }
+
+        // Strings.
+        if (c == '"' || c == '\'') {
+            ++pos_;
+            PTok t = make(c == '"' ? Pt::InterpStr : Pt::Str);
+            std::string out;
+            while (pos_ < src_.size() && src_[pos_] != c) {
+                char d = src_[pos_++];
+                if (d == '\\' && pos_ < src_.size()) {
+                    char e = src_[pos_++];
+                    if (c == '\'') {
+                        // Single quotes: only \\ and \' are special.
+                        if (e == '\\' || e == '\'')
+                            out.push_back(e);
+                        else {
+                            out.push_back('\\');
+                            out.push_back(e);
+                        }
+                        continue;
+                    }
+                    switch (e) {
+                      case 'n': out.push_back('\n'); break;
+                      case 't': out.push_back('\t'); break;
+                      case 'r': out.push_back('\r'); break;
+                      case '0': out.push_back('\0'); break;
+                      case '$': out.push_back('\1'); // literal $ marker
+                        break;
+                      default: out.push_back(e); break;
+                    }
+                    continue;
+                }
+                if (d == '\n')
+                    ++line_;
+                out.push_back(d);
+            }
+            if (pos_ >= src_.size())
+                error("unterminated string");
+            ++pos_;
+            t.text = std::move(out);
+            return t;
+        }
+
+        // <FH> readline.
+        if (c == '<' && pos_ + 1 < src_.size() &&
+            (std::isupper((unsigned char)src_[pos_ + 1]))) {
+            size_t scout = pos_ + 1;
+            std::string name;
+            while (scout < src_.size() &&
+                   (std::isupper((unsigned char)src_[scout]) ||
+                    std::isdigit((unsigned char)src_[scout]) ||
+                    src_[scout] == '_'))
+                name.push_back(src_[scout++]);
+            if (scout < src_.size() && src_[scout] == '>') {
+                pos_ = scout + 1;
+                PTok t = make(Pt::ReadLine);
+                t.text = std::move(name);
+                return t;
+            }
+        }
+
+        ++pos_;
+        auto two = [&](char second) {
+            if (pos_ < src_.size() && src_[pos_] == second) {
+                ++pos_;
+                return true;
+            }
+            return false;
+        };
+        switch (c) {
+          case '(': return make(Pt::LParen);
+          case ')': return make(Pt::RParen);
+          case '{': return make(Pt::LBrace);
+          case '}': return make(Pt::RBrace);
+          case '[': return make(Pt::LBracket);
+          case ']': return make(Pt::RBracket);
+          case ';': return make(Pt::Semi);
+          case ',': return make(Pt::Comma);
+          case '?': return make(Pt::Question);
+          case ':': return make(Pt::Colon);
+          case '+': return make(two('=') ? Pt::PlusAssign : Pt::Plus);
+          case '-': return make(two('=') ? Pt::MinusAssign : Pt::Minus);
+          case '*': return make(two('=') ? Pt::StarAssign : Pt::Star);
+          case '/': return make(Pt::Slash);
+          case '%': return make(Pt::Percent);
+          case '.':
+            if (two('.'))
+                return make(Pt::DotDot);
+            return make(two('=') ? Pt::DotAssign : Pt::Dot);
+          case '=':
+            if (two('='))
+                return make(Pt::EqEq);
+            if (two('~'))
+                return make(Pt::MatchBind);
+            return make(Pt::Assign);
+          case '!':
+            if (two('='))
+                return make(Pt::BangEq);
+            if (two('~'))
+                return make(Pt::NotMatchBind);
+            return make(Pt::Bang);
+          case '<':
+            if (two('='))
+                return make(Pt::Le);
+            if (two('<'))
+                return make(Pt::Shl);
+            return make(Pt::Lt);
+          case '>':
+            if (two('='))
+                return make(Pt::Ge);
+            if (two('>'))
+                return make(Pt::Shr);
+            return make(Pt::Gt);
+          case '&':
+            if (two('&'))
+                return make(Pt::AndAnd);
+            return make(Pt::BitAnd);
+          case '|':
+            if (two('|'))
+                return make(Pt::OrOr);
+            return make(Pt::BitOr);
+          case '^':
+            return make(Pt::BitXor);
+          default:
+            error("unexpected character");
+        }
+    }
+
+    std::string
+    ident()
+    {
+        std::string out;
+        while (pos_ < src_.size() &&
+               (std::isalnum((unsigned char)src_[pos_]) ||
+                src_[pos_] == '_'))
+            out.push_back(src_[pos_++]);
+        return out;
+    }
+
+    std::string_view src_;
+    std::string file_;
+    trace::Execution *exec_;
+    trace::RoutineId rLex = 0;
+    size_t pos_ = 0;
+    int line_ = 1;
+
+  public:
+    bool prevValueLike = false;
+};
+
+/** Recursive-descent parser building the op tree. */
+class Parser
+{
+  public:
+    Parser(std::string_view src, trace::Execution *exec, std::string file)
+        : lex(src, file, exec), exec_(exec), file_(std::move(file))
+    {
+        script.sourceBytes = src.size();
+        script.arrayNames.push_back("_"); // @_ is array slot 0
+        if (exec_) {
+            rParse = exec_->code().registerRoutine(
+                "perl.yyparse", 600, trace::Segment::InterpCore);
+            rNewOp = exec_->code().registerRoutine(
+                "perl.newop", 200, trace::Segment::InterpCore);
+        }
+        advance();
+    }
+
+    Script
+    run()
+    {
+        auto block = node(Opc::Block);
+        while (tok.kind != Pt::End) {
+            if (tok.kind == Pt::Name && tok.text == "sub") {
+                advance();
+                parseSub();
+            } else {
+                block->kids.push_back(parseStatement());
+            }
+        }
+        script.main = std::move(block);
+        return std::move(script);
+    }
+
+  private:
+    [[noreturn]] void
+    error(const std::string &msg)
+    {
+        fatal("%s:%d: %s", file_.c_str(), tok.line, msg.c_str());
+    }
+
+    void
+    advance()
+    {
+        tok = lex.next();
+        if (exec_) {
+            trace::RoutineScope r(*exec_, rParse);
+            exec_->alu(18);      // state-machine transitions
+            exec_->load(&tok);
+            exec_->branch(true);
+            exec_->shortInt(3);
+        }
+    }
+
+    bool
+    accept(Pt kind)
+    {
+        if (tok.kind == kind) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(Pt kind, const char *what)
+    {
+        if (tok.kind != kind)
+            error(std::string("expected ") + what);
+        advance();
+    }
+
+    OpNodePtr
+    node(Opc op)
+    {
+        auto n = std::make_unique<OpNode>();
+        n->op = op;
+        n->line = tok.line;
+        if (exec_) {
+            // Op-tree construction: allocation + field initialization.
+            trace::RoutineScope r(*exec_, rNewOp);
+            exec_->alu(30);
+            exec_->store(n.get());
+            exec_->store(&n->kids);
+            exec_->branch(false);
+        }
+        return n;
+    }
+
+    // --- slot interning --------------------------------------------------
+    int
+    scalarSlot(const std::string &name)
+    {
+        return intern(script.scalarNames, name);
+    }
+
+    int
+    arraySlot(const std::string &name)
+    {
+        return intern(script.arrayNames, name);
+    }
+
+    int
+    hashSlot(const std::string &name)
+    {
+        return intern(script.hashNames, name);
+    }
+
+    int
+    intern(std::vector<std::string> &names, const std::string &name)
+    {
+        for (size_t i = 0; i < names.size(); ++i)
+            if (names[i] == name)
+                return (int)i;
+        names.push_back(name);
+        // Symbol-table insertion work (precompile).
+        if (exec_) {
+            trace::RoutineScope r(*exec_, rParse);
+            exec_->alu(20 + (uint32_t)name.size() * 2);
+        }
+        return (int)names.size() - 1;
+    }
+
+    // --- subs ----------------------------------------------------------
+    void
+    parseSub()
+    {
+        if (tok.kind != Pt::Name)
+            error("expected subroutine name");
+        std::string name = tok.text;
+        advance();
+        SubDef sub;
+        sub.name = name;
+        sub.body = parseBlock();
+        script.subIndex[name] = (int)script.subs.size();
+        script.subs.push_back(std::move(sub));
+    }
+
+    // --- statements -----------------------------------------------------
+    OpNodePtr
+    parseBlock()
+    {
+        expect(Pt::LBrace, "'{'");
+        auto block = node(Opc::Block);
+        while (!accept(Pt::RBrace))
+            block->kids.push_back(parseStatement());
+        return block;
+    }
+
+    OpNodePtr
+    parseStatement()
+    {
+        // Compound statements.
+        if (tok.kind == Pt::Name) {
+            const std::string &kw = tok.text;
+            if (kw == "if" || kw == "unless") {
+                bool negate = kw == "unless";
+                advance();
+                expect(Pt::LParen, "'('");
+                auto cond = parseExpr();
+                expect(Pt::RParen, "')'");
+                auto n = node(Opc::If);
+                if (negate) {
+                    auto wrapped = node(Opc::Not);
+                    wrapped->kids.push_back(std::move(cond));
+                    cond = std::move(wrapped);
+                }
+                n->kids.push_back(std::move(cond));
+                n->kids.push_back(parseBlock());
+                parseElseChain(*n);
+                return n;
+            }
+            if (kw == "while" || kw == "until") {
+                bool until = kw == "until";
+                advance();
+                expect(Pt::LParen, "'('");
+                auto n = node(Opc::While);
+                n->flag = until;
+                n->kids.push_back(parseExpr());
+                expect(Pt::RParen, "')'");
+                n->kids.push_back(parseBlock());
+                return n;
+            }
+            if (kw == "foreach" ||
+                (kw == "for" && peekIsForeach())) {
+                advance();
+                auto n = node(Opc::Foreach);
+                if (tok.kind != Pt::ScalarVar)
+                    error("foreach needs a scalar loop variable");
+                n->slot = scalarSlot(tok.text);
+                advance();
+                expect(Pt::LParen, "'('");
+                n->kids.push_back(parseListExpr());
+                expect(Pt::RParen, "')'");
+                n->kids.push_back(parseBlock());
+                return n;
+            }
+            if (kw == "for") {
+                advance();
+                expect(Pt::LParen, "'('");
+                auto n = node(Opc::ForC);
+                n->kids.push_back(tok.kind == Pt::Semi
+                                      ? node(Opc::Block)
+                                      : parseExpr());
+                expect(Pt::Semi, "';'");
+                if (tok.kind == Pt::Semi) {
+                    auto always = node(Opc::ConstNum);
+                    always->num = 1; // empty condition = true
+                    n->kids.push_back(std::move(always));
+                } else {
+                    n->kids.push_back(parseExpr());
+                }
+                expect(Pt::Semi, "';'");
+                n->kids.push_back(tok.kind == Pt::RParen
+                                      ? node(Opc::Block)
+                                      : parseExpr());
+                expect(Pt::RParen, "')'");
+                n->kids.push_back(parseBlock());
+                return n;
+            }
+        }
+
+        // Simple statement with optional modifier.
+        auto stmt = parseSimpleStatement();
+        if (tok.kind == Pt::Name &&
+            (tok.text == "if" || tok.text == "unless" ||
+             tok.text == "while")) {
+            std::string mod = tok.text;
+            advance();
+            auto cond = parseExpr();
+            if (mod == "while") {
+                auto loop = node(Opc::While);
+                loop->kids.push_back(std::move(cond));
+                auto body = node(Opc::Block);
+                body->kids.push_back(std::move(stmt));
+                loop->kids.push_back(std::move(body));
+                stmt = std::move(loop);
+            } else {
+                if (mod == "unless") {
+                    auto wrapped = node(Opc::Not);
+                    wrapped->kids.push_back(std::move(cond));
+                    cond = std::move(wrapped);
+                }
+                auto branch = node(Opc::If);
+                branch->kids.push_back(std::move(cond));
+                auto body = node(Opc::Block);
+                body->kids.push_back(std::move(stmt));
+                branch->kids.push_back(std::move(body));
+                stmt = std::move(branch);
+            }
+        }
+        expect(Pt::Semi, "';'");
+        return stmt;
+    }
+
+    /** Heuristic: `for $x (` is a foreach. */
+    bool
+    peekIsForeach()
+    {
+        // The current token is still "for"; we cannot cheaply peek the
+        // lexer, so only `foreach` is accepted for scalar loops.
+        return false;
+    }
+
+    void
+    parseElseChain(OpNode &branch)
+    {
+        if (tok.kind == Pt::Name && tok.text == "elsif") {
+            advance();
+            expect(Pt::LParen, "'('");
+            auto nested = node(Opc::If);
+            nested->kids.push_back(parseExpr());
+            expect(Pt::RParen, "')'");
+            nested->kids.push_back(parseBlock());
+            parseElseChain(*nested);
+            auto wrap = node(Opc::Block);
+            wrap->kids.push_back(std::move(nested));
+            branch.kids.push_back(std::move(wrap));
+            return;
+        }
+        if (tok.kind == Pt::Name && tok.text == "else") {
+            advance();
+            branch.kids.push_back(parseBlock());
+        }
+    }
+
+    OpNodePtr
+    parseSimpleStatement()
+    {
+        if (tok.kind == Pt::Name) {
+            const std::string &kw = tok.text;
+            if (kw == "return") {
+                advance();
+                auto n = node(Opc::Return);
+                bool modifier =
+                    tok.kind == Pt::Name &&
+                    (tok.text == "if" || tok.text == "unless" ||
+                     tok.text == "while");
+                if (tok.kind != Pt::Semi && !modifier)
+                    n->kids.push_back(parseExpr());
+                return n;
+            }
+            if (kw == "last") {
+                advance();
+                return node(Opc::Last);
+            }
+            if (kw == "next") {
+                advance();
+                return node(Opc::Next);
+            }
+            if (kw == "print") {
+                advance();
+                auto n = node(Opc::Print);
+                n->str = "STDOUT";
+                // Optional filehandle: an all-caps NAME not followed
+                // by a comma/operator.
+                if (tok.kind == Pt::Name && isFilehandle(tok.text)) {
+                    n->str = tok.text;
+                    advance();
+                }
+                if (tok.kind != Pt::Semi &&
+                    !(tok.kind == Pt::Name &&
+                      (tok.text == "if" || tok.text == "unless" ||
+                       tok.text == "while")))
+                    n->kids.push_back(parseListExpr());
+                return n;
+            }
+            if (kw == "local") {
+                advance();
+                auto n = node(Opc::Local);
+                bool paren = accept(Pt::LParen);
+                do {
+                    auto var = parsePrimary();
+                    if (var->op != Opc::ScalarVar &&
+                        var->op != Opc::ArrayVar)
+                        error("local() takes variables");
+                    n->kids.push_back(std::move(var));
+                } while (paren && accept(Pt::Comma));
+                if (paren)
+                    expect(Pt::RParen, "')'");
+                if (accept(Pt::Assign)) {
+                    // `local $x = expr`: the last kid is the initial
+                    // value, assigned to the first localized variable.
+                    n->flag = true;
+                    n->kids.push_back(parseExpr());
+                }
+                return n;
+            }
+        }
+        return parseExpr();
+    }
+
+    /** Could the current token begin an operand? */
+    bool
+    startsOperand() const
+    {
+        switch (tok.kind) {
+          case Pt::Num: case Pt::Str: case Pt::InterpStr:
+          case Pt::ScalarVar: case Pt::ArrayVar: case Pt::ArrayLast:
+          case Pt::ReadLine: case Pt::Minus: case Pt::Bang:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    static bool
+    isFilehandle(const std::string &name)
+    {
+        if (name.empty())
+            return false;
+        for (char c : name)
+            if (!std::isupper((unsigned char)c) &&
+                !std::isdigit((unsigned char)c) && c != '_')
+                return false;
+        return true;
+    }
+
+    // --- expressions ------------------------------------------------------
+    OpNodePtr
+    parseListExpr()
+    {
+        auto first = parseExpr();
+        if (tok.kind != Pt::Comma)
+            return first;
+        auto list = node(Opc::CommaList);
+        list->kids.push_back(std::move(first));
+        while (accept(Pt::Comma)) {
+            if (tok.kind == Pt::RParen || tok.kind == Pt::Semi)
+                break; // trailing comma
+            list->kids.push_back(parseExpr());
+        }
+        return list;
+    }
+
+    OpNodePtr
+    parseExpr()
+    {
+        return parseAssign();
+    }
+
+    OpNodePtr
+    parseAssign()
+    {
+        auto lhs = parseTernary();
+        Opc op;
+        switch (tok.kind) {
+          case Pt::Assign: op = Opc::Assign; break;
+          case Pt::PlusAssign: op = Opc::AddAssign; break;
+          case Pt::MinusAssign: op = Opc::SubAssign; break;
+          case Pt::StarAssign: op = Opc::MulAssign; break;
+          case Pt::DotAssign: op = Opc::ConcatAssign; break;
+          default: return lhs;
+        }
+        if (lhs->op != Opc::ScalarVar && lhs->op != Opc::ArrayElem &&
+            lhs->op != Opc::HashElem && lhs->op != Opc::ArrayVar)
+            error("assignment needs an lvalue");
+        advance();
+        auto n = node(op);
+        n->kids.push_back(std::move(lhs));
+        n->kids.push_back(op == Opc::Assign &&
+                                  n->kids[0]->op == Opc::ArrayVar
+                              ? parseListExpr()
+                              : parseAssign());
+        return n;
+    }
+
+    OpNodePtr
+    parseTernary()
+    {
+        auto cond = parseOr();
+        if (!accept(Pt::Question))
+            return cond;
+        // `?:` reuses the If op, which yields its branch's value.
+        auto n = node(Opc::If);
+        n->kids.push_back(std::move(cond));
+        n->kids.push_back(parseAssign());
+        expect(Pt::Colon, "':'");
+        n->kids.push_back(parseAssign());
+        return n;
+    }
+
+    OpNodePtr
+    parseOr()
+    {
+        auto lhs = parseAnd();
+        while (tok.kind == Pt::OrOr) {
+            advance();
+            auto n = node(Opc::Or);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseAnd());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseAnd()
+    {
+        auto lhs = parseBitOr();
+        while (tok.kind == Pt::AndAnd) {
+            advance();
+            auto n = node(Opc::And);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseBitOr());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseBitOr()
+    {
+        auto lhs = parseBitAnd();
+        while (tok.kind == Pt::BitOr || tok.kind == Pt::BitXor) {
+            Opc op = tok.kind == Pt::BitOr ? Opc::BitOr : Opc::BitXor;
+            advance();
+            auto n = node(op);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseBitAnd());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseBitAnd()
+    {
+        auto lhs = parseEquality();
+        while (tok.kind == Pt::BitAnd) {
+            advance();
+            auto n = node(Opc::BitAnd);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseEquality());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseEquality()
+    {
+        auto lhs = parseRelational();
+        while (true) {
+            Opc op;
+            if (tok.kind == Pt::EqEq)
+                op = Opc::NumEq;
+            else if (tok.kind == Pt::BangEq)
+                op = Opc::NumNe;
+            else if (tok.kind == Pt::Name && tok.text == "eq")
+                op = Opc::StrEq;
+            else if (tok.kind == Pt::Name && tok.text == "ne")
+                op = Opc::StrNe;
+            else
+                break;
+            advance();
+            auto n = node(op);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseRelational());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseRelational()
+    {
+        auto lhs = parseShift();
+        while (true) {
+            Opc op;
+            if (tok.kind == Pt::Lt)
+                op = Opc::NumLt;
+            else if (tok.kind == Pt::Le)
+                op = Opc::NumLe;
+            else if (tok.kind == Pt::Gt)
+                op = Opc::NumGt;
+            else if (tok.kind == Pt::Ge)
+                op = Opc::NumGe;
+            else if (tok.kind == Pt::Name && tok.text == "lt")
+                op = Opc::StrLt;
+            else if (tok.kind == Pt::Name && tok.text == "gt")
+                op = Opc::StrGt;
+            else
+                break;
+            advance();
+            auto n = node(op);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseShift());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseShift()
+    {
+        auto lhs = parseAdditive();
+        while (tok.kind == Pt::Shl || tok.kind == Pt::Shr) {
+            Opc op = tok.kind == Pt::Shl ? Opc::Shl : Opc::Shr;
+            advance();
+            auto n = node(op);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseAdditive());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseAdditive()
+    {
+        auto lhs = parseMultiplicative();
+        while (tok.kind == Pt::Plus || tok.kind == Pt::Minus ||
+               tok.kind == Pt::Dot || tok.kind == Pt::DotDot) {
+            Opc op = tok.kind == Pt::Plus    ? Opc::Add
+                     : tok.kind == Pt::Minus ? Opc::Sub
+                     : tok.kind == Pt::Dot   ? Opc::Concat
+                                             : Opc::Range;
+            advance();
+            auto n = node(op);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseMultiplicative());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseMultiplicative()
+    {
+        auto lhs = parseMatch();
+        while (tok.kind == Pt::Star || tok.kind == Pt::Slash ||
+               tok.kind == Pt::Percent ||
+               (tok.kind == Pt::Name && tok.text == "x")) {
+            Opc op = tok.kind == Pt::Star      ? Opc::Mul
+                     : tok.kind == Pt::Slash   ? Opc::Div
+                     : tok.kind == Pt::Percent ? Opc::Mod
+                                               : Opc::Repeat;
+            advance();
+            auto n = node(op);
+            n->kids.push_back(std::move(lhs));
+            n->kids.push_back(parseMatch());
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    OpNodePtr
+    parseMatch()
+    {
+        auto lhs = parseUnary();
+        while (tok.kind == Pt::MatchBind || tok.kind == Pt::NotMatchBind) {
+            bool negate = tok.kind == Pt::NotMatchBind;
+            // The pattern follows directly in the raw source; consume
+            // it before the next ordinary token is lexed.
+            auto n = parsePatternOp(std::move(lhs), negate);
+            lhs = std::move(n);
+        }
+        return lhs;
+    }
+
+    /** Parse `=~ /pat/`, `=~ m/pat/` or `=~ s/pat/repl/flags`. */
+    OpNodePtr
+    parsePatternOp(OpNodePtr target, bool negate)
+    {
+        // Current token is =~ / !~; the next characters come straight
+        // from the lexer.
+        advance(); // past =~, now tok holds the following token
+        if (tok.kind == Pt::Slash) {
+            std::string pattern = lex.rawUntil('/');
+            lex.flags();
+            auto n = node(Opc::Match);
+            n->flag = negate;
+            n->rx = std::make_unique<Regex>(pattern);
+            chargeRegexCompile(pattern);
+            n->kids.push_back(std::move(target));
+            advance();
+            return n;
+        }
+        if (tok.kind == Pt::Name && (tok.text == "m" || tok.text == "s")) {
+            bool subst = tok.text == "s";
+            // The opening '/' follows the m/s directly in the raw
+            // source; the first rawUntil consumes it (and must find
+            // nothing before it), the second reads the pattern body.
+            std::string opener = lex.rawUntil('/');
+            if (!opener.empty())
+                error("expected '/' directly after m or s");
+            std::string pattern = lex.rawUntil('/');
+            if (!subst) {
+                lex.flags();
+                auto n = node(Opc::Match);
+                n->flag = negate;
+                n->rx = std::make_unique<Regex>(pattern);
+                chargeRegexCompile(pattern);
+                n->kids.push_back(std::move(target));
+                advance();
+                return n;
+            }
+            std::string repl = lex.rawUntil('/');
+            std::string flag_str = lex.flags();
+            auto n = node(Opc::Subst);
+            n->flag = flag_str.find('g') != std::string::npos;
+            n->rx = std::make_unique<Regex>(pattern);
+            chargeRegexCompile(pattern);
+            n->str = repl;
+            n->kids.push_back(std::move(target));
+            n->kids.push_back(interpolateRepl(repl));
+            advance();
+            return n;
+        }
+        error("expected a pattern after =~");
+    }
+
+    void
+    chargeRegexCompile(const std::string &pattern)
+    {
+        if (exec_) {
+            trace::RoutineScope r(*exec_, rNewOp);
+            exec_->alu(60 + (uint32_t)pattern.size() * 12);
+            exec_->shortInt((uint32_t)pattern.size() * 2);
+        }
+    }
+
+    OpNodePtr
+    parseUnary()
+    {
+        if (tok.kind == Pt::Bang) {
+            advance();
+            auto n = node(Opc::Not);
+            n->kids.push_back(parseUnary());
+            return n;
+        }
+        if (tok.kind == Pt::Minus) {
+            advance();
+            auto n = node(Opc::Negate);
+            n->kids.push_back(parseUnary());
+            return n;
+        }
+        return parsePrimary();
+    }
+
+    /** Interpolate $name references inside a double-quoted string. */
+    OpNodePtr
+    interpolate(const std::string &raw)
+    {
+        std::vector<OpNodePtr> parts;
+        std::string lit;
+        for (size_t i = 0; i < raw.size(); ++i) {
+            char c = raw[i];
+            if (c == '\1') { // escaped literal $
+                lit.push_back('$');
+                continue;
+            }
+            if (c == '$' && i + 1 < raw.size() &&
+                (std::isalpha((unsigned char)raw[i + 1]) ||
+                 raw[i + 1] == '_' ||
+                 std::isdigit((unsigned char)raw[i + 1]))) {
+                if (!lit.empty()) {
+                    auto part = node(Opc::ConstStr);
+                    part->str = lit;
+                    lit.clear();
+                    parts.push_back(std::move(part));
+                }
+                ++i;
+                if (std::isdigit((unsigned char)raw[i])) {
+                    auto var = node(Opc::CaptureVar);
+                    var->slot = raw[i] - '0';
+                    parts.push_back(std::move(var));
+                    continue;
+                }
+                std::string name;
+                while (i < raw.size() &&
+                       (std::isalnum((unsigned char)raw[i]) ||
+                        raw[i] == '_'))
+                    name.push_back(raw[i++]);
+                --i;
+                auto var = node(Opc::ScalarVar);
+                var->slot = scalarSlot(name);
+                var->str = name;
+                parts.push_back(std::move(var));
+                continue;
+            }
+            lit.push_back(c);
+        }
+        if (!lit.empty() || parts.empty()) {
+            auto part = node(Opc::ConstStr);
+            part->str = lit;
+            parts.push_back(std::move(part));
+        }
+        if (parts.size() == 1)
+            return std::move(parts[0]);
+        OpNodePtr chain = std::move(parts[0]);
+        for (size_t i = 1; i < parts.size(); ++i) {
+            auto cat = node(Opc::Concat);
+            cat->kids.push_back(std::move(chain));
+            cat->kids.push_back(std::move(parts[i]));
+            chain = std::move(cat);
+        }
+        return chain;
+    }
+
+    /**
+     * Interpolate a s/// replacement: $name becomes a variable read,
+     * but $1..$9 and $& stay literal for the regex engine (they are
+     * expanded per match); backslash escapes are decoded.
+     */
+    OpNodePtr
+    interpolateRepl(const std::string &raw)
+    {
+        std::vector<OpNodePtr> parts;
+        std::string lit;
+        for (size_t i = 0; i < raw.size(); ++i) {
+            char c = raw[i];
+            if (c == '\\' && i + 1 < raw.size()) {
+                char e = raw[++i];
+                switch (e) {
+                  case 'n': lit.push_back('\n'); break;
+                  case 't': lit.push_back('\t'); break;
+                  default: lit.push_back(e); break;
+                }
+                continue;
+            }
+            if (c == '$' && i + 1 < raw.size() &&
+                (std::isalpha((unsigned char)raw[i + 1]) ||
+                 raw[i + 1] == '_')) {
+                if (!lit.empty()) {
+                    auto part = node(Opc::ConstStr);
+                    part->str = lit;
+                    lit.clear();
+                    parts.push_back(std::move(part));
+                }
+                ++i;
+                std::string name;
+                while (i < raw.size() &&
+                       (std::isalnum((unsigned char)raw[i]) ||
+                        raw[i] == '_'))
+                    name.push_back(raw[i++]);
+                --i;
+                auto var = node(Opc::ScalarVar);
+                var->slot = scalarSlot(name);
+                var->str = name;
+                parts.push_back(std::move(var));
+                continue;
+            }
+            lit.push_back(c);
+        }
+        if (!lit.empty() || parts.empty()) {
+            auto part = node(Opc::ConstStr);
+            part->str = lit;
+            parts.push_back(std::move(part));
+        }
+        if (parts.size() == 1)
+            return std::move(parts[0]);
+        OpNodePtr chain = std::move(parts[0]);
+        for (size_t i = 1; i < parts.size(); ++i) {
+            auto cat = node(Opc::Concat);
+            cat->kids.push_back(std::move(chain));
+            cat->kids.push_back(std::move(parts[i]));
+            chain = std::move(cat);
+        }
+        return chain;
+    }
+
+    OpNodePtr
+    parsePrimary()
+    {
+        switch (tok.kind) {
+          case Pt::Num: {
+            auto n = node(Opc::ConstNum);
+            n->num = tok.num;
+            advance();
+            return n;
+          }
+          case Pt::Str: {
+            auto n = node(Opc::ConstStr);
+            n->str = tok.text;
+            advance();
+            return n;
+          }
+          case Pt::InterpStr: {
+            std::string raw = tok.text;
+            advance();
+            return interpolate(raw);
+          }
+          case Pt::ScalarVar: {
+            std::string name = tok.text;
+            advance();
+            if (name.size() == 1 && std::isdigit((unsigned char)name[0])) {
+                auto n = node(Opc::CaptureVar);
+                n->slot = name[0] - '0';
+                return n;
+            }
+            if (accept(Pt::LBracket)) {
+                auto n = node(Opc::ArrayElem);
+                n->slot = arraySlot(name);
+                n->str = name;
+                n->kids.push_back(parseExpr());
+                expect(Pt::RBracket, "']'");
+                return n;
+            }
+            if (accept(Pt::LBrace)) {
+                auto n = node(Opc::HashElem);
+                n->slot = hashSlot(name);
+                n->str = name;
+                // Bare words are allowed as keys: $h{word}.
+                if (tok.kind == Pt::Name) {
+                    auto key = node(Opc::ConstStr);
+                    key->str = tok.text;
+                    advance();
+                    n->kids.push_back(std::move(key));
+                } else {
+                    n->kids.push_back(parseExpr());
+                }
+                expect(Pt::RBrace, "'}'");
+                return n;
+            }
+            auto n = node(Opc::ScalarVar);
+            n->slot = scalarSlot(name);
+            n->str = name;
+            return n;
+          }
+          case Pt::ArrayVar: {
+            auto n = node(Opc::ArrayVar);
+            n->slot = arraySlot(tok.text);
+            n->str = tok.text;
+            advance();
+            return n;
+          }
+          case Pt::HashVar:
+            error("%hash in expression context is not supported");
+          case Pt::ArrayLast: {
+            auto n = node(Opc::ArrayLast);
+            n->slot = arraySlot(tok.text);
+            advance();
+            return n;
+          }
+          case Pt::ReadLine: {
+            auto n = node(Opc::ReadLine);
+            n->str = tok.text;
+            advance();
+            return n;
+          }
+          case Pt::LParen: {
+            advance();
+            if (accept(Pt::RParen))
+                return node(Opc::CommaList); // the empty list ()
+            auto inner = parseListExpr();
+            expect(Pt::RParen, "')'");
+            return inner;
+          }
+          case Pt::Slash: {
+            // Bare /pattern/ matches $_ — not supported; require =~.
+            error("bare //-match is not supported; use '=~'");
+          }
+          case Pt::Name:
+            return parseNameExpr();
+          default:
+            error("expected an expression");
+        }
+    }
+
+    /** Builtins and subroutine calls. */
+    OpNodePtr
+    parseNameExpr()
+    {
+        std::string name = tok.text;
+
+        static const std::unordered_map<std::string, Opc> kBuiltins = {
+            {"length", Opc::Length},   {"substr", Opc::Substr},
+            {"index", Opc::IndexOf},   {"join", Opc::Join},
+            {"push", Opc::PushOp},     {"pop", Opc::PopOp},
+            {"shift", Opc::ShiftOp},   {"unshift", Opc::UnshiftOp},
+            {"keys", Opc::Keys},       {"values", Opc::Values},
+            {"defined", Opc::Defined}, {"delete", Opc::Delete},
+            {"chop", Opc::Chop},       {"die", Opc::Die},
+            {"sprintf", Opc::Sprintf}, {"int", Opc::IntOp},
+            {"ord", Opc::Ord},         {"chr", Opc::Chr},
+            {"scalar", Opc::Scalar_},  {"exit", Opc::Exit},
+            {"open", Opc::OpenF},     {"close", Opc::CloseF},
+            {"sysread", Opc::SysRead},
+        };
+
+        if (name == "split") {
+            advance();
+            expect(Pt::LParen, "'('");
+            if (tok.kind != Pt::Slash)
+                error("split needs a /pattern/");
+            std::string pattern = lex.rawUntil('/');
+            advance();
+            expect(Pt::Comma, "','");
+            auto n = node(Opc::SplitOp);
+            n->rx = std::make_unique<Regex>(pattern);
+            chargeRegexCompile(pattern);
+            n->kids.push_back(parseExpr());
+            expect(Pt::RParen, "')'");
+            return n;
+        }
+
+        auto it = kBuiltins.find(name);
+        if (it != kBuiltins.end()) {
+            advance();
+            auto n = node(it->second);
+            if (it->second == Opc::Keys || it->second == Opc::Values) {
+                // keys(%h) / values(%h): the hash slot goes in `slot`.
+                expect(Pt::LParen, "'('");
+                if (tok.kind != Pt::HashVar)
+                    error(name + " needs a %hash");
+                n->slot = hashSlot(tok.text);
+                advance();
+                expect(Pt::RParen, "')'");
+                return n;
+            }
+            if (it->second == Opc::OpenF || it->second == Opc::CloseF ||
+                it->second == Opc::SysRead) {
+                expect(Pt::LParen, "'('");
+                if (tok.kind != Pt::Name || !isFilehandle(tok.text))
+                    error("expected a FILEHANDLE");
+                n->str = tok.text;
+                advance();
+                while (accept(Pt::Comma))
+                    n->kids.push_back(parseExpr());
+                expect(Pt::RParen, "')'");
+                return n;
+            }
+            bool paren = accept(Pt::LParen);
+            if (paren && tok.kind != Pt::RParen) {
+                n->kids.push_back(parseExpr());
+                while (accept(Pt::Comma))
+                    n->kids.push_back(parseExpr());
+            } else if (!paren && startsOperand()) {
+                // Perl allows parenless unary builtins: die "msg",
+                // shift @a, length $s, ...
+                n->kids.push_back(parseExpr());
+            }
+            if (paren)
+                expect(Pt::RParen, "')'");
+            return n;
+        }
+
+        // Subroutine call: &name(...) or name(...).
+        bool amp = name.size() > 1 && name[0] == '&';
+        std::string sub_name = amp ? name.substr(1) : name;
+        advance();
+        if (!amp && tok.kind != Pt::LParen)
+            error("unknown identifier '" + sub_name + "'");
+        auto n = node(Opc::CallSub);
+        n->str = sub_name;
+        if (accept(Pt::LParen)) {
+            if (tok.kind != Pt::RParen) {
+                n->kids.push_back(parseExpr());
+                while (accept(Pt::Comma))
+                    n->kids.push_back(parseExpr());
+            }
+            expect(Pt::RParen, "')'");
+        }
+        return n;
+    }
+
+    Lexer lex;
+    trace::Execution *exec_;
+    std::string file_;
+    PTok tok;
+    Script script;
+    trace::RoutineId rParse = 0;
+    trace::RoutineId rNewOp = 0;
+};
+
+} // namespace
+
+const char *
+opcName(Opc op)
+{
+    switch (op) {
+      case Opc::ConstNum: return "const";
+      case Opc::ConstStr: return "const_str";
+      case Opc::ScalarVar: return "gvsv";
+      case Opc::ArrayElem: return "aelem";
+      case Opc::HashElem: return "helem";
+      case Opc::ArrayVar: return "gvav";
+      case Opc::CaptureVar: return "capture";
+      case Opc::ArrayLast: return "av_len";
+      case Opc::Add: return "add";
+      case Opc::Sub: return "subtract";
+      case Opc::Mul: return "multiply";
+      case Opc::Div: return "divide";
+      case Opc::Mod: return "modulo";
+      case Opc::Negate: return "negate";
+      case Opc::Not: return "not";
+      case Opc::Concat: return "concat";
+      case Opc::Repeat: return "repeat";
+      case Opc::BitAnd: return "band";
+      case Opc::BitOr: return "bor";
+      case Opc::BitXor: return "bxor";
+      case Opc::Shl: return "lshift";
+      case Opc::Shr: return "rshift";
+      case Opc::NumEq: return "eq";
+      case Opc::NumNe: return "ne";
+      case Opc::NumLt: return "lt";
+      case Opc::NumLe: return "le";
+      case Opc::NumGt: return "gt";
+      case Opc::NumGe: return "ge";
+      case Opc::StrEq: return "seq";
+      case Opc::StrNe: return "sne";
+      case Opc::StrLt: return "slt";
+      case Opc::StrGt: return "sgt";
+      case Opc::And: return "and";
+      case Opc::Or: return "or";
+      case Opc::Assign: return "sassign";
+      case Opc::AddAssign: return "add_assign";
+      case Opc::SubAssign: return "sub_assign";
+      case Opc::MulAssign: return "mul_assign";
+      case Opc::ConcatAssign: return "concat_assign";
+      case Opc::Match: return "match";
+      case Opc::Subst: return "subst";
+      case Opc::SplitOp: return "split";
+      case Opc::Block: return "block";
+      case Opc::If: return "cond_expr";
+      case Opc::While: return "while";
+      case Opc::ForC: return "for";
+      case Opc::Foreach: return "foreach";
+      case Opc::CallSub: return "entersub";
+      case Opc::Return: return "return";
+      case Opc::Last: return "last";
+      case Opc::Next: return "next";
+      case Opc::CommaList: return "list";
+      case Opc::Range: return "range";
+      case Opc::Print: return "print";
+      case Opc::Length: return "length";
+      case Opc::Substr: return "substr";
+      case Opc::IndexOf: return "index";
+      case Opc::Join: return "join";
+      case Opc::PushOp: return "push";
+      case Opc::PopOp: return "pop";
+      case Opc::ShiftOp: return "shift";
+      case Opc::UnshiftOp: return "unshift";
+      case Opc::Keys: return "keys";
+      case Opc::Values: return "values";
+      case Opc::Defined: return "defined";
+      case Opc::Delete: return "delete";
+      case Opc::Chop: return "chop";
+      case Opc::Die: return "die";
+      case Opc::Local: return "local";
+      case Opc::OpenF: return "open";
+      case Opc::CloseF: return "close";
+      case Opc::ReadLine: return "readline";
+      case Opc::SysRead: return "sysread";
+      case Opc::Sprintf: return "sprintf";
+      case Opc::IntOp: return "int";
+      case Opc::Ord: return "ord";
+      case Opc::Chr: return "chr";
+      case Opc::Scalar_: return "scalar";
+      case Opc::Exit: return "exit";
+      default: return "?";
+    }
+}
+
+Script
+compileScript(std::string_view source, trace::Execution *exec,
+              const std::string &filename)
+{
+    if (exec) {
+        // Perl recompiles the script on every invocation; all of this
+        // work lands in the PRECOMPILE category (Table 2, parentheses).
+        trace::CategoryScope cat(*exec, trace::Category::Precompile);
+        Parser parser(source, exec, filename);
+        return parser.run();
+    }
+    Parser parser(source, nullptr, filename);
+    return parser.run();
+}
+
+} // namespace interp::perlish

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The perlish startup compiler (lexer + recursive-descent parser).
+ *
+ * Runs once per program invocation, exactly as Perl 4 recompiles every
+ * script at startup; its work is emitted in the PRECOMPILE category so
+ * Table 2 can report it separately (the parenthesized instruction
+ * counts of the paper's Perl rows).
+ */
+
+#ifndef INTERP_PERLISH_COMPILER_HH
+#define INTERP_PERLISH_COMPILER_HH
+
+#include <string>
+#include <string_view>
+
+#include "perlish/optree.hh"
+#include "trace/execution.hh"
+
+namespace interp::perlish {
+
+/**
+ * Compile @p source into a Script, emitting precompilation work into
+ * @p exec (pass nullptr to compile silently, e.g. in unit tests).
+ */
+Script compileScript(std::string_view source, trace::Execution *exec,
+                     const std::string &filename = "<script>");
+
+} // namespace interp::perlish
+
+#endif // INTERP_PERLISH_COMPILER_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The perlish internal representation: an op tree.
+ *
+ * Like Perl 4, a perlish program is compiled *at startup, on every
+ * invocation* into a tree of ops; the interpreter then walks the tree,
+ * executing one op per trip through its eval loop — each op execution
+ * is one virtual command (Table 2's Perl rows). Scalar and array
+ * variable names are resolved to slots during this compilation (the
+ * preprocessing benefit §3.3 credits Perl with); hash elements always
+ * need a runtime hash-table translation.
+ */
+
+#ifndef INTERP_PERLISH_OPTREE_HH
+#define INTERP_PERLISH_OPTREE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perlish/regex.hh"
+
+namespace interp::perlish {
+
+/** Op codes; names are the virtual-command names in profiles. */
+enum class Opc : uint8_t
+{
+    // leaves
+    ConstNum, ConstStr, ScalarVar, ArrayElem, HashElem, ArrayVar,
+    CaptureVar, ArrayLast, // $#array
+    // arithmetic / string operators
+    Add, Sub, Mul, Div, Mod, Negate, Not, Concat, Repeat,
+    BitAnd, BitOr, BitXor, Shl, Shr,
+    NumEq, NumNe, NumLt, NumLe, NumGt, NumGe,
+    StrEq, StrNe, StrLt, StrGt,
+    And, Or,
+    Assign, AddAssign, SubAssign, MulAssign, ConcatAssign,
+    // regex
+    Match, Subst, SplitOp,
+    // control
+    Block, If, While, ForC, Foreach, CallSub, Return, Last, Next,
+    // list construction
+    CommaList, Range,
+    // builtins
+    Print, Length, Substr, IndexOf, Join, PushOp, PopOp, ShiftOp,
+    UnshiftOp, Keys, Values, Defined, Delete, Chop, Die, Local,
+    OpenF, CloseF, ReadLine, SysRead, Sprintf, IntOp, Ord, Chr, Scalar_,
+    Exit,
+    NumOps,
+};
+
+/** Printable op name (virtual-command name). */
+const char *opcName(Opc op);
+
+struct OpNode;
+using OpNodePtr = std::unique_ptr<OpNode>;
+
+/** One node of the op tree. */
+struct OpNode
+{
+    Opc op;
+    int line = 0;
+
+    double num = 0;        ///< ConstNum
+    std::string str;       ///< ConstStr / filehandle / sub name / repl
+    int slot = -1;         ///< variable slot / capture index / sub id
+    bool flag = false;     ///< !~ (Match), /g (Subst), until (While)
+    std::unique_ptr<Regex> rx;
+    std::vector<OpNodePtr> kids;
+};
+
+/** A named subroutine. */
+struct SubDef
+{
+    std::string name;
+    OpNodePtr body;
+};
+
+/** A fully compiled script. */
+struct Script
+{
+    OpNodePtr main; ///< top-level block
+    std::vector<SubDef> subs;
+    std::map<std::string, int> subIndex;
+
+    std::vector<std::string> scalarNames;
+    std::vector<std::string> arrayNames; ///< slot 0 is always "@_"
+    std::vector<std::string> hashNames;
+
+    size_t sourceBytes = 0; ///< Table 2's Size column
+};
+
+} // namespace interp::perlish
+
+#endif // INTERP_PERLISH_OPTREE_HH

@@ -1,0 +1,445 @@
+#include "perlish/regex.hh"
+
+#include <cctype>
+#include <functional>
+
+#include "support/logging.hh"
+
+namespace interp::perlish {
+
+namespace {
+
+constexpr size_t kNpos = std::string::npos;
+
+bool
+classHas(const std::array<uint32_t, 8> &cls, uint8_t c)
+{
+    return (cls[c >> 5] >> (c & 31)) & 1;
+}
+
+} // namespace
+
+// --- parsing -----------------------------------------------------------
+
+Regex::Regex(const std::string &pattern) : source(pattern)
+{
+    cursor = 0;
+    root = parseAlt();
+    if (cursor != source.size())
+        fatal("regex: unexpected '%c' at offset %zu in /%s/",
+              source[cursor], cursor, source.c_str());
+}
+
+Regex::NodePtr
+Regex::parseAlt()
+{
+    auto first = parseSeq();
+    if (cursor >= source.size() || source[cursor] != '|')
+        return first;
+    auto alt = std::make_unique<Node>();
+    alt->kind = Node::Kind::Alt;
+    alt->kids.push_back(std::move(first));
+    while (cursor < source.size() && source[cursor] == '|') {
+        ++cursor;
+        alt->kids.push_back(parseSeq());
+    }
+    return alt;
+}
+
+Regex::NodePtr
+Regex::parseSeq()
+{
+    auto seq = std::make_unique<Node>();
+    seq->kind = Node::Kind::Seq;
+    while (cursor < source.size() && source[cursor] != '|' &&
+           source[cursor] != ')')
+        seq->kids.push_back(parseFactor());
+    return seq;
+}
+
+Regex::NodePtr
+Regex::parseFactor()
+{
+    auto atom = parseAtom();
+    while (cursor < source.size()) {
+        char c = source[cursor];
+        Node::Kind kind;
+        if (c == '*')
+            kind = Node::Kind::Star;
+        else if (c == '+')
+            kind = Node::Kind::Plus;
+        else if (c == '?')
+            kind = Node::Kind::Quest;
+        else
+            break;
+        ++cursor;
+        auto quant = std::make_unique<Node>();
+        quant->kind = kind;
+        quant->kids.push_back(std::move(atom));
+        atom = std::move(quant);
+    }
+    return atom;
+}
+
+void
+Regex::classAdd(Node &node, uint8_t c)
+{
+    node.cls[c >> 5] |= 1u << (c & 31);
+}
+
+void
+Regex::classAddRange(Node &node, uint8_t lo, uint8_t hi)
+{
+    for (int c = lo; c <= hi; ++c)
+        classAdd(node, (uint8_t)c);
+}
+
+void
+Regex::classAddEscape(Node &node, char esc)
+{
+    switch (esc) {
+      case 'd':
+        classAddRange(node, '0', '9');
+        break;
+      case 'w':
+        classAddRange(node, 'a', 'z');
+        classAddRange(node, 'A', 'Z');
+        classAddRange(node, '0', '9');
+        classAdd(node, '_');
+        break;
+      case 's':
+        classAdd(node, ' ');
+        classAdd(node, '\t');
+        classAdd(node, '\n');
+        classAdd(node, '\r');
+        classAdd(node, '\f');
+        break;
+      case 't':
+        classAdd(node, '\t');
+        break;
+      case 'n':
+        classAdd(node, '\n');
+        break;
+      case 'r':
+        classAdd(node, '\r');
+        break;
+      default:
+        classAdd(node, (uint8_t)esc);
+        break;
+    }
+}
+
+Regex::NodePtr
+Regex::parseClass()
+{
+    auto node = std::make_unique<Node>();
+    node->kind = Node::Kind::Class;
+    bool negate = false;
+    if (cursor < source.size() && source[cursor] == '^') {
+        negate = true;
+        ++cursor;
+    }
+    bool first = true;
+    while (cursor < source.size() && (source[cursor] != ']' || first)) {
+        first = false;
+        char c = source[cursor++];
+        if (c == '\\' && cursor < source.size()) {
+            classAddEscape(*node, source[cursor++]);
+            continue;
+        }
+        if (cursor + 1 < source.size() && source[cursor] == '-' &&
+            source[cursor + 1] != ']') {
+            char hi = source[cursor + 1];
+            cursor += 2;
+            classAddRange(*node, (uint8_t)c, (uint8_t)hi);
+            continue;
+        }
+        classAdd(*node, (uint8_t)c);
+    }
+    if (cursor >= source.size())
+        fatal("regex: unterminated class in /%s/", source.c_str());
+    ++cursor; // ']'
+    if (negate)
+        for (auto &word : node->cls)
+            word = ~word;
+    return node;
+}
+
+Regex::NodePtr
+Regex::parseAtom()
+{
+    if (cursor >= source.size())
+        fatal("regex: pattern ends unexpectedly in /%s/", source.c_str());
+    char c = source[cursor++];
+    auto node = std::make_unique<Node>();
+    switch (c) {
+      case '(': {
+        node->kind = Node::Kind::Group;
+        node->groupIndex = groupCount++;
+        node->kids.push_back(parseAlt());
+        if (cursor >= source.size() || source[cursor] != ')')
+            fatal("regex: missing ')' in /%s/", source.c_str());
+        ++cursor;
+        return node;
+      }
+      case '[':
+        return parseClass();
+      case '.':
+        node->kind = Node::Kind::Any;
+        return node;
+      case '^':
+        node->kind = Node::Kind::Bol;
+        return node;
+      case '$':
+        node->kind = Node::Kind::Eol;
+        return node;
+      case '\\': {
+        if (cursor >= source.size())
+            fatal("regex: dangling backslash in /%s/", source.c_str());
+        char esc = source[cursor++];
+        if (esc == 'd' || esc == 'w' || esc == 's' || esc == 'D' ||
+            esc == 'W' || esc == 'S') {
+            node->kind = Node::Kind::Class;
+            classAddEscape(*node, (char)std::tolower((unsigned char)esc));
+            if (std::isupper((unsigned char)esc))
+                for (auto &word : node->cls)
+                    word = ~word;
+            return node;
+        }
+        node->kind = Node::Kind::Char;
+        switch (esc) {
+          case 'n': node->ch = '\n'; break;
+          case 't': node->ch = '\t'; break;
+          case 'r': node->ch = '\r'; break;
+          case '0': node->ch = '\0'; break;
+          default: node->ch = esc; break;
+        }
+        return node;
+      }
+      case '*': case '+': case '?':
+        fatal("regex: quantifier without atom in /%s/", source.c_str());
+      default:
+        node->kind = Node::Kind::Char;
+        node->ch = c;
+        return node;
+    }
+}
+
+// --- matching ----------------------------------------------------------
+
+bool
+Regex::matchNode(const Node *node, size_t pos, MatchState &state,
+                 const Cont &cont) const
+{
+    ++state.steps;
+    const std::string &text = *state.text;
+    switch (node->kind) {
+      case Node::Kind::Char:
+        return pos < text.size() && text[pos] == node->ch &&
+               cont(pos + 1);
+      case Node::Kind::Any:
+        return pos < text.size() && text[pos] != '\n' && cont(pos + 1);
+      case Node::Kind::Class:
+        return pos < text.size() &&
+               classHas(node->cls, (uint8_t)text[pos]) && cont(pos + 1);
+      case Node::Kind::Bol:
+        return pos == 0 && cont(pos);
+      case Node::Kind::Eol:
+        return (pos == text.size() ||
+                (pos == text.size() - 1 && text[pos] == '\n')) &&
+               cont(pos);
+      case Node::Kind::Seq: {
+        // Match kids left to right via a recursive helper.
+        std::function<bool(size_t, size_t)> step =
+            [&](size_t index, size_t at) -> bool {
+            if (index == node->kids.size())
+                return cont(at);
+            return matchNode(node->kids[index].get(), at, state,
+                             [&, index](size_t next) {
+                                 return step(index + 1, next);
+                             });
+        };
+        return step(0, pos);
+      }
+      case Node::Kind::Alt:
+        for (const auto &kid : node->kids)
+            if (matchNode(kid.get(), pos, state, cont))
+                return true;
+        return false;
+      case Node::Kind::Star: {
+        std::function<bool(size_t)> loop = [&](size_t at) -> bool {
+            if (state.steps > 100'000'000)
+                fatal("regex: backtracking explosion in /%s/",
+                      source.c_str());
+            if (matchNode(node->kids[0].get(), at, state,
+                          [&](size_t next) {
+                              return next != at && loop(next);
+                          }))
+                return true;
+            return cont(at);
+        };
+        return loop(pos);
+      }
+      case Node::Kind::Plus:
+        return matchNode(node->kids[0].get(), pos, state,
+                         [&](size_t next) {
+                             // One mandatory match, then Star semantics.
+                             std::function<bool(size_t)> loop =
+                                 [&](size_t at) -> bool {
+                                 if (matchNode(node->kids[0].get(), at,
+                                               state, [&](size_t n2) {
+                                                   return n2 != at &&
+                                                          loop(n2);
+                                               }))
+                                     return true;
+                                 return cont(at);
+                             };
+                             return loop(next);
+                         });
+      case Node::Kind::Quest:
+        if (matchNode(node->kids[0].get(), pos, state, cont))
+            return true;
+        return cont(pos);
+      case Node::Kind::Group: {
+        auto saved = state.groups[node->groupIndex];
+        state.groups[node->groupIndex].first = pos;
+        bool ok = matchNode(node->kids[0].get(), pos, state,
+                            [&](size_t next) {
+                                auto saved_end =
+                                    state.groups[node->groupIndex].second;
+                                state.groups[node->groupIndex].second =
+                                    next;
+                                if (cont(next))
+                                    return true;
+                                state.groups[node->groupIndex].second =
+                                    saved_end;
+                                return false;
+                            });
+        if (!ok)
+            state.groups[node->groupIndex] = saved;
+        return ok;
+      }
+    }
+    return false;
+}
+
+bool
+Regex::matchHere(size_t pos, MatchState &state, size_t &end) const
+{
+    return matchNode(root.get(), pos, state, [&](size_t at) {
+        end = at;
+        return true;
+    });
+}
+
+Regex::Match
+Regex::search(const std::string &text, size_t from) const
+{
+    Match result;
+    MatchState state;
+    state.text = &text;
+    state.groups.assign((size_t)groupCount, {kNpos, kNpos});
+    for (size_t pos = from; pos <= text.size(); ++pos) {
+        size_t end = 0;
+        state.groups.assign((size_t)groupCount, {kNpos, kNpos});
+        if (matchHere(pos, state, end)) {
+            result.matched = true;
+            result.begin = pos;
+            result.end = end;
+            result.groups = state.groups;
+            break;
+        }
+    }
+    result.steps = state.steps;
+    return result;
+}
+
+bool
+Regex::test(const std::string &text) const
+{
+    return search(text).matched;
+}
+
+std::pair<std::string, int>
+Regex::substitute(const std::string &text, const std::string &replacement,
+                  bool global, uint64_t &steps) const
+{
+    std::string out;
+    int replaced = 0;
+    size_t from = 0;
+    steps = 0;
+    while (from <= text.size()) {
+        Match m = search(text, from);
+        steps += m.steps;
+        if (!m.matched)
+            break;
+        out.append(text, from, m.begin - from);
+        // Expand $1..$9 and $&.
+        for (size_t i = 0; i < replacement.size(); ++i) {
+            char c = replacement[i];
+            if (c == '$' && i + 1 < replacement.size()) {
+                char d = replacement[i + 1];
+                if (d == '&') {
+                    out.append(text, m.begin, m.end - m.begin);
+                    ++i;
+                    continue;
+                }
+                if (d >= '1' && d <= '9') {
+                    size_t g = (size_t)(d - '1');
+                    if (g < m.groups.size() &&
+                        m.groups[g].first != kNpos)
+                        out.append(text, m.groups[g].first,
+                                   m.groups[g].second -
+                                       m.groups[g].first);
+                    ++i;
+                    continue;
+                }
+            }
+            out.push_back(c);
+        }
+        ++replaced;
+        if (m.end == m.begin) {
+            if (m.end < text.size())
+                out.push_back(text[m.end]);
+            from = m.end + 1;
+        } else {
+            from = m.end;
+        }
+        if (!global)
+            break;
+    }
+    if (from <= text.size())
+        out.append(text, from, text.size() - from);
+    return {out, replaced};
+}
+
+std::vector<std::string>
+Regex::split(const std::string &text, uint64_t &steps) const
+{
+    std::vector<std::string> out;
+    steps = 0;
+    size_t from = 0;
+    while (from <= text.size()) {
+        Match m = search(text, from);
+        steps += m.steps;
+        if (!m.matched)
+            break;
+        if (m.end == m.begin) {
+            // Zero-width separator: split between characters.
+            if (m.begin >= text.size())
+                break;
+            out.push_back(text.substr(from, m.begin - from + 1));
+            from = m.begin + 1;
+            continue;
+        }
+        out.push_back(text.substr(from, m.begin - from));
+        from = m.end;
+    }
+    out.push_back(text.substr(from));
+    // Perl drops trailing empty fields.
+    while (!out.empty() && out.back().empty())
+        out.pop_back();
+    return out;
+}
+
+} // namespace interp::perlish

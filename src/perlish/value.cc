@@ -1,0 +1,50 @@
+#include "perlish/value.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace interp::perlish {
+
+double
+Scalar::num() const
+{
+    if (!hasNum) {
+        numVal = std::strtod(strVal.c_str(), nullptr);
+        hasNum = true;
+        lastCoercionCost = (int)strVal.size();
+    }
+    return numVal;
+}
+
+const std::string &
+Scalar::str() const
+{
+    if (!hasStr) {
+        if (numVal == (double)(long long)numVal &&
+            std::fabs(numVal) < 1e15) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%lld", (long long)numVal);
+            strVal = buf;
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof buf, "%.15g", numVal);
+            strVal = buf;
+        }
+        hasStr = true;
+        lastCoercionCost = (int)strVal.size();
+    }
+    return strVal;
+}
+
+bool
+Scalar::truthy() const
+{
+    if (!defined_)
+        return false;
+    if (hasStr)
+        return !strVal.empty() && strVal != "0";
+    return numVal != 0;
+}
+
+} // namespace interp::perlish

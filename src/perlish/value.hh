@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Perl-style scalar values: every scalar is simultaneously a number
+ * and a string, converting lazily on demand (Perl 4 semantics). The
+ * conversion work is real and is charged by the interpreter when it
+ * coerces operands.
+ */
+
+#ifndef INTERP_PERLISH_VALUE_HH
+#define INTERP_PERLISH_VALUE_HH
+
+#include <string>
+#include <vector>
+
+namespace interp::perlish {
+
+/** A dual string/number scalar. */
+class Scalar
+{
+  public:
+    /** Default-constructed scalars are undef: "" as string, 0 as number. */
+    Scalar() : numVal(0), hasNum(false), hasStr(true)
+    {
+        defined_ = false;
+    }
+
+    static Scalar
+    fromNum(double value)
+    {
+        Scalar s;
+        s.numVal = value;
+        s.hasNum = true;
+        s.hasStr = false;
+        s.strVal.clear();
+        s.defined_ = true;
+        return s;
+    }
+
+    static Scalar
+    fromStr(std::string value)
+    {
+        Scalar s;
+        s.strVal = std::move(value);
+        s.hasStr = true;
+        s.hasNum = false;
+        s.defined_ = true;
+        return s;
+    }
+
+    /** Numeric view (atof of the leading number, like Perl). */
+    double num() const;
+    /** String view (integers print without a trailing ".0"). */
+    const std::string &str() const;
+
+    /** Truthiness: "" and "0" and 0 are false. */
+    bool truthy() const;
+
+    void
+    setNum(double value)
+    {
+        numVal = value;
+        hasNum = true;
+        hasStr = false;
+        strVal.clear();
+        defined_ = true;
+    }
+
+    void
+    setStr(std::string value)
+    {
+        strVal = std::move(value);
+        hasStr = true;
+        hasNum = false;
+        defined_ = true;
+    }
+
+    bool isNumeric() const { return hasNum && !hasStr; }
+    bool defined_ = true; ///< undef tracking (undef reads as 0 / "")
+
+    /** Approximate cost of the last str()/num() coercion, in chars. */
+    mutable int lastCoercionCost = 0;
+
+  private:
+    mutable std::string strVal;
+    mutable double numVal;
+    mutable bool hasNum;
+    mutable bool hasStr;
+};
+
+/** A Perl list/array. */
+using List = std::vector<Scalar>;
+
+} // namespace interp::perlish
+
+#endif // INTERP_PERLISH_VALUE_HH

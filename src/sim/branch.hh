@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Branch-prediction hardware of the Table 3 machine: a 256-entry
+ * 1-bit branch history table for conditional branches, a 12-entry
+ * return-address stack, and a 32-entry branch target cache for
+ * computed jumps (the interpreter-dispatch idiom).
+ */
+
+#ifndef INTERP_SIM_BRANCH_HH
+#define INTERP_SIM_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace interp::sim {
+
+/** Geometry of the branch-prediction structures. */
+struct BranchConfig
+{
+    uint32_t bhtEntries = 256;   ///< 1-bit history entries
+    uint32_t returnStack = 12;   ///< return-address stack depth
+    uint32_t btcEntries = 32;    ///< branch target cache entries
+};
+
+/** Combined predictor; each predict* method returns true if correct. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchConfig &config);
+
+    /** Conditional branch at @p pc resolving to @p taken. */
+    bool predictConditional(uint32_t pc, bool taken);
+
+    /** Computed jump at @p pc resolving to @p target. */
+    bool predictIndirect(uint32_t pc, uint32_t target);
+
+    /** Call at @p pc; pushes @p return_pc onto the return stack. */
+    void call(uint32_t return_pc);
+
+    /** Return resolving to @p target; pops the return stack. */
+    bool predictReturn(uint32_t target);
+
+    void reset();
+
+    uint64_t lookups() const { return lookupCount; }
+    uint64_t mispredicts() const { return mispredictCount; }
+
+  private:
+    BranchConfig cfg;
+    std::vector<uint8_t> bht;       ///< 1-bit taken history
+    std::vector<uint32_t> btcTags;
+    std::vector<uint32_t> btcTargets;
+    std::vector<uint32_t> ras;      ///< circular return-address stack
+    uint32_t rasTop = 0;
+    uint32_t rasDepth = 0;
+    uint64_t lookupCount = 0;
+    uint64_t mispredictCount = 0;
+};
+
+} // namespace interp::sim
+
+#endif // INTERP_SIM_BRANCH_HH

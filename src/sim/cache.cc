@@ -1,0 +1,75 @@
+#include "sim/cache.hh"
+
+namespace interp::sim {
+
+namespace {
+
+bool
+isPow2(uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(const CacheConfig &config) : cfg(config)
+{
+    if (!isPow2(cfg.sizeBytes) || !isPow2(cfg.lineBytes) || cfg.assoc == 0)
+        panic("bad cache geometry: size=%u line=%u assoc=%u",
+              cfg.sizeBytes, cfg.lineBytes, cfg.assoc);
+    uint32_t lines = cfg.sizeBytes / cfg.lineBytes;
+    if (lines % cfg.assoc != 0)
+        panic("cache lines (%u) not divisible by assoc (%u)",
+              lines, cfg.assoc);
+    sets = lines / cfg.assoc;
+    if (!isPow2(sets))
+        panic("cache set count %u not a power of two", sets);
+    ways.resize((size_t)sets * cfg.assoc);
+}
+
+bool
+Cache::access(uint32_t addr)
+{
+    ++tick;
+    uint32_t line = lineAddr(addr);
+    uint32_t set = line & (sets - 1);
+    uint32_t tag = line >> 0; // full line address as tag: simple, exact
+    Way *base = &ways[(size_t)set * cfg.assoc];
+    Way *victim = base;
+    for (uint32_t w = 0; w < cfg.assoc; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = tick;
+            ++hitCount;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = tick;
+    ++missCount;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (Way &way : ways)
+        way.valid = false;
+    tick = hitCount = missCount = 0;
+}
+
+double
+Cache::missRate()
+const
+{
+    uint64_t total = hitCount + missCount;
+    return total ? (double)missCount / (double)total : 0.0;
+}
+
+} // namespace interp::sim

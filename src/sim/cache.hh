@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used for the first-level instruction and data caches and the unified
+ * second-level cache of the Table 3 machine, and swept over size and
+ * associativity for Figure 4.
+ */
+
+#ifndef INTERP_SIM_CACHE_HH
+#define INTERP_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace interp::sim {
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 8 * 1024;
+    uint32_t assoc = 1;
+    uint32_t lineBytes = 32;
+};
+
+/** A single-level cache: tag array only (no data), LRU replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Look up @p addr, allocating on miss.
+     * @return true on hit.
+     */
+    bool access(uint32_t addr);
+
+    /** Invalidate all lines and reset statistics. */
+    void reset();
+
+    uint64_t hits() const { return hitCount; }
+    uint64_t misses() const { return missCount; }
+    uint64_t accesses() const { return hitCount + missCount; }
+    double missRate() const;
+
+    const CacheConfig &config() const { return cfg; }
+    uint32_t numSets() const { return sets; }
+
+    /** Cache line address (addr with offset bits stripped). */
+    uint32_t
+    lineAddr(uint32_t addr) const
+    {
+        return addr / cfg.lineBytes;
+    }
+
+  private:
+    struct Way
+    {
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    CacheConfig cfg;
+    uint32_t sets;
+    std::vector<Way> ways; ///< sets * assoc entries, set-major
+    uint64_t tick = 0;
+    uint64_t hitCount = 0;
+    uint64_t missCount = 0;
+};
+
+} // namespace interp::sim
+
+#endif // INTERP_SIM_CACHE_HH

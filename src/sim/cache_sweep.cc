@@ -1,0 +1,55 @@
+#include "sim/cache_sweep.hh"
+
+namespace interp::sim {
+
+CacheSweep::CacheSweep(const std::vector<uint32_t> &sizes_kb,
+                       const std::vector<uint32_t> &assocs,
+                       uint32_t line_bytes)
+    : lineBytes(line_bytes)
+{
+    for (uint32_t assoc : assocs) {
+        for (uint32_t size_kb : sizes_kb) {
+            CacheConfig cc;
+            cc.sizeBytes = size_kb * 1024;
+            cc.assoc = assoc;
+            cc.lineBytes = line_bytes;
+            caches.emplace_back(cc);
+            lastLine.push_back(~0ull);
+        }
+    }
+}
+
+void
+CacheSweep::onBundle(const trace::Bundle &bundle)
+{
+    insts += bundle.count;
+    uint32_t first = bundle.pc / lineBytes;
+    uint32_t last = (bundle.pc + (bundle.count - 1) * 4) / lineBytes;
+    for (uint32_t line = first; line <= last; ++line) {
+        uint32_t addr = line * lineBytes;
+        for (size_t i = 0; i < caches.size(); ++i) {
+            if (lastLine[i] == line)
+                continue;
+            lastLine[i] = line;
+            caches[i].access(addr);
+        }
+    }
+}
+
+std::vector<SweepPoint>
+CacheSweep::results() const
+{
+    std::vector<SweepPoint> out;
+    out.reserve(caches.size());
+    for (const Cache &cache : caches) {
+        SweepPoint p;
+        p.config = cache.config();
+        p.misses = cache.misses();
+        p.missesPer100Insts =
+            insts ? 100.0 * (double)cache.misses() / (double)insts : 0.0;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace interp::sim

@@ -1,0 +1,181 @@
+#include "sim/machine.hh"
+
+#include "support/logging.hh"
+
+namespace interp::sim {
+
+const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::Other: return "other";
+      case StallCause::ShortInt: return "short int";
+      case StallCause::LoadDelay: return "load delay";
+      case StallCause::Mispredict: return "mispredict";
+      case StallCause::Dtlb: return "dtlb";
+      case StallCause::Itlb: return "itlb";
+      case StallCause::Dmiss: return "dmiss";
+      case StallCause::Imiss: return "imiss";
+      default: return "?";
+    }
+}
+
+Machine::Machine(const MachineConfig &config)
+    : cfg(config), il1(config.icache), dl1(config.dcache), l2(config.l2),
+      itlb_(config.itlbEntries, config.pageBits),
+      dtlb_(config.dtlbEntries, config.pageBits), bp(config.branch)
+{
+    if (cfg.issueWidth == 0)
+        panic("issue width must be nonzero");
+}
+
+void
+Machine::addStall(StallCause cause, uint32_t cycles_)
+{
+    stalls[(int)cause] += cycles_;
+}
+
+void
+Machine::fetch(uint32_t pc, uint32_t count)
+{
+    uint32_t line_bytes = cfg.icache.lineBytes;
+    uint32_t first = pc / line_bytes;
+    uint32_t last = (pc + (count - 1) * 4) / line_bytes;
+    for (uint32_t line = first; line <= last; ++line) {
+        if (line == lastFetchLine)
+            continue;
+        lastFetchLine = line;
+        uint32_t addr = line * line_bytes;
+        uint64_t page = addr >> cfg.pageBits;
+        if (page != lastFetchPage) {
+            lastFetchPage = page;
+            if (!itlb_.access(addr))
+                addStall(StallCause::Itlb, cfg.tlbMissPenalty);
+        }
+        if (!il1.access(addr)) {
+            ++imisses;
+            addStall(StallCause::Imiss, l2.access(addr)
+                                            ? cfg.l1MissPenalty
+                                            : cfg.l2MissPenalty);
+        }
+    }
+}
+
+void
+Machine::dataAccess(uint32_t addr)
+{
+    if (!dtlb_.access(addr))
+        addStall(StallCause::Dtlb, cfg.tlbMissPenalty);
+    if (!dl1.access(addr)) {
+        addStall(StallCause::Dmiss,
+                 l2.access(addr) ? cfg.l1MissPenalty : cfg.l2MissPenalty);
+    }
+}
+
+void
+Machine::onBundle(const trace::Bundle &bundle)
+{
+    using trace::InstClass;
+
+    fetch(bundle.pc, bundle.count);
+    insts += bundle.count;
+
+    switch (bundle.cls) {
+      case InstClass::IntAlu:
+      case InstClass::Nop:
+        break;
+      case InstClass::ShortInt:
+        for (uint32_t i = 0; i < bundle.count; ++i) {
+            if (++shortTick >= cfg.shortIntUsePeriod) {
+                shortTick = 0;
+                addStall(StallCause::ShortInt, cfg.shortIntCycles);
+            }
+        }
+        break;
+      case InstClass::FloatOp:
+        for (uint32_t i = 0; i < bundle.count; ++i) {
+            if (++floatTick >= cfg.floatUsePeriod) {
+                floatTick = 0;
+                addStall(StallCause::Other, cfg.floatOpCycles);
+            }
+        }
+        break;
+      case InstClass::Load:
+        dataAccess(bundle.memAddr);
+        if (++loadTick >= cfg.loadUsePeriod) {
+            loadTick = 0;
+            addStall(StallCause::LoadDelay, cfg.loadDelayCycles);
+        }
+        break;
+      case InstClass::Store:
+        dataAccess(bundle.memAddr);
+        break;
+      case InstClass::CondBranch:
+        if (!bp.predictConditional(bundle.pc, bundle.taken))
+            addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+        break;
+      case InstClass::Jump:
+        break;
+      case InstClass::IndirectJump:
+        if (!bp.predictIndirect(bundle.pc, bundle.target))
+            addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+        break;
+      case InstClass::Call:
+        bp.call(bundle.pc + 4);
+        break;
+      case InstClass::Return:
+        if (!bp.predictReturn(bundle.target))
+            addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+        break;
+    }
+}
+
+uint64_t
+Machine::cycles() const
+{
+    uint64_t busy = (insts + cfg.issueWidth - 1) / cfg.issueWidth;
+    uint64_t total = busy;
+    for (uint64_t s : stalls)
+        total += s;
+    return total;
+}
+
+SlotBreakdown
+Machine::breakdown() const
+{
+    SlotBreakdown out;
+    uint64_t total_cycles = cycles();
+    if (total_cycles == 0)
+        return out;
+    uint64_t slots = total_cycles * cfg.issueWidth;
+    out.busyPct = 100.0 * (double)insts / (double)slots;
+    for (int c = 0; c < kNumStallCauses; ++c)
+        out.stallPct[c] = 100.0 * (double)stalls[c] / (double)total_cycles;
+    return out;
+}
+
+double
+Machine::imissPer100Insts() const
+{
+    return insts ? 100.0 * (double)imisses / (double)insts : 0.0;
+}
+
+void
+Machine::reset()
+{
+    il1.reset();
+    dl1.reset();
+    l2.reset();
+    itlb_.reset();
+    dtlb_.reset();
+    bp.reset();
+    insts = 0;
+    imisses = 0;
+    for (auto &s : stalls)
+        s = 0;
+    loadTick = shortTick = floatTick = 0;
+    lastFetchLine = ~0ull;
+    lastFetchPage = ~0ull;
+}
+
+} // namespace interp::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fully-associative TLB model with LRU replacement.
+ *
+ * The Table 3 machine has an 8-entry instruction TLB and a 32-entry
+ * data TLB over 8 KB pages.
+ */
+
+#ifndef INTERP_SIM_TLB_HH
+#define INTERP_SIM_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace interp::sim {
+
+/** A fully-associative translation lookaside buffer. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries  number of TLB entries
+     * @param page_bits log2 of the page size (13 = 8 KB pages)
+     */
+    explicit Tlb(uint32_t entries, uint32_t page_bits = 13);
+
+    /** Look up the page of @p addr, allocating on miss; true on hit. */
+    bool access(uint32_t addr);
+
+    void reset();
+
+    uint64_t hits() const { return hitCount; }
+    uint64_t misses() const { return missCount; }
+    uint32_t pageBits() const { return bits; }
+
+  private:
+    struct Entry
+    {
+        uint32_t page = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+    uint32_t bits;
+    uint64_t tick = 0;
+    uint64_t hitCount = 0;
+    uint64_t missCount = 0;
+};
+
+} // namespace interp::sim
+
+#endif // INTERP_SIM_TLB_HH

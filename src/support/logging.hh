@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this code);
+ *            aborts so the failure can be debugged.
+ * fatal()  — the user asked for something impossible (bad program,
+ *            bad configuration); exits with status 1.
+ * warn()   — something questionable happened but execution continues.
+ * inform() — status messages.
+ */
+
+#ifndef INTERP_SUPPORT_LOGGING_HH
+#define INTERP_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace interp {
+
+/** Print a formatted message to stderr and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message to stderr and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted status message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Abort with a source-located message if the condition does not hold. */
+#define INTERP_ASSERT(cond)                                                 \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::interp::panic("%s:%d: assertion failed: %s",                  \
+                            __FILE__, __LINE__, #cond);                     \
+    } while (0)
+
+} // namespace interp
+
+#endif // INTERP_SUPPORT_LOGGING_HH

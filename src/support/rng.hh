@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xorshift64*).
+ *
+ * All workload generation in the repository uses this generator so
+ * that every benchmark and test is reproducible bit-for-bit across
+ * runs and platforms.
+ */
+
+#ifndef INTERP_SUPPORT_RNG_HH
+#define INTERP_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace interp {
+
+/** Small deterministic PRNG with a 64-bit state. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + (int64_t)below((uint64_t)(hi - lo + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (double)(next() >> 11) / 9007199254740992.0;
+    }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace interp
+
+#endif // INTERP_SUPPORT_RNG_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The tclish interpreter: direct interpretation of ASCII source.
+ *
+ * There is no compilation step of any kind — exactly like Tcl 7.4:
+ *  - the eval loop re-parses the command text on *every* execution
+ *    (a while body is re-scanned on each iteration), which is why
+ *    fetch/decode costs thousands of native instructions per virtual
+ *    command (Table 2: 2,000-5,200);
+ *  - all values are strings; `expr` re-parses its arithmetic
+ *    expression from text at each evaluation (the a=b+c microbenchmark
+ *    is 6500x slower than C in the paper);
+ *  - variables are named by strings and every access is a symbol-table
+ *    lookup costing ~200-500 instructions, growing with table size
+ *    (§3.3).
+ *
+ * One executed Tcl command = one virtual command; its name (set, expr,
+ * puts, a proc name, ...) is the command-distribution key of Figs 1-2.
+ */
+
+#ifndef INTERP_TCLISH_INTERP_HH
+#define INTERP_TCLISH_INTERP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gfx/framebuffer.hh"
+#include "tclish/symtab.hh"
+#include "trace/execution.hh"
+#include "vfs/vfs.hh"
+
+namespace interp::tclish {
+
+/** Outcome of evaluating a script or command. */
+enum class Status : uint8_t
+{
+    Ok, Return, Break, Continue, Stop, // Stop: budget exhausted / exit
+};
+
+/** A result: status plus the command's string value. */
+struct Result
+{
+    Status status = Status::Ok;
+    std::string value;
+};
+
+/** The interpreter. */
+class TclInterp
+{
+  public:
+    TclInterp(trace::Execution &exec, vfs::FileSystem &fs);
+
+    struct RunResult
+    {
+        bool exited = false;
+        int exitCode = 0;
+        uint64_t commands = 0;
+    };
+
+    /** Interpret a whole script (the program text, kept as a string). */
+    RunResult run(const std::string &script,
+                  uint64_t max_commands = UINT64_MAX);
+
+    trace::CommandSet &commandSet() { return commands_; }
+
+    /** Value of a global variable, or "" (tests). */
+    std::string varValue(const std::string &name);
+
+    /** Framebuffer created by the tk-like commands (null before). */
+    gfx::Framebuffer *framebuffer() { return fb.get(); }
+
+  private:
+    struct Proc
+    {
+        std::vector<std::string> params;
+        std::string body;
+    };
+
+    struct Scope
+    {
+        SymTab vars;
+        std::vector<std::string> globals; ///< names imported via `global`
+    };
+
+    struct Channel
+    {
+        int fd = -1;
+    };
+
+    /** Per-command handler region (lazily registered). */
+    trace::RoutineId commandRegion(const std::string &name);
+
+    // --- evaluation -------------------------------------------------------
+    Result evalScript(const std::string &script);
+    Result evalCommand(const std::vector<std::string> &words, int line);
+    Result invokeProc(const Proc &proc,
+                      const std::vector<std::string> &words);
+
+    // --- parsing (runtime, charged) -----------------------------------
+    /**
+     * Parse one command starting at @p pos of @p script into
+     * substituted words; advances @p pos past the command.
+     * @return false at end of script.
+     */
+    bool parseCommand(const std::string &script, size_t &pos,
+                      std::vector<std::string> &words, int &line);
+    /** Substitute $vars, [scripts] and backslashes in a word. */
+    std::string substitute(const std::string &text, Result &failure);
+
+    // --- variables --------------------------------------------------------
+    SymTab &scopeFor(const std::string &name);
+    std::string readVar(const std::string &name);
+    void writeVar(const std::string &name, const std::string &value);
+
+    // --- expr ---------------------------------------------------------
+    int64_t evalExpr(const std::string &text, int line);
+
+    // --- cost emission -----------------------------------------------------
+    void chargeParse(size_t chars, size_t words);
+    void chargeLookup(const std::string &name, int chain_steps,
+                      const void *bucket);
+    void chargeCommandLookup(const std::string &name);
+    void chargeStringWork(size_t chars);
+    void kernelWrite(int fd, const std::string &text);
+
+    trace::Execution &exec;
+    vfs::FileSystem &fs;
+    trace::CommandSet commands_;
+
+    std::vector<Scope> scopes; ///< [0] is the global scope
+    std::map<std::string, Proc> procs;
+    std::map<std::string, Channel> channels;
+    std::unique_ptr<gfx::Framebuffer> fb;
+
+    uint64_t commandsRun = 0;
+    uint64_t commandBudget = UINT64_MAX;
+    bool exited = false;
+    int exitCode = 0;
+    int procDepth = 0;
+
+    // Interpreter code regions.
+    trace::RoutineId rParse;
+    trace::RoutineId rSubst;
+    trace::RoutineId rCmdLookup;
+    trace::RoutineId rSymtab;
+    trace::RoutineId rExpr;
+    trace::RoutineId rString;
+    trace::RoutineId rList;
+    trace::RoutineId rProc;
+    trace::RoutineId rCmds;
+    std::map<std::string, trace::RoutineId> cmdRegions;
+    trace::RoutineId rIo;
+    trace::RoutineId rTk;
+    trace::RoutineId rKernel;
+};
+
+} // namespace interp::tclish
+
+#endif // INTERP_TCLISH_INTERP_HH

@@ -1,0 +1,40 @@
+#include "trace/code_registry.hh"
+
+#include "support/logging.hh"
+
+namespace interp::trace {
+
+CodeRegistry::CodeRegistry()
+{
+    for (int i = 0; i < kNumSegments; ++i)
+        nextPc[i] = segmentBase((Segment)i);
+}
+
+uint32_t
+CodeRegistry::segmentBase(Segment segment)
+{
+    // 64 MB per segment, starting at 4 MB so PC 0 stays invalid.
+    return 0x00400000u + (uint32_t)segment * 0x04000000u;
+}
+
+RoutineId
+CodeRegistry::registerRoutine(const std::string &name, uint32_t size_insts,
+                              Segment segment)
+{
+    if (size_insts == 0)
+        panic("routine %s registered with zero size", name.c_str());
+    int seg = (int)segment;
+    Routine r;
+    r.name = name;
+    r.segment = segment;
+    r.base = nextPc[seg];
+    r.sizeInsts = size_insts;
+    // Align the next routine to a 16-instruction (64-byte) boundary,
+    // like a linker laying out functions.
+    uint32_t bytes = size_insts * 4;
+    nextPc[seg] += (bytes + 63) & ~63u;
+    routines_.push_back(std::move(r));
+    return (RoutineId)(routines_.size() - 1);
+}
+
+} // namespace interp::trace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Native-instruction event model.
+ *
+ * The paper instrumented real Alpha binaries with ATOM and fed the
+ * resulting instruction/address traces to counters and a machine
+ * simulator. Here each interpreter is written against an explicit
+ * instrumentation API (trace::Execution) and *emits* the equivalent
+ * trace while doing its real work. The unit of emission is a Bundle:
+ * a run of sequential instructions sharing a class and attribution.
+ * Loads, stores and branches are single-instruction bundles carrying
+ * an address or an outcome; straight-line ALU work is batched, which
+ * keeps tracing overhead low without changing what the consumers see
+ * (consecutive PCs within one routine).
+ */
+
+#ifndef INTERP_TRACE_EVENTS_HH
+#define INTERP_TRACE_EVENTS_HH
+
+#include <cstdint>
+
+namespace interp::trace {
+
+/** Instruction classes, mirroring the stall taxonomy of Table 3. */
+enum class InstClass : uint8_t
+{
+    IntAlu,       ///< ordinary integer ALU op
+    ShortInt,     ///< shift / byte manipulation (2-cycle latency class)
+    Load,         ///< memory read
+    Store,        ///< memory write
+    CondBranch,   ///< conditional branch
+    Jump,         ///< unconditional direct jump
+    IndirectJump, ///< computed jump (e.g.\ switch dispatch)
+    Call,         ///< subroutine call (pushes return stack)
+    Return,       ///< subroutine return (pops return stack)
+    FloatOp,      ///< floating point / integer multiply ("other" class)
+    Nop,          ///< no-op (delay-slot filler)
+};
+
+/** Attribution of instructions to phases of interpretation (Table 2). */
+enum class Category : uint8_t
+{
+    FetchDecode, ///< fetching/decoding the next virtual command
+    Execute,     ///< performing the command's operation
+    Precompile,  ///< startup compilation (Perl-style), reported apart
+};
+
+/** Identifier of a virtual command within one interpreter's command set. */
+using CommandId = uint16_t;
+
+/** Command id used before any command has been entered. */
+constexpr CommandId kNoCommand = 0xffff;
+
+/** A run of @c count sequential instructions starting at @c pc. */
+struct Bundle
+{
+    uint32_t pc = 0;       ///< synthetic PC of the first instruction
+    uint32_t count = 1;    ///< number of instructions in the run
+    InstClass cls = InstClass::IntAlu;
+    Category cat = Category::Execute;
+    CommandId command = kNoCommand;
+    bool memModel = false; ///< attributed to the VM's memory model
+    bool native = false;   ///< attributed to a native runtime library
+    bool system = false;   ///< OS work: timed (cycles) but excluded
+                           ///< from Table 2 instruction counts
+    bool taken = false;    ///< branch outcome (branch classes only)
+    uint32_t memAddr = 0;  ///< synthetic data address (Load/Store)
+    uint32_t target = 0;   ///< branch/jump/call target PC
+};
+
+/** Consumer of the instruction stream. */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+
+    /** Observe one bundle of instructions. */
+    virtual void onBundle(const Bundle &bundle) = 0;
+
+    /** Observe the retirement of one virtual command. */
+    virtual void onCommand(CommandId command) { (void)command; }
+
+    /**
+     * Observe one logical access made through the virtual machine's
+     * memory model (a guest load/store, a variable lookup, ...);
+     * used for the per-access cost accounting of §3.3.
+     */
+    virtual void onMemModelAccess() {}
+};
+
+} // namespace interp::trace
+
+#endif // INTERP_TRACE_EVENTS_HH

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * The instrumentation facade the interpreters are written against.
+ *
+ * An Execution owns the code registry, the data-address mapper, the
+ * attribution state (current category / virtual command / memory-model
+ * and native-library scopes) and the list of sinks. Interpreter code
+ * calls the emission primitives (alu(), load(), branch(), ...) as it
+ * performs the corresponding real work; each call turns into Bundle
+ * events delivered to every sink.
+ */
+
+#ifndef INTERP_TRACE_EXECUTION_HH
+#define INTERP_TRACE_EXECUTION_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/code_registry.hh"
+#include "trace/events.hh"
+
+namespace interp::trace {
+
+/**
+ * Maps host pointers into a compact synthetic 32-bit data space.
+ *
+ * The page offset (sim page = 8 KB) of the host address is preserved
+ * so intra-page locality is genuine; each distinct host page is given
+ * the next synthetic page in first-touch order, which keeps runs
+ * deterministic given deterministic allocation order.
+ */
+class AddressMapper
+{
+  public:
+    static constexpr uint32_t kPageBits = 13; // 8 KB pages
+    static constexpr uint32_t kHeapBase = 0x40000000u;
+
+    /** Synthetic address for a host pointer. */
+    uint32_t
+    map(const void *ptr)
+    {
+        auto addr = (uint64_t)ptr;
+        uint64_t page = addr >> kPageBits;
+        auto it = pageMap.find(page);
+        uint32_t synth_page;
+        if (it == pageMap.end()) {
+            synth_page = nextPage++;
+            pageMap.emplace(page, synth_page);
+        } else {
+            synth_page = it->second;
+        }
+        return kHeapBase + (synth_page << kPageBits) +
+               (uint32_t)(addr & ((1u << kPageBits) - 1));
+    }
+
+    size_t pagesTouched() const { return pageMap.size(); }
+
+  private:
+    std::unordered_map<uint64_t, uint32_t> pageMap;
+    uint32_t nextPage = 0;
+};
+
+/**
+ * Interns virtual-command names to dense CommandIds for one
+ * interpreter's command set.
+ */
+class CommandSet
+{
+  public:
+    /** Id for @p name, interning it on first use. */
+    CommandId intern(const std::string &name);
+
+    /** Name for an id. */
+    const std::string &name(CommandId id) const { return names[id]; }
+
+    size_t size() const { return names.size(); }
+
+  private:
+    std::unordered_map<std::string, CommandId> ids;
+    std::vector<std::string> names;
+};
+
+/** Instrumented execution context; see file comment. */
+class Execution
+{
+  public:
+    Execution();
+
+    CodeRegistry &code() { return registry; }
+    AddressMapper &mapper() { return addrMapper; }
+
+    /** Attach a sink; not owned. */
+    void addSink(Sink *sink) { sinks.push_back(sink); }
+    void removeSink(Sink *sink);
+
+    // --- routine control -------------------------------------------------
+    /** Emit a call instruction and enter @p routine. */
+    void callRoutine(RoutineId routine);
+    /** Emit a return instruction and leave the current routine. */
+    void returnRoutine();
+    /** Depth of the routine stack (top-level = 0). */
+    size_t routineDepth() const { return frames.size(); }
+
+    // --- emission primitives ---------------------------------------------
+    /** @p n straight-line integer ALU instructions. */
+    void alu(uint32_t n);
+    /** @p n shift/byte-class instructions (Table 3 "short int"). */
+    void shortInt(uint32_t n);
+    /** @p n floating-point / integer-multiply instructions. */
+    void floatOp(uint32_t n);
+    /** @p n no-ops (delay-slot filler). */
+    void nop(uint32_t n);
+    /** A load of the host object at @p ptr. */
+    void load(const void *ptr);
+    /** A store to the host object at @p ptr. */
+    void store(const void *ptr);
+    /** A load at an already-synthetic address (guest memory). */
+    void loadAt(uint32_t synth_addr);
+    /** A store at an already-synthetic address (guest memory). */
+    void storeAt(uint32_t synth_addr);
+    /** A conditional branch with the given outcome. */
+    void branch(bool taken);
+    /**
+     * A computed jump to the entry of @p routine — the dispatch idiom.
+     * Control transfers to the routine like callRoutine(), but through
+     * an indirect jump (BTC-predicted, no return-stack push).
+     */
+    void dispatch(RoutineId routine);
+    /** Leave a routine entered via dispatch() (jump back, no return). */
+    void endDispatch();
+
+    /**
+     * Low-level emission at an explicit PC, bypassing the routine
+     * machinery. Used by direct-mode execution, where guest PCs are
+     * real and no interpreter code runs. Attribution state (category,
+     * command, flags) still applies.
+     */
+    void emitAt(uint32_t pc, InstClass cls, uint32_t count = 1,
+                uint32_t mem_addr = 0, bool taken = false,
+                uint32_t target = 0);
+
+    // --- attribution -------------------------------------------------------
+    /**
+     * Retire one virtual command named by @p id and make it the
+     * attribution target for subsequent instructions.
+     */
+    void beginCommand(CommandId id);
+    /**
+     * Re-select @p id as the attribution target without retiring a
+     * new command — used by tree-walking interpreters when control
+     * returns to a parent op after its children executed.
+     */
+    void resumeCommand(CommandId id) { command = id; }
+    CommandId currentCommand() const { return command; }
+    /** Current attribution category. */
+    Category category() const { return cat; }
+    void setCategory(Category c) { cat = c; }
+    void setMemModel(bool on) { memModel = on; }
+    bool inMemModel() const { return memModel; }
+    void setNative(bool on) { native = on; }
+    bool inNative() const { return native; }
+    void setSystem(bool on) { system = on; }
+    bool inSystem() const { return system; }
+    /** Count one logical memory-model access (§3.3 accounting). */
+    void noteMemModelAccess();
+
+    // --- statistics ---------------------------------------------------------
+    uint64_t instructionsEmitted() const { return totalInsts; }
+    uint64_t commandsRetired() const { return totalCommands; }
+
+  private:
+    struct Frame
+    {
+        RoutineId routine;
+        uint32_t pc;       ///< next instruction PC inside the routine
+        bool viaDispatch;  ///< entered with dispatch(), not call
+        uint32_t returnPc; ///< caller PC to restore
+    };
+
+    void deliver(Bundle &bundle);
+    /** Emit a @p count-instruction bundle of @p cls at the current PC. */
+    void emitStraight(uint32_t count, InstClass cls);
+    /** Emit a single-instruction bundle, returning it for tweaks. */
+    void emitOne(InstClass cls, uint32_t mem_addr, bool taken,
+                 uint32_t target);
+    /** Advance the current PC by @p count instructions, wrapping. */
+    uint32_t advance(uint32_t count);
+    uint32_t currentPc() const;
+
+    CodeRegistry registry;
+    AddressMapper addrMapper;
+    std::vector<Sink *> sinks;
+    std::vector<Frame> frames;
+    RoutineId topRoutine; ///< implicit outermost routine ("main")
+    uint32_t topPc;
+
+    Category cat = Category::Execute;
+    CommandId command = kNoCommand;
+    bool memModel = false;
+    bool native = false;
+    bool system = false;
+
+    uint64_t totalInsts = 0;
+    uint64_t totalCommands = 0;
+};
+
+// --- RAII helpers ----------------------------------------------------------
+
+/** Enters a routine on construction, returns on destruction. */
+class RoutineScope
+{
+  public:
+    RoutineScope(Execution &exec, RoutineId routine) : exec_(exec)
+    {
+        exec_.callRoutine(routine);
+    }
+    ~RoutineScope() { exec_.returnRoutine(); }
+
+    RoutineScope(const RoutineScope &) = delete;
+    RoutineScope &operator=(const RoutineScope &) = delete;
+
+  private:
+    Execution &exec_;
+};
+
+/** Sets the attribution category for the current scope. */
+class CategoryScope
+{
+  public:
+    CategoryScope(Execution &exec, Category c)
+        : exec_(exec), saved(exec.category())
+    {
+        exec_.setCategory(c);
+    }
+    ~CategoryScope() { exec_.setCategory(saved); }
+
+    CategoryScope(const CategoryScope &) = delete;
+    CategoryScope &operator=(const CategoryScope &) = delete;
+
+  private:
+    Execution &exec_;
+    Category saved;
+};
+
+/** Marks instructions as memory-model overhead for the current scope. */
+class MemModelScope
+{
+  public:
+    explicit MemModelScope(Execution &exec)
+        : exec_(exec), saved(exec.inMemModel())
+    {
+        exec_.setMemModel(true);
+    }
+    ~MemModelScope() { exec_.setMemModel(saved); }
+
+    MemModelScope(const MemModelScope &) = delete;
+    MemModelScope &operator=(const MemModelScope &) = delete;
+
+  private:
+    Execution &exec_;
+    bool saved;
+};
+
+/** Marks instructions as operating-system work for the current scope. */
+class SystemScope
+{
+  public:
+    explicit SystemScope(Execution &exec)
+        : exec_(exec), saved(exec.inSystem())
+    {
+        exec_.setSystem(true);
+    }
+    ~SystemScope() { exec_.setSystem(saved); }
+
+    SystemScope(const SystemScope &) = delete;
+    SystemScope &operator=(const SystemScope &) = delete;
+
+  private:
+    Execution &exec_;
+    bool saved;
+};
+
+/** Marks instructions as native-library work for the current scope. */
+class NativeScope
+{
+  public:
+    explicit NativeScope(Execution &exec)
+        : exec_(exec), saved(exec.inNative())
+    {
+        exec_.setNative(true);
+    }
+    ~NativeScope() { exec_.setNative(saved); }
+
+    NativeScope(const NativeScope &) = delete;
+    NativeScope &operator=(const NativeScope &) = delete;
+
+  private:
+    Execution &exec_;
+    bool saved;
+};
+
+} // namespace interp::trace
+
+#endif // INTERP_TRACE_EXECUTION_HH

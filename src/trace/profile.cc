@@ -1,0 +1,108 @@
+#include "trace/profile.hh"
+
+#include <algorithm>
+
+namespace interp::trace {
+
+void
+Profile::onBundle(const Bundle &bundle)
+{
+    totalInsts += bundle.count;
+    if (bundle.system) {
+        // OS work is timed but kept out of the software-level counts,
+        // as the paper's ATOM instrumentation excluded the kernel.
+        sysInsts += bundle.count;
+        return;
+    }
+    catInsts[(int)bundle.cat] += bundle.count;
+    if (bundle.native)
+        nativeInsts += bundle.count;
+    if (bundle.memModel)
+        memInsts += bundle.count;
+    if (bundle.command != kNoCommand) {
+        if (bundle.command >= cmds.size())
+            cmds.resize(bundle.command + 1);
+        CommandStats &cs = cmds[bundle.command];
+        if (bundle.cat == Category::FetchDecode) {
+            cs.fetchDecode += bundle.count;
+        } else if (bundle.cat == Category::Execute) {
+            cs.execute += bundle.count;
+            if (bundle.native)
+                cs.nativeLib += bundle.count;
+        }
+    }
+}
+
+void
+Profile::onCommand(CommandId command)
+{
+    ++totalCommands;
+    if (command >= cmds.size())
+        cmds.resize(command + 1);
+    ++cmds[command].retired;
+}
+
+void
+Profile::onMemModelAccess()
+{
+    ++memAccesses;
+}
+
+double
+Profile::fetchDecodePerCommand() const
+{
+    return totalCommands ? (double)fetchDecodeInsts() / totalCommands : 0;
+}
+
+double
+Profile::executePerCommand() const
+{
+    return totalCommands ? (double)executeInsts() / totalCommands : 0;
+}
+
+double
+Profile::memModelCostPerAccess() const
+{
+    return memAccesses ? (double)memInsts / memAccesses : 0;
+}
+
+double
+Profile::memModelFraction() const
+{
+    uint64_t base = fetchDecodeInsts() + executeInsts();
+    return base ? (double)memInsts / base : 0;
+}
+
+std::vector<std::pair<CommandId, CommandStats>>
+Profile::byExecuteInsts() const
+{
+    std::vector<std::pair<CommandId, CommandStats>> out;
+    for (size_t i = 0; i < cmds.size(); ++i)
+        if (cmds[i].retired || cmds[i].execute)
+            out.emplace_back((CommandId)i, cmds[i]);
+    std::sort(out.begin(), out.end(), [](const auto &a, const auto &b) {
+        return a.second.execute > b.second.execute;
+    });
+    return out;
+}
+
+double
+Profile::cumulativeExecuteShare(size_t top_n) const
+{
+    auto sorted = byExecuteInsts();
+    uint64_t total = executeInsts();
+    if (total == 0)
+        return 0;
+    uint64_t covered = 0;
+    for (size_t i = 0; i < sorted.size() && i < top_n; ++i)
+        covered += sorted[i].second.execute;
+    return (double)covered / (double)total;
+}
+
+void
+Profile::reset()
+{
+    *this = Profile();
+}
+
+} // namespace interp::trace

@@ -1,0 +1,161 @@
+#include "vfs/vfs.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace interp::vfs {
+
+FileSystem::FileSystem()
+{
+    // Reserve fds 0, 1, 2.
+    fds.resize(3);
+    fds[0].live = fds[1].live = fds[2].live = true;
+}
+
+void
+FileSystem::writeFile(const std::string &path, std::string_view contents)
+{
+    files[path].assign(contents.begin(), contents.end());
+}
+
+bool
+FileSystem::exists(const std::string &path) const
+{
+    return files.count(path) != 0;
+}
+
+const std::string &
+FileSystem::readFile(const std::string &path) const
+{
+    auto it = files.find(path);
+    if (it == files.end())
+        fatal("vfs: no such file: %s", path.c_str());
+    return it->second;
+}
+
+bool
+FileSystem::remove(const std::string &path)
+{
+    return files.erase(path) != 0;
+}
+
+std::vector<std::string>
+FileSystem::list() const
+{
+    std::vector<std::string> out;
+    out.reserve(files.size());
+    for (const auto &kv : files)
+        out.push_back(kv.first);
+    return out;
+}
+
+int
+FileSystem::open(const std::string &path, OpenMode mode)
+{
+    if (mode == OpenMode::Read && !files.count(path))
+        return -1;
+    if (mode == OpenMode::Write)
+        files[path].clear();
+    else if (mode == OpenMode::Append)
+        files[path]; // ensure existence
+    OpenFile of;
+    of.path = path;
+    of.mode = mode;
+    of.offset = mode == OpenMode::Append ? (int64_t)files[path].size() : 0;
+    of.live = true;
+    for (size_t i = 3; i < fds.size(); ++i) {
+        if (!fds[i].live) {
+            fds[i] = of;
+            return (int)i;
+        }
+    }
+    fds.push_back(of);
+    return (int)fds.size() - 1;
+}
+
+int64_t
+FileSystem::read(int fd, char *buf, int64_t len)
+{
+    if (fd == 0) {
+        int64_t avail = (int64_t)stdin_data.size() - stdin_offset;
+        int64_t n = std::min(len, std::max<int64_t>(avail, 0));
+        std::memcpy(buf, stdin_data.data() + stdin_offset, (size_t)n);
+        stdin_offset += n;
+        return n;
+    }
+    if (fd < 3 || fd >= (int)fds.size() || !fds[fd].live)
+        return -1;
+    OpenFile &of = fds[fd];
+    const std::string &data = files[of.path];
+    int64_t avail = (int64_t)data.size() - of.offset;
+    int64_t n = std::min(len, std::max<int64_t>(avail, 0));
+    std::memcpy(buf, data.data() + of.offset, (size_t)n);
+    of.offset += n;
+    return n;
+}
+
+int64_t
+FileSystem::write(int fd, const char *buf, int64_t len)
+{
+    if (fd == 1) {
+        stdout_capture.append(buf, (size_t)len);
+        return len;
+    }
+    if (fd == 2) {
+        stderr_capture.append(buf, (size_t)len);
+        return len;
+    }
+    if (fd < 3 || fd >= (int)fds.size() || !fds[fd].live)
+        return -1;
+    OpenFile &of = fds[fd];
+    if (of.mode == OpenMode::Read)
+        return -1;
+    std::string &data = files[of.path];
+    if (of.offset > (int64_t)data.size())
+        data.resize((size_t)of.offset, '\0');
+    if (of.offset + len > (int64_t)data.size())
+        data.resize((size_t)(of.offset + len));
+    std::memcpy(data.data() + of.offset, buf, (size_t)len);
+    of.offset += len;
+    return len;
+}
+
+int64_t
+FileSystem::seek(int fd, int64_t offset, int whence)
+{
+    if (fd < 3 || fd >= (int)fds.size() || !fds[fd].live)
+        return -1;
+    OpenFile &of = fds[fd];
+    int64_t base = 0;
+    if (whence == 1)
+        base = of.offset;
+    else if (whence == 2)
+        base = (int64_t)files[of.path].size();
+    else if (whence != 0)
+        return -1;
+    int64_t target = base + offset;
+    if (target < 0)
+        return -1;
+    of.offset = target;
+    return target;
+}
+
+bool
+FileSystem::close(int fd)
+{
+    if (fd < 3 || fd >= (int)fds.size() || !fds[fd].live)
+        return false;
+    fds[fd].live = false;
+    return true;
+}
+
+void
+FileSystem::setStdin(std::string_view contents)
+{
+    stdin_data.assign(contents.begin(), contents.end());
+    stdin_offset = 0;
+}
+
+} // namespace interp::vfs

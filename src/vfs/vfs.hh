@@ -1,0 +1,100 @@
+/**
+ * @file
+ * In-memory virtual file system.
+ *
+ * All four interpreters perform their I/O against this hermetic file
+ * system: MIPSI exposes it through emulated Ultrix-style syscalls, and
+ * the perlish/tclish runtimes and the JVM native I/O library call it
+ * directly. Using an in-memory store keeps the `read` microbenchmark
+ * of Table 1 (a 4 KB file read from a warm buffer cache) deterministic
+ * and host-independent: in the paper the file is warm in the OS buffer
+ * cache, here it is warm by construction.
+ */
+
+#ifndef INTERP_VFS_VFS_HH
+#define INTERP_VFS_VFS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace interp::vfs {
+
+/** Open-file modes. */
+enum class OpenMode { Read, Write, Append };
+
+/**
+ * A flat in-memory file system: path -> byte vector, plus a table of
+ * open descriptors. Descriptors 0/1/2 are reserved: writes to 1 and 2
+ * accumulate into capture buffers so benchmark output can be checked
+ * by tests.
+ */
+class FileSystem
+{
+  public:
+    FileSystem();
+
+    /** Create or replace a file with the given contents. */
+    void writeFile(const std::string &path, std::string_view contents);
+
+    /** True if the path exists. */
+    bool exists(const std::string &path) const;
+
+    /** Whole-file read; fatal() if missing. */
+    const std::string &readFile(const std::string &path) const;
+
+    /** Remove a file; returns false if it did not exist. */
+    bool remove(const std::string &path);
+
+    /** List all paths in the file system, sorted. */
+    std::vector<std::string> list() const;
+
+    /**
+     * Open a file.
+     * @return a descriptor >= 3, or -1 on failure (missing file in
+     *         Read mode).
+     */
+    int open(const std::string &path, OpenMode mode);
+
+    /** Read up to @p len bytes; returns bytes read, 0 at EOF, -1 on bad fd. */
+    int64_t read(int fd, char *buf, int64_t len);
+
+    /** Write @p len bytes; returns bytes written or -1 on bad fd. */
+    int64_t write(int fd, const char *buf, int64_t len);
+
+    /** Reposition a descriptor; whence follows lseek (0=set,1=cur,2=end). */
+    int64_t seek(int fd, int64_t offset, int whence);
+
+    /** Close a descriptor; returns false on bad fd. */
+    bool close(int fd);
+
+    /** Bytes written to descriptor 1 since the last drain. */
+    std::string &stdoutCapture() { return stdout_capture; }
+    /** Bytes written to descriptor 2 since the last drain. */
+    std::string &stderrCapture() { return stderr_capture; }
+
+    /** Provide input for descriptor 0. */
+    void setStdin(std::string_view contents);
+
+  private:
+    struct OpenFile
+    {
+        std::string path;
+        OpenMode mode = OpenMode::Read;
+        int64_t offset = 0;
+        bool live = false;
+    };
+
+    std::map<std::string, std::string> files;
+    std::vector<OpenFile> fds;
+    std::string stdout_capture;
+    std::string stderr_capture;
+    std::string stdin_data;
+    int64_t stdin_offset = 0;
+};
+
+} // namespace interp::vfs
+
+#endif // INTERP_VFS_VFS_HH

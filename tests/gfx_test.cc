@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the software rasterizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gfx/framebuffer.hh"
+
+namespace {
+
+using interp::gfx::Framebuffer;
+
+TEST(Gfx, StartsBlack)
+{
+    Framebuffer fb(16, 16);
+    EXPECT_EQ(fb.countPixels(0), 256);
+}
+
+TEST(Gfx, SetAndGetPixel)
+{
+    Framebuffer fb(8, 8);
+    fb.setPixel(3, 4, 9);
+    EXPECT_EQ(fb.pixel(3, 4), 9);
+    EXPECT_EQ(fb.pixel(4, 3), 0);
+}
+
+TEST(Gfx, OutOfBoundsClipped)
+{
+    Framebuffer fb(4, 4);
+    fb.setPixel(-1, 0, 1);
+    fb.setPixel(0, -1, 1);
+    fb.setPixel(4, 0, 1);
+    fb.setPixel(0, 4, 1);
+    EXPECT_EQ(fb.countPixels(1), 0);
+    EXPECT_EQ(fb.pixel(-5, 2), 0);
+}
+
+TEST(Gfx, HorizontalLine)
+{
+    Framebuffer fb(10, 10);
+    fb.drawLine(1, 5, 8, 5, 7);
+    for (int x = 1; x <= 8; ++x)
+        EXPECT_EQ(fb.pixel(x, 5), 7);
+    EXPECT_EQ(fb.countPixels(7), 8);
+}
+
+TEST(Gfx, DiagonalLineEndpoints)
+{
+    Framebuffer fb(10, 10);
+    fb.drawLine(0, 0, 9, 9, 3);
+    EXPECT_EQ(fb.pixel(0, 0), 3);
+    EXPECT_EQ(fb.pixel(9, 9), 3);
+    EXPECT_EQ(fb.countPixels(3), 10);
+}
+
+TEST(Gfx, LineIsSymmetricUnderReversal)
+{
+    Framebuffer a(32, 32), b(32, 32);
+    a.drawLine(2, 5, 27, 19, 1);
+    b.drawLine(27, 19, 2, 5, 1);
+    EXPECT_EQ(a.countPixels(1), b.countPixels(1));
+}
+
+TEST(Gfx, FillRectClipsAndCounts)
+{
+    Framebuffer fb(10, 10);
+    fb.fillRect(6, 6, 10, 10, 2); // clipped to 4x4
+    EXPECT_EQ(fb.countPixels(2), 16);
+    fb.fillRect(0, 0, 3, 2, 5);
+    EXPECT_EQ(fb.countPixels(5), 6);
+}
+
+TEST(Gfx, DrawRectOutlineOnly)
+{
+    Framebuffer fb(10, 10);
+    fb.drawRect(1, 1, 5, 4, 6);
+    // Perimeter of 5x4 = 2*5 + 2*4 - 4 corners counted once = 14.
+    EXPECT_EQ(fb.countPixels(6), 14);
+    EXPECT_EQ(fb.pixel(2, 2), 0) << "interior untouched";
+}
+
+TEST(Gfx, CircleContainsCardinalPoints)
+{
+    Framebuffer fb(32, 32);
+    fb.drawCircle(16, 16, 10, 4);
+    EXPECT_EQ(fb.pixel(26, 16), 4);
+    EXPECT_EQ(fb.pixel(6, 16), 4);
+    EXPECT_EQ(fb.pixel(16, 26), 4);
+    EXPECT_EQ(fb.pixel(16, 6), 4);
+    EXPECT_EQ(fb.pixel(16, 16), 0) << "center untouched";
+}
+
+TEST(Gfx, FillCircleAreaReasonable)
+{
+    Framebuffer fb(64, 64);
+    fb.fillCircle(32, 32, 10, 1);
+    int64_t area = fb.countPixels(1);
+    // pi*r^2 ~ 314; integer rasterization should be close.
+    EXPECT_GT(area, 280);
+    EXPECT_LT(area, 350);
+}
+
+TEST(Gfx, TextAdvancesAndDraws)
+{
+    Framebuffer fb(64, 16);
+    int advance = fb.drawText(1, 1, "AB", 9);
+    EXPECT_EQ(advance, 12) << "6 px per glyph";
+    EXPECT_GT(fb.countPixels(9), 10);
+}
+
+TEST(Gfx, TextFoldsLowercase)
+{
+    Framebuffer a(32, 16), b(32, 16);
+    a.drawText(0, 0, "abc", 1);
+    b.drawText(0, 0, "ABC", 1);
+    EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(Gfx, ChecksumChangesWithContent)
+{
+    Framebuffer fb(16, 16);
+    uint64_t before = fb.checksum();
+    fb.setPixel(5, 5, 1);
+    EXPECT_NE(fb.checksum(), before);
+}
+
+TEST(Gfx, ClearResets)
+{
+    Framebuffer fb(16, 16);
+    fb.fillRect(0, 0, 16, 16, 3);
+    fb.clear(0);
+    EXPECT_EQ(fb.countPixels(0), 256);
+}
+
+TEST(Gfx, DeterministicChecksumGolden)
+{
+    Framebuffer fb(64, 64);
+    fb.clear(0);
+    fb.drawLine(0, 0, 63, 63, 1);
+    fb.fillRect(10, 10, 20, 20, 2);
+    fb.drawCircle(40, 40, 12, 3);
+    fb.drawText(2, 50, "GOLD", 4);
+    // The scene must render identically forever (golden value).
+    uint64_t golden = fb.checksum();
+    Framebuffer fb2(64, 64);
+    fb2.clear(0);
+    fb2.drawLine(0, 0, 63, 63, 1);
+    fb2.fillRect(10, 10, 20, 20, 2);
+    fb2.drawCircle(40, 40, 12, 3);
+    fb2.drawText(2, 50, "GOLD", 4);
+    EXPECT_EQ(fb2.checksum(), golden);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the benchmark harness: workload generators, the runner,
+ * the micro/macro suites, and cross-mode output agreement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "harness/workloads.hh"
+
+namespace {
+
+using namespace interp;
+using namespace interp::harness;
+
+// --- workload generators -----------------------------------------------
+
+TEST(Workloads, Deterministic)
+{
+    EXPECT_EQ(compressInput(3000), compressInput(3000));
+    EXPECT_EQ(txt2htmlInput(50), txt2htmlInput(50));
+    EXPECT_EQ(plexusInput(10), plexusInput(10));
+    EXPECT_EQ(cc1Input(20), cc1Input(20));
+}
+
+TEST(Workloads, SizesScale)
+{
+    EXPECT_GT(compressInput(8000).size(), 7900u);
+    EXPECT_LT(compressInput(1000).size(), 1200u);
+    EXPECT_GT(weblintInput(200).size(), weblintInput(20).size());
+}
+
+TEST(Workloads, ReadFileIsExactly4K)
+{
+    EXPECT_EQ(readFileInput().size(), 4096u);
+}
+
+TEST(Workloads, InstallPutsAllFiles)
+{
+    vfs::FileSystem fs;
+    installAllInputs(fs);
+    for (const char *name :
+         {"compress.in", "cc1.in", "javac.in", "txt2html.in",
+          "weblint.in", "a2ps.in", "requests.in", "tcllex.in",
+          "tcltags.in", "read4k.in"})
+        EXPECT_TRUE(fs.exists(name)) << name;
+}
+
+TEST(Workloads, PlexusInputIsHttpShaped)
+{
+    std::string log = plexusInput(5);
+    EXPECT_NE(log.find("GET "), std::string::npos);
+    EXPECT_NE(log.find("HTTP/1.0"), std::string::npos);
+    EXPECT_NE(log.find("User-Agent: "), std::string::npos);
+}
+
+// --- runner ------------------------------------------------------------
+
+TEST(Runner, LangNames)
+{
+    EXPECT_STREQ(langName(Lang::C), "C");
+    EXPECT_STREQ(langName(Lang::Mipsi), "MIPSI");
+    EXPECT_STREQ(langName(Lang::Java), "Java");
+    EXPECT_STREQ(langName(Lang::Perl), "Perl");
+    EXPECT_STREQ(langName(Lang::Tcl), "Tcl");
+}
+
+TEST(Runner, MacroSuiteShape)
+{
+    auto suite = macroSuite();
+    ASSERT_EQ(suite.size(), 20u) << "1 C + 5 MIPSI + 5 Java + 5 Perl "
+                                    "+ 4 Tcl";
+    int des_count = 0;
+    for (const auto &spec : suite) {
+        EXPECT_FALSE(spec.source.empty()) << spec.name;
+        if (spec.name == "des")
+            ++des_count;
+    }
+    EXPECT_EQ(des_count, 5) << "des is the common reference point";
+}
+
+TEST(Runner, MeasurementFieldsPopulated)
+{
+    BenchSpec spec;
+    spec.lang = Lang::Perl;
+    spec.name = "tiny";
+    spec.source = "$x = 2 + 3; print \"$x\";";
+    Measurement m = run(spec);
+    EXPECT_TRUE(m.finished);
+    EXPECT_EQ(m.stdoutText, "5");
+    EXPECT_GT(m.commands, 0u);
+    EXPECT_GT(m.cycles, 0u);
+    EXPECT_GT(m.profile.instructions(), 0u);
+    EXPECT_GT(m.breakdown.busyPct, 0.0);
+    EXPECT_FALSE(m.commandNames.empty());
+    EXPECT_GT(m.programBytes, 0u);
+}
+
+TEST(Runner, BudgetStopsRunaway)
+{
+    BenchSpec spec;
+    spec.lang = Lang::Tcl;
+    spec.name = "forever";
+    spec.source = "while {1} { set x 1 }";
+    spec.maxCommands = 2000;
+    Measurement m = run(spec, {}, nullptr, false);
+    EXPECT_FALSE(m.finished);
+    EXPECT_GE(m.commands, 2000u);
+    EXPECT_LT(m.commands, 2100u);
+}
+
+TEST(Runner, MachineConfigOverride)
+{
+    BenchSpec spec = microBench(Lang::Tcl, "a=b+c", 60);
+    Measurement base = run(spec);
+    sim::MachineConfig big;
+    big.icache.sizeBytes = 64 * 1024;
+    big.icache.assoc = 4;
+    Measurement wide = run(spec, {}, &big);
+    EXPECT_LT(wide.cycles, base.cycles)
+        << "a big I$ must help a Tcl workload";
+}
+
+// --- micro suite -------------------------------------------------------
+
+TEST(Micro, AllOpsRunInAllLanguages)
+{
+    for (const std::string &op : microOps()) {
+        for (Lang lang : {Lang::C, Lang::Mipsi, Lang::Java, Lang::Perl,
+                          Lang::Tcl}) {
+            BenchSpec spec = microBench(lang, op, 3);
+            Measurement m = run(spec, {}, nullptr, false);
+            EXPECT_TRUE(m.finished)
+                << op << " in " << langName(lang);
+            EXPECT_GT(m.commands, 0u) << op << " " << langName(lang);
+        }
+    }
+}
+
+TEST(Micro, ComputeSlowdownOrdering)
+{
+    // Table 1's compute rows: Tcl >> Perl > MIPSI-or-Java, all >> 1.
+    auto per_iter = [](Lang lang) {
+        int iters = lang == Lang::Tcl ? 50 : 300;
+        Measurement m = run(microBench(lang, "a=b+c", iters));
+        return (double)m.cycles / iters;
+    };
+    double c = per_iter(Lang::C);
+    double mipsi = per_iter(Lang::Mipsi);
+    double java = per_iter(Lang::Java);
+    double perl = per_iter(Lang::Perl);
+    double tcl = per_iter(Lang::Tcl);
+    EXPECT_GT(mipsi / c, 20.0);
+    EXPECT_GT(perl / c, mipsi / c) << "Perl above MIPSI (paper: 770 vs "
+                                      "260)";
+    EXPECT_GT(tcl / c, 3.0 * (perl / c))
+        << "Tcl is the extreme (paper: 6500 vs Perl's 770)";
+    EXPECT_GT(java / c, 5.0);
+    EXPECT_LT(java / c, mipsi / c) << "Java below MIPSI (paper: 96 vs "
+                                      "260)";
+}
+
+TEST(Micro, StringOpsInvertTheOrdering)
+{
+    // Table 1's headline: Perl/Tcl string facilities live in native
+    // runtime libraries, so their slowdowns drop below MIPSI/Java.
+    auto slowdown = [](Lang lang, const char *op) {
+        int iters = lang == Lang::Tcl ? 40 : (lang == Lang::C ? 600
+                                                              : 150);
+        Measurement m = run(microBench(lang, op, iters));
+        return (double)m.cycles / iters;
+    };
+    double c = slowdown(Lang::C, "string-concat");
+    double mipsi = slowdown(Lang::Mipsi, "string-concat") / c;
+    double perl = slowdown(Lang::Perl, "string-concat") / c;
+    double tcl = slowdown(Lang::Tcl, "string-concat") / c;
+    EXPECT_LT(perl, mipsi) << "Perl concat beats MIPSI (19 vs 186)";
+    EXPECT_LT(tcl, mipsi) << "Tcl concat beats MIPSI (78 vs 186)";
+}
+
+TEST(Micro, ReadIsBarelySlowed)
+{
+    // Table 1's read row: computation happens in precompiled (kernel)
+    // code, so every interpreter's slowdown is small.
+    auto per_iter = [](Lang lang) {
+        int iters = 25;
+        Measurement m = run(microBench(lang, "read", iters));
+        return (double)m.cycles / iters;
+    };
+    double c = per_iter(Lang::C);
+    for (Lang lang : {Lang::Mipsi, Lang::Java, Lang::Perl, Lang::Tcl}) {
+        double ratio = per_iter(lang) / c;
+        EXPECT_LT(ratio, 25.0) << langName(lang);
+    }
+    EXPECT_GT(per_iter(Lang::Tcl) / c, per_iter(Lang::Java) / c)
+        << "Tcl still pays the most for I/O (paper: 15 vs 4.6)";
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the MIPS ISA module: encode/decode round trips,
+ * field extraction, disassembly, and the assembler/linker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mips/asm_builder.hh"
+#include "mips/isa.hh"
+
+namespace {
+
+using namespace interp::mips;
+
+TEST(Isa, DecodeNop)
+{
+    Inst inst = decode(kNopWord);
+    EXPECT_EQ(inst.op, Op::Sll);
+    EXPECT_TRUE(inst.isNop());
+}
+
+TEST(Isa, DecodeAddu)
+{
+    // addu $3, $1, $2 : opcode 0, funct 0x21
+    uint32_t word = encodeR(0x21, 1, 2, 3, 0);
+    Inst inst = decode(word);
+    EXPECT_EQ(inst.op, Op::Addu);
+    EXPECT_EQ(inst.rs, 1);
+    EXPECT_EQ(inst.rt, 2);
+    EXPECT_EQ(inst.rd, 3);
+}
+
+TEST(Isa, DecodeItypeSignExtension)
+{
+    uint32_t word = encodeI(0x09, 2, 4, 0xffff); // addiu $4, $2, -1
+    Inst inst = decode(word);
+    EXPECT_EQ(inst.op, Op::Addiu);
+    EXPECT_EQ(inst.imm, -1);
+}
+
+TEST(Isa, DecodeRegimm)
+{
+    Inst bltz = decode(encodeI(0x01, 5, 0, 8));
+    EXPECT_EQ(bltz.op, Op::Bltz);
+    Inst bgez = decode(encodeI(0x01, 5, 1, 8));
+    EXPECT_EQ(bgez.op, Op::Bgez);
+}
+
+TEST(Isa, DecodeJump)
+{
+    Inst j = decode(encodeJ(0x02, 0x12345));
+    EXPECT_EQ(j.op, Op::J);
+    EXPECT_EQ(j.target, 0x12345u);
+    Inst jal = decode(encodeJ(0x03, 0x12345));
+    EXPECT_EQ(jal.op, Op::Jal);
+}
+
+TEST(Isa, InvalidOpcodeDecodesInvalid)
+{
+    EXPECT_EQ(decode(0xfc000000).op, Op::Invalid);
+    EXPECT_EQ(decode(0x0000003f).op, Op::Invalid); // bad funct
+}
+
+/** Encode/decode round-trip over every opcode. */
+class RoundTrip : public testing::TestWithParam<int>
+{};
+
+TEST_P(RoundTrip, EncodeDecode)
+{
+    Op op = (Op)GetParam();
+    Inst inst;
+    inst.op = op;
+    inst.rs = 3;
+    inst.rt = 5;
+    inst.rd = 7;
+    inst.shamt = 9;
+    inst.imm = -42;
+    inst.target = 0x3ffff;
+    // Normalize fields irrelevant to the encoding so comparison holds.
+    switch (op) {
+      case Op::J: case Op::Jal:
+        inst.rs = inst.rt = inst.rd = inst.shamt = 0;
+        inst.imm = (int16_t)(inst.target & 0xffff);
+        break;
+      case Op::Bltz: case Op::Bgez:
+        inst.rt = op == Op::Bgez ? 1 : 0;
+        inst.rd = inst.shamt = 0;
+        inst.target = 0;
+        break;
+      case Op::Syscall:
+        inst.rs = inst.rt = inst.rd = inst.shamt = 0;
+        inst.imm = 0;
+        inst.target = 0;
+        break;
+      default:
+        break;
+    }
+    uint32_t word = encode(inst);
+    Inst back = decode(word);
+    EXPECT_EQ(back.op, inst.op) << opName(op);
+    if (op != Op::J && op != Op::Jal) {
+        EXPECT_EQ(back.rs, inst.rs) << opName(op);
+        EXPECT_EQ(back.rt, inst.rt) << opName(op);
+    } else {
+        EXPECT_EQ(back.target, inst.target & 0x03ffffff);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RoundTrip,
+    testing::Range((int)Op::Sll, (int)Op::NumOps),
+    [](const testing::TestParamInfo<int> &info) {
+        return std::string(opName((Op)info.param));
+    });
+
+TEST(Disasm, Samples)
+{
+    EXPECT_EQ(disassemble(decode(kNopWord), 0), "nop");
+    EXPECT_EQ(disassemble(decode(encodeR(0x21, 1, 2, 3, 0)), 0),
+              "addu $3, $1, $2");
+    EXPECT_EQ(disassemble(decode(encodeI(0x23, 29, 4, 16)), 0),
+              "lw $4, 16($29)");
+    EXPECT_EQ(disassemble(decode(encodeI(0x04, 1, 2, 4)), 0x1000),
+              "beq $1, $2, 0x1014");
+}
+
+TEST(AsmBuilder, BranchFixupForwardAndBack)
+{
+    AsmBuilder b;
+    auto start = b.here("start");
+    auto fwd = b.newLabel();
+    b.branch(Op::Beq, ZERO, ZERO, fwd); // + delay nop
+    b.nop();
+    b.bind(fwd);
+    b.branch(Op::Bne, V0, ZERO, start); // backward + delay nop
+    Image img = b.link();
+
+    // beq at index 0, delay nop index 1, nop index 2, bne index 3.
+    Inst beq = decode(img.text[0]);
+    EXPECT_EQ(beq.op, Op::Beq);
+    // target = pc+4 + imm*4 = index 3 -> imm = (3 - 1) = 2.
+    EXPECT_EQ(beq.imm, 2);
+    Inst bne = decode(img.text[3]);
+    EXPECT_EQ(bne.imm, -4); // back to index 0: 0 - (3+1) = -4
+    EXPECT_TRUE(decode(img.text[1]).isNop()) << "delay slot filled";
+}
+
+TEST(AsmBuilder, JalTargetEncodesAbsolute)
+{
+    AsmBuilder b;
+    b.nop();
+    auto fn = b.newLabel();
+    b.jal(fn);
+    b.bind(fn);
+    b.nop();
+    Image img = b.link();
+    Inst jal = decode(img.text[1]);
+    uint32_t target = ((kTextBase + 8) & 0xf0000000) | (jal.target << 2);
+    EXPECT_EQ(target, kTextBase + 3 * 4);
+    EXPECT_EQ(img.symbols.size(), 0u);
+}
+
+TEST(AsmBuilder, LiSmallAndLarge)
+{
+    AsmBuilder b;
+    b.li(T0, 5);          // 1 inst
+    b.li(T1, -5);         // 1 inst
+    b.li(T2, 0x12345678); // lui + ori
+    Image img = b.link();
+    ASSERT_EQ(img.text.size(), 4u);
+    EXPECT_EQ(decode(img.text[0]).op, Op::Addiu);
+    EXPECT_EQ(decode(img.text[2]).op, Op::Lui);
+    EXPECT_EQ(decode(img.text[3]).op, Op::Ori);
+}
+
+TEST(AsmBuilder, DataDirectives)
+{
+    AsmBuilder b;
+    b.nop();
+    uint32_t s = b.dataAsciiz("hi");
+    uint32_t w = b.dataWord(0xdeadbeef);
+    b.dataSymbol("str", s);
+    Image img = b.link();
+    EXPECT_EQ(s, kDataBase);
+    EXPECT_EQ(w, kDataBase + 4) << "word aligned after 3-byte string";
+    EXPECT_EQ(img.data[0], 'h');
+    EXPECT_EQ(img.data[2], 0);
+    EXPECT_EQ(img.data[4], 0xef);
+    EXPECT_EQ(img.data[7], 0xde);
+    EXPECT_EQ(img.symbols.at("str"), kDataBase);
+}
+
+TEST(AsmBuilder, EntryDefaultsToTextBase)
+{
+    AsmBuilder b;
+    b.nop();
+    EXPECT_EQ(b.link().entry, kTextBase);
+}
+
+TEST(AsmBuilder, NamedLabelsBecomeSymbols)
+{
+    AsmBuilder b;
+    b.nop();
+    b.here("func");
+    b.nop();
+    Image img = b.link();
+    EXPECT_EQ(img.symbols.at("func"), kTextBase + 4);
+}
+
+TEST(Image, SizeAndBreak)
+{
+    AsmBuilder b;
+    b.nop();
+    b.nop();
+    b.dataAsciiz("abc");
+    Image img = b.link();
+    EXPECT_EQ(img.sizeBytes(), 8u + 4u);
+    EXPECT_EQ(img.initialBreak() % 8, 0u);
+    EXPECT_GE(img.initialBreak(), img.dataBase + 4);
+}
+
+} // namespace

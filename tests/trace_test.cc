@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the instrumentation layer: code registry, address
+ * mapping, routine scopes, attribution, and the Profile sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/code_registry.hh"
+#include "trace/execution.hh"
+#include "trace/profile.hh"
+
+namespace {
+
+using namespace interp::trace;
+
+/** Sink that records every bundle. */
+class Collector : public Sink
+{
+  public:
+    void onBundle(const Bundle &b) override { bundles.push_back(b); }
+    std::vector<Bundle> bundles;
+};
+
+TEST(CodeRegistry, RoutinesDoNotOverlap)
+{
+    CodeRegistry reg;
+    auto a = reg.registerRoutine("a", 10);
+    auto b = reg.registerRoutine("b", 100);
+    auto c = reg.registerRoutine("c", 1);
+    const auto &ra = reg.routine(a);
+    const auto &rb = reg.routine(b);
+    const auto &rc = reg.routine(c);
+    EXPECT_GE(rb.base, ra.base + ra.sizeInsts * 4);
+    EXPECT_GE(rc.base, rb.base + rb.sizeInsts * 4);
+    EXPECT_EQ(ra.base % 64, 0u) << "routines are 64-byte aligned";
+}
+
+TEST(CodeRegistry, SegmentsAreDisjoint)
+{
+    CodeRegistry reg;
+    auto a = reg.registerRoutine("core", 1000, Segment::InterpCore);
+    auto b = reg.registerRoutine("lib", 1000, Segment::NativeLib);
+    EXPECT_NE(reg.routine(a).base & 0xfc000000,
+              reg.routine(b).base & 0xfc000000);
+}
+
+TEST(AddressMapper, PreservesPageOffset)
+{
+    AddressMapper mapper;
+    alignas(64) char buf[2] = {};
+    uint32_t s = mapper.map(&buf[0]);
+    uint32_t mask = (1u << AddressMapper::kPageBits) - 1;
+    EXPECT_EQ(s & mask, (uint64_t)&buf[0] & mask);
+}
+
+TEST(AddressMapper, SamePageMapsTogether)
+{
+    AddressMapper mapper;
+    alignas(4096) static char page[4096];
+    uint32_t a = mapper.map(&page[0]);
+    uint32_t b = mapper.map(&page[100]);
+    EXPECT_EQ(b - a, 100u);
+}
+
+TEST(AddressMapper, DistinctPagesDistinctSynthPages)
+{
+    AddressMapper mapper;
+    static char big[3 * 8192];
+    uint32_t a = mapper.map(&big[0]);
+    uint32_t b = mapper.map(&big[2 * 8192]);
+    EXPECT_NE(a >> AddressMapper::kPageBits, b >> AddressMapper::kPageBits);
+    EXPECT_EQ(mapper.pagesTouched(), 2u);
+}
+
+TEST(CommandSet, InternIsIdempotent)
+{
+    CommandSet set;
+    auto a = set.intern("add");
+    auto b = set.intern("sub");
+    EXPECT_EQ(set.intern("add"), a);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(set.name(a), "add");
+    EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Execution, AluEmitsSequentialPcs)
+{
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    auto r = exec.code().registerRoutine("work", 100);
+    {
+        RoutineScope scope(exec, r);
+        exec.alu(5);
+    }
+    // call, alu-bundle, return
+    ASSERT_EQ(sink.bundles.size(), 3u);
+    EXPECT_EQ(sink.bundles[0].cls, InstClass::Call);
+    EXPECT_EQ(sink.bundles[1].cls, InstClass::IntAlu);
+    EXPECT_EQ(sink.bundles[1].count, 5u);
+    EXPECT_EQ(sink.bundles[1].pc, exec.code().routine(r).base);
+    EXPECT_EQ(sink.bundles[2].cls, InstClass::Return);
+}
+
+TEST(Execution, WrapEmitsTakenBranch)
+{
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    auto r = exec.code().registerRoutine("tiny", 4);
+    {
+        RoutineScope scope(exec, r);
+        exec.alu(10); // must wrap inside a 4-instruction routine
+    }
+    int branches = 0;
+    uint32_t insts = 0;
+    for (const auto &b : sink.bundles) {
+        if (b.cls == InstClass::CondBranch) {
+            EXPECT_TRUE(b.taken);
+            ++branches;
+        }
+        insts += b.count;
+        // PCs must stay inside the routine body (or be the call/ret).
+        if (b.cls == InstClass::IntAlu) {
+            const auto &routine = exec.code().routine(r);
+            EXPECT_GE(b.pc, routine.base);
+            EXPECT_LT(b.pc, routine.base + routine.sizeInsts * 4);
+        }
+    }
+    EXPECT_GT(branches, 0);
+    // Wrap branches are carved out of the requested count, so the
+    // total emitted stays exactly what was asked for (plus call/ret).
+    EXPECT_EQ(insts, 10u + 2u);
+}
+
+TEST(Execution, CategoriesAndFlagsPropagate)
+{
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    exec.setCategory(Category::FetchDecode);
+    exec.alu(1);
+    {
+        CategoryScope cat(exec, Category::Execute);
+        MemModelScope mm(exec);
+        exec.alu(1);
+    }
+    exec.alu(1);
+    ASSERT_EQ(sink.bundles.size(), 3u);
+    EXPECT_EQ(sink.bundles[0].cat, Category::FetchDecode);
+    EXPECT_FALSE(sink.bundles[0].memModel);
+    EXPECT_EQ(sink.bundles[1].cat, Category::Execute);
+    EXPECT_TRUE(sink.bundles[1].memModel);
+    EXPECT_EQ(sink.bundles[2].cat, Category::FetchDecode);
+    EXPECT_FALSE(sink.bundles[2].memModel);
+}
+
+TEST(Execution, DispatchAndEndDispatch)
+{
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    auto h = exec.code().registerRoutine("handler", 32);
+    exec.dispatch(h);
+    exec.alu(2);
+    exec.endDispatch();
+    ASSERT_EQ(sink.bundles.size(), 3u);
+    EXPECT_EQ(sink.bundles[0].cls, InstClass::IndirectJump);
+    EXPECT_EQ(sink.bundles[0].target, exec.code().routine(h).base);
+    EXPECT_EQ(sink.bundles[2].cls, InstClass::Jump);
+}
+
+TEST(Execution, LoadsCarryMappedAddresses)
+{
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    int value = 0;
+    exec.load(&value);
+    exec.store(&value);
+    ASSERT_EQ(sink.bundles.size(), 2u);
+    EXPECT_EQ(sink.bundles[0].cls, InstClass::Load);
+    EXPECT_EQ(sink.bundles[0].memAddr, sink.bundles[1].memAddr);
+}
+
+TEST(Execution, CommandAttribution)
+{
+    Execution exec;
+    CommandSet set;
+    Profile profile;
+    exec.addSink(&profile);
+    auto add = set.intern("add");
+    auto mul = set.intern("mul");
+
+    exec.setCategory(Category::FetchDecode);
+    exec.alu(10);
+    exec.beginCommand(add);
+    exec.setCategory(Category::Execute);
+    exec.alu(3);
+    exec.setCategory(Category::FetchDecode);
+    exec.alu(10);
+    exec.beginCommand(mul);
+    exec.setCategory(Category::Execute);
+    exec.alu(7);
+
+    EXPECT_EQ(profile.commands(), 2u);
+    EXPECT_EQ(profile.perCommand()[add].retired, 1u);
+    EXPECT_EQ(profile.perCommand()[add].execute, 3u);
+    EXPECT_EQ(profile.perCommand()[mul].execute, 7u);
+    // The first fetch/decode block ran before any command and is
+    // unattributed; the second belongs to `add`.
+    EXPECT_EQ(profile.perCommand()[add].fetchDecode, 10u);
+    EXPECT_EQ(profile.fetchDecodeInsts(), 20u);
+    EXPECT_EQ(profile.executeInsts(), 10u);
+}
+
+TEST(Profile, ByExecuteSortsDescending)
+{
+    Execution exec;
+    CommandSet set;
+    Profile profile;
+    exec.addSink(&profile);
+    auto small = set.intern("small");
+    auto big = set.intern("big");
+    exec.beginCommand(small);
+    exec.alu(5);
+    exec.beginCommand(big);
+    exec.alu(50);
+    auto sorted = profile.byExecuteInsts();
+    ASSERT_EQ(sorted.size(), 2u);
+    EXPECT_EQ(sorted[0].first, big);
+    EXPECT_DOUBLE_EQ(profile.cumulativeExecuteShare(1), 50.0 / 55.0);
+    EXPECT_DOUBLE_EQ(profile.cumulativeExecuteShare(2), 1.0);
+}
+
+TEST(Profile, SystemWorkExcludedFromUserCounts)
+{
+    Execution exec;
+    Profile profile;
+    exec.addSink(&profile);
+    exec.alu(10);
+    {
+        SystemScope sys(exec);
+        exec.alu(90);
+    }
+    EXPECT_EQ(profile.instructions(), 100u);
+    EXPECT_EQ(profile.systemInsts(), 90u);
+    EXPECT_EQ(profile.userInstructions(), 10u);
+    EXPECT_EQ(profile.executeInsts(), 10u);
+}
+
+TEST(Profile, MemModelAccounting)
+{
+    Execution exec;
+    Profile profile;
+    exec.addSink(&profile);
+    for (int i = 0; i < 4; ++i) {
+        MemModelScope mm(exec);
+        exec.noteMemModelAccess();
+        exec.alu(30);
+    }
+    exec.alu(80);
+    EXPECT_EQ(profile.memModelAccesses(), 4u);
+    EXPECT_DOUBLE_EQ(profile.memModelCostPerAccess(), 30.0);
+    EXPECT_DOUBLE_EQ(profile.memModelFraction(), 120.0 / 200.0);
+}
+
+TEST(Execution, NestedRoutinesReturnToCaller)
+{
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    auto outer = exec.code().registerRoutine("outer", 64);
+    auto inner = exec.code().registerRoutine("inner", 64);
+    {
+        RoutineScope a(exec, outer);
+        exec.alu(1);
+        {
+            RoutineScope b(exec, inner);
+            exec.alu(1);
+        }
+        exec.alu(1);
+    }
+    // The post-call alu must continue inside `outer`.
+    const auto &routine = exec.code().routine(outer);
+    const Bundle &after = sink.bundles[sink.bundles.size() - 2];
+    EXPECT_EQ(after.cls, InstClass::IntAlu);
+    EXPECT_GE(after.pc, routine.base);
+    EXPECT_LT(after.pc, routine.base + routine.sizeInsts * 4);
+}
+
+} // namespace

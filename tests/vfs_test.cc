@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the in-memory virtual file system.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "vfs/vfs.hh"
+
+namespace {
+
+using namespace interp::vfs;
+
+TEST(Vfs, WriteAndReadWholeFile)
+{
+    FileSystem fs;
+    fs.writeFile("a.txt", "hello");
+    EXPECT_TRUE(fs.exists("a.txt"));
+    EXPECT_EQ(fs.readFile("a.txt"), "hello");
+}
+
+TEST(Vfs, OpenMissingFileFails)
+{
+    FileSystem fs;
+    EXPECT_EQ(fs.open("missing", OpenMode::Read), -1);
+}
+
+TEST(Vfs, ReadInChunks)
+{
+    FileSystem fs;
+    fs.writeFile("f", "abcdefghij");
+    int fd = fs.open("f", OpenMode::Read);
+    ASSERT_GE(fd, 3);
+    char buf[4] = {};
+    EXPECT_EQ(fs.read(fd, buf, 4), 4);
+    EXPECT_EQ(std::string(buf, 4), "abcd");
+    EXPECT_EQ(fs.read(fd, buf, 4), 4);
+    EXPECT_EQ(std::string(buf, 4), "efgh");
+    EXPECT_EQ(fs.read(fd, buf, 4), 2);
+    EXPECT_EQ(std::string(buf, 2), "ij");
+    EXPECT_EQ(fs.read(fd, buf, 4), 0) << "EOF returns 0";
+    EXPECT_TRUE(fs.close(fd));
+}
+
+TEST(Vfs, WriteModeTruncates)
+{
+    FileSystem fs;
+    fs.writeFile("f", "old contents");
+    int fd = fs.open("f", OpenMode::Write);
+    EXPECT_EQ(fs.write(fd, "new", 3), 3);
+    fs.close(fd);
+    EXPECT_EQ(fs.readFile("f"), "new");
+}
+
+TEST(Vfs, AppendMode)
+{
+    FileSystem fs;
+    fs.writeFile("f", "one");
+    int fd = fs.open("f", OpenMode::Append);
+    fs.write(fd, "two", 3);
+    fs.close(fd);
+    EXPECT_EQ(fs.readFile("f"), "onetwo");
+}
+
+TEST(Vfs, SeekSetCurEnd)
+{
+    FileSystem fs;
+    fs.writeFile("f", "0123456789");
+    int fd = fs.open("f", OpenMode::Read);
+    char c;
+    EXPECT_EQ(fs.seek(fd, 4, 0), 4);
+    fs.read(fd, &c, 1);
+    EXPECT_EQ(c, '4');
+    EXPECT_EQ(fs.seek(fd, 2, 1), 7);
+    fs.read(fd, &c, 1);
+    EXPECT_EQ(c, '7');
+    EXPECT_EQ(fs.seek(fd, -1, 2), 9);
+    fs.read(fd, &c, 1);
+    EXPECT_EQ(c, '9');
+    EXPECT_EQ(fs.seek(fd, -100, 0), -1) << "negative target rejected";
+}
+
+TEST(Vfs, StdoutStderrCapture)
+{
+    FileSystem fs;
+    fs.write(1, "out", 3);
+    fs.write(2, "err", 3);
+    EXPECT_EQ(fs.stdoutCapture(), "out");
+    EXPECT_EQ(fs.stderrCapture(), "err");
+}
+
+TEST(Vfs, StdinConsumption)
+{
+    FileSystem fs;
+    fs.setStdin("ab");
+    char buf[4];
+    EXPECT_EQ(fs.read(0, buf, 4), 2);
+    EXPECT_EQ(fs.read(0, buf, 4), 0);
+}
+
+TEST(Vfs, BadDescriptorRejected)
+{
+    FileSystem fs;
+    char buf[1];
+    EXPECT_EQ(fs.read(99, buf, 1), -1);
+    EXPECT_EQ(fs.write(99, buf, 1), -1);
+    EXPECT_FALSE(fs.close(99));
+    EXPECT_FALSE(fs.close(0)) << "std descriptors cannot be closed";
+}
+
+TEST(Vfs, WriteToReadOnlyFdFails)
+{
+    FileSystem fs;
+    fs.writeFile("f", "x");
+    int fd = fs.open("f", OpenMode::Read);
+    EXPECT_EQ(fs.write(fd, "y", 1), -1);
+}
+
+TEST(Vfs, DescriptorReuseAfterClose)
+{
+    FileSystem fs;
+    fs.writeFile("f", "x");
+    int fd1 = fs.open("f", OpenMode::Read);
+    fs.close(fd1);
+    int fd2 = fs.open("f", OpenMode::Read);
+    EXPECT_EQ(fd1, fd2) << "closed descriptors are recycled";
+}
+
+TEST(Vfs, RemoveAndList)
+{
+    FileSystem fs;
+    fs.writeFile("b", "");
+    fs.writeFile("a", "");
+    auto names = fs.list();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a") << "listing is sorted";
+    EXPECT_TRUE(fs.remove("a"));
+    EXPECT_FALSE(fs.remove("a"));
+    EXPECT_FALSE(fs.exists("a"));
+}
+
+TEST(Vfs, SparseWriteZeroFills)
+{
+    FileSystem fs;
+    int fd = fs.open("f", OpenMode::Write);
+    fs.seek(fd, 4, 0);
+    fs.write(fd, "x", 1);
+    fs.close(fd);
+    const std::string &data = fs.readFile("f");
+    ASSERT_EQ(data.size(), 5u);
+    EXPECT_EQ(data[0], '\0');
+    EXPECT_EQ(data[4], 'x');
+}
+
+} // namespace
