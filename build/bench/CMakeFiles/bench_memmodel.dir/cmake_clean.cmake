@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memmodel.dir/bench_memmodel.cc.o"
+  "CMakeFiles/bench_memmodel.dir/bench_memmodel.cc.o.d"
+  "bench_memmodel"
+  "bench_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_script.dir/profile_script.cpp.o"
+  "CMakeFiles/profile_script.dir/profile_script.cpp.o.d"
+  "profile_script"
+  "profile_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tk_hanoi.dir/tk_hanoi.cpp.o"
+  "CMakeFiles/tk_hanoi.dir/tk_hanoi.cpp.o.d"
+  "tk_hanoi"
+  "tk_hanoi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tk_hanoi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tk_hanoi.
+# This may be replaced when dependencies are built.

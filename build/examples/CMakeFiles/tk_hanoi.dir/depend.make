@@ -1,0 +1,2 @@
+# Empty dependencies file for tk_hanoi.
+# This may be replaced when dependencies are built.

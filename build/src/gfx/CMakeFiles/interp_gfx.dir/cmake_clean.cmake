@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_gfx.dir/framebuffer.cc.o"
+  "CMakeFiles/interp_gfx.dir/framebuffer.cc.o.d"
+  "libinterp_gfx.a"
+  "libinterp_gfx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_gfx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_harness.dir/runner.cc.o"
+  "CMakeFiles/interp_harness.dir/runner.cc.o.d"
+  "CMakeFiles/interp_harness.dir/workloads.cc.o"
+  "CMakeFiles/interp_harness.dir/workloads.cc.o.d"
+  "libinterp_harness.a"
+  "libinterp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

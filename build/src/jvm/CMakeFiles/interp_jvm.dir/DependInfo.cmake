@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/bytecode.cc" "src/jvm/CMakeFiles/interp_jvm.dir/bytecode.cc.o" "gcc" "src/jvm/CMakeFiles/interp_jvm.dir/bytecode.cc.o.d"
+  "/root/repo/src/jvm/heap.cc" "src/jvm/CMakeFiles/interp_jvm.dir/heap.cc.o" "gcc" "src/jvm/CMakeFiles/interp_jvm.dir/heap.cc.o.d"
+  "/root/repo/src/jvm/natives.cc" "src/jvm/CMakeFiles/interp_jvm.dir/natives.cc.o" "gcc" "src/jvm/CMakeFiles/interp_jvm.dir/natives.cc.o.d"
+  "/root/repo/src/jvm/vm.cc" "src/jvm/CMakeFiles/interp_jvm.dir/vm.cc.o" "gcc" "src/jvm/CMakeFiles/interp_jvm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/interp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/interp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/interp_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/interp_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mips/CMakeFiles/interp_mips.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

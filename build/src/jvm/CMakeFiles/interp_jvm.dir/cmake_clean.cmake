@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_jvm.dir/bytecode.cc.o"
+  "CMakeFiles/interp_jvm.dir/bytecode.cc.o.d"
+  "CMakeFiles/interp_jvm.dir/heap.cc.o"
+  "CMakeFiles/interp_jvm.dir/heap.cc.o.d"
+  "CMakeFiles/interp_jvm.dir/natives.cc.o"
+  "CMakeFiles/interp_jvm.dir/natives.cc.o.d"
+  "CMakeFiles/interp_jvm.dir/vm.cc.o"
+  "CMakeFiles/interp_jvm.dir/vm.cc.o.d"
+  "libinterp_jvm.a"
+  "libinterp_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minic/builtins.cc" "src/minic/CMakeFiles/interp_minic.dir/builtins.cc.o" "gcc" "src/minic/CMakeFiles/interp_minic.dir/builtins.cc.o.d"
+  "/root/repo/src/minic/codegen_bytecode.cc" "src/minic/CMakeFiles/interp_minic.dir/codegen_bytecode.cc.o" "gcc" "src/minic/CMakeFiles/interp_minic.dir/codegen_bytecode.cc.o.d"
+  "/root/repo/src/minic/codegen_mips.cc" "src/minic/CMakeFiles/interp_minic.dir/codegen_mips.cc.o" "gcc" "src/minic/CMakeFiles/interp_minic.dir/codegen_mips.cc.o.d"
+  "/root/repo/src/minic/compile.cc" "src/minic/CMakeFiles/interp_minic.dir/compile.cc.o" "gcc" "src/minic/CMakeFiles/interp_minic.dir/compile.cc.o.d"
+  "/root/repo/src/minic/lexer.cc" "src/minic/CMakeFiles/interp_minic.dir/lexer.cc.o" "gcc" "src/minic/CMakeFiles/interp_minic.dir/lexer.cc.o.d"
+  "/root/repo/src/minic/parser.cc" "src/minic/CMakeFiles/interp_minic.dir/parser.cc.o" "gcc" "src/minic/CMakeFiles/interp_minic.dir/parser.cc.o.d"
+  "/root/repo/src/minic/sema.cc" "src/minic/CMakeFiles/interp_minic.dir/sema.cc.o" "gcc" "src/minic/CMakeFiles/interp_minic.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mips/CMakeFiles/interp_mips.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

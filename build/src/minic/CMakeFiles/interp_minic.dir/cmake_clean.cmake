@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_minic.dir/builtins.cc.o"
+  "CMakeFiles/interp_minic.dir/builtins.cc.o.d"
+  "CMakeFiles/interp_minic.dir/codegen_bytecode.cc.o"
+  "CMakeFiles/interp_minic.dir/codegen_bytecode.cc.o.d"
+  "CMakeFiles/interp_minic.dir/codegen_mips.cc.o"
+  "CMakeFiles/interp_minic.dir/codegen_mips.cc.o.d"
+  "CMakeFiles/interp_minic.dir/compile.cc.o"
+  "CMakeFiles/interp_minic.dir/compile.cc.o.d"
+  "CMakeFiles/interp_minic.dir/lexer.cc.o"
+  "CMakeFiles/interp_minic.dir/lexer.cc.o.d"
+  "CMakeFiles/interp_minic.dir/parser.cc.o"
+  "CMakeFiles/interp_minic.dir/parser.cc.o.d"
+  "CMakeFiles/interp_minic.dir/sema.cc.o"
+  "CMakeFiles/interp_minic.dir/sema.cc.o.d"
+  "libinterp_minic.a"
+  "libinterp_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

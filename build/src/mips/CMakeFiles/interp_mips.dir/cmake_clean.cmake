@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_mips.dir/asm_builder.cc.o"
+  "CMakeFiles/interp_mips.dir/asm_builder.cc.o.d"
+  "CMakeFiles/interp_mips.dir/isa.cc.o"
+  "CMakeFiles/interp_mips.dir/isa.cc.o.d"
+  "libinterp_mips.a"
+  "libinterp_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

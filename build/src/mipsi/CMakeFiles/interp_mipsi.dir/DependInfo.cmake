@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mipsi/cpu_core.cc" "src/mipsi/CMakeFiles/interp_mipsi.dir/cpu_core.cc.o" "gcc" "src/mipsi/CMakeFiles/interp_mipsi.dir/cpu_core.cc.o.d"
+  "/root/repo/src/mipsi/direct.cc" "src/mipsi/CMakeFiles/interp_mipsi.dir/direct.cc.o" "gcc" "src/mipsi/CMakeFiles/interp_mipsi.dir/direct.cc.o.d"
+  "/root/repo/src/mipsi/guest_memory.cc" "src/mipsi/CMakeFiles/interp_mipsi.dir/guest_memory.cc.o" "gcc" "src/mipsi/CMakeFiles/interp_mipsi.dir/guest_memory.cc.o.d"
+  "/root/repo/src/mipsi/mipsi.cc" "src/mipsi/CMakeFiles/interp_mipsi.dir/mipsi.cc.o" "gcc" "src/mipsi/CMakeFiles/interp_mipsi.dir/mipsi.cc.o.d"
+  "/root/repo/src/mipsi/syscalls.cc" "src/mipsi/CMakeFiles/interp_mipsi.dir/syscalls.cc.o" "gcc" "src/mipsi/CMakeFiles/interp_mipsi.dir/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mips/CMakeFiles/interp_mips.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/interp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/interp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_mipsi.dir/cpu_core.cc.o"
+  "CMakeFiles/interp_mipsi.dir/cpu_core.cc.o.d"
+  "CMakeFiles/interp_mipsi.dir/direct.cc.o"
+  "CMakeFiles/interp_mipsi.dir/direct.cc.o.d"
+  "CMakeFiles/interp_mipsi.dir/guest_memory.cc.o"
+  "CMakeFiles/interp_mipsi.dir/guest_memory.cc.o.d"
+  "CMakeFiles/interp_mipsi.dir/mipsi.cc.o"
+  "CMakeFiles/interp_mipsi.dir/mipsi.cc.o.d"
+  "CMakeFiles/interp_mipsi.dir/syscalls.cc.o"
+  "CMakeFiles/interp_mipsi.dir/syscalls.cc.o.d"
+  "libinterp_mipsi.a"
+  "libinterp_mipsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_mipsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

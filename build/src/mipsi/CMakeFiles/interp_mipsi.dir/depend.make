@@ -1,0 +1,2 @@
+# Empty dependencies file for interp_mipsi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perlish/compiler.cc" "src/perlish/CMakeFiles/interp_perlish.dir/compiler.cc.o" "gcc" "src/perlish/CMakeFiles/interp_perlish.dir/compiler.cc.o.d"
+  "/root/repo/src/perlish/hash_table.cc" "src/perlish/CMakeFiles/interp_perlish.dir/hash_table.cc.o" "gcc" "src/perlish/CMakeFiles/interp_perlish.dir/hash_table.cc.o.d"
+  "/root/repo/src/perlish/interp.cc" "src/perlish/CMakeFiles/interp_perlish.dir/interp.cc.o" "gcc" "src/perlish/CMakeFiles/interp_perlish.dir/interp.cc.o.d"
+  "/root/repo/src/perlish/regex.cc" "src/perlish/CMakeFiles/interp_perlish.dir/regex.cc.o" "gcc" "src/perlish/CMakeFiles/interp_perlish.dir/regex.cc.o.d"
+  "/root/repo/src/perlish/value.cc" "src/perlish/CMakeFiles/interp_perlish.dir/value.cc.o" "gcc" "src/perlish/CMakeFiles/interp_perlish.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/interp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/interp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

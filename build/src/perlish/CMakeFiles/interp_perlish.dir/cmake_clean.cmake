@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_perlish.dir/compiler.cc.o"
+  "CMakeFiles/interp_perlish.dir/compiler.cc.o.d"
+  "CMakeFiles/interp_perlish.dir/hash_table.cc.o"
+  "CMakeFiles/interp_perlish.dir/hash_table.cc.o.d"
+  "CMakeFiles/interp_perlish.dir/interp.cc.o"
+  "CMakeFiles/interp_perlish.dir/interp.cc.o.d"
+  "CMakeFiles/interp_perlish.dir/regex.cc.o"
+  "CMakeFiles/interp_perlish.dir/regex.cc.o.d"
+  "CMakeFiles/interp_perlish.dir/value.cc.o"
+  "CMakeFiles/interp_perlish.dir/value.cc.o.d"
+  "libinterp_perlish.a"
+  "libinterp_perlish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_perlish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

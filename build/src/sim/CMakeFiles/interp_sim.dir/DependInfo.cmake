@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch.cc" "src/sim/CMakeFiles/interp_sim.dir/branch.cc.o" "gcc" "src/sim/CMakeFiles/interp_sim.dir/branch.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/interp_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/interp_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/cache_sweep.cc" "src/sim/CMakeFiles/interp_sim.dir/cache_sweep.cc.o" "gcc" "src/sim/CMakeFiles/interp_sim.dir/cache_sweep.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/interp_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/interp_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/tlb.cc" "src/sim/CMakeFiles/interp_sim.dir/tlb.cc.o" "gcc" "src/sim/CMakeFiles/interp_sim.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/interp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_sim.dir/branch.cc.o"
+  "CMakeFiles/interp_sim.dir/branch.cc.o.d"
+  "CMakeFiles/interp_sim.dir/cache.cc.o"
+  "CMakeFiles/interp_sim.dir/cache.cc.o.d"
+  "CMakeFiles/interp_sim.dir/cache_sweep.cc.o"
+  "CMakeFiles/interp_sim.dir/cache_sweep.cc.o.d"
+  "CMakeFiles/interp_sim.dir/machine.cc.o"
+  "CMakeFiles/interp_sim.dir/machine.cc.o.d"
+  "CMakeFiles/interp_sim.dir/tlb.cc.o"
+  "CMakeFiles/interp_sim.dir/tlb.cc.o.d"
+  "libinterp_sim.a"
+  "libinterp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

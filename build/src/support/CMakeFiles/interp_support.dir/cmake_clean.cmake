@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_support.dir/logging.cc.o"
+  "CMakeFiles/interp_support.dir/logging.cc.o.d"
+  "CMakeFiles/interp_support.dir/strutil.cc.o"
+  "CMakeFiles/interp_support.dir/strutil.cc.o.d"
+  "libinterp_support.a"
+  "libinterp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

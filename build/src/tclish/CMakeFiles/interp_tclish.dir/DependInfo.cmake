@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tclish/commands.cc" "src/tclish/CMakeFiles/interp_tclish.dir/commands.cc.o" "gcc" "src/tclish/CMakeFiles/interp_tclish.dir/commands.cc.o.d"
+  "/root/repo/src/tclish/interp.cc" "src/tclish/CMakeFiles/interp_tclish.dir/interp.cc.o" "gcc" "src/tclish/CMakeFiles/interp_tclish.dir/interp.cc.o.d"
+  "/root/repo/src/tclish/symtab.cc" "src/tclish/CMakeFiles/interp_tclish.dir/symtab.cc.o" "gcc" "src/tclish/CMakeFiles/interp_tclish.dir/symtab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/interp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/interp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/interp_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_tclish.dir/commands.cc.o"
+  "CMakeFiles/interp_tclish.dir/commands.cc.o.d"
+  "CMakeFiles/interp_tclish.dir/interp.cc.o"
+  "CMakeFiles/interp_tclish.dir/interp.cc.o.d"
+  "CMakeFiles/interp_tclish.dir/symtab.cc.o"
+  "CMakeFiles/interp_tclish.dir/symtab.cc.o.d"
+  "libinterp_tclish.a"
+  "libinterp_tclish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_tclish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/code_registry.cc" "src/trace/CMakeFiles/interp_trace.dir/code_registry.cc.o" "gcc" "src/trace/CMakeFiles/interp_trace.dir/code_registry.cc.o.d"
+  "/root/repo/src/trace/execution.cc" "src/trace/CMakeFiles/interp_trace.dir/execution.cc.o" "gcc" "src/trace/CMakeFiles/interp_trace.dir/execution.cc.o.d"
+  "/root/repo/src/trace/profile.cc" "src/trace/CMakeFiles/interp_trace.dir/profile.cc.o" "gcc" "src/trace/CMakeFiles/interp_trace.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

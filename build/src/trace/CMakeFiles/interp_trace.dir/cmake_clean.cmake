@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_trace.dir/code_registry.cc.o"
+  "CMakeFiles/interp_trace.dir/code_registry.cc.o.d"
+  "CMakeFiles/interp_trace.dir/execution.cc.o"
+  "CMakeFiles/interp_trace.dir/execution.cc.o.d"
+  "CMakeFiles/interp_trace.dir/profile.cc.o"
+  "CMakeFiles/interp_trace.dir/profile.cc.o.d"
+  "libinterp_trace.a"
+  "libinterp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

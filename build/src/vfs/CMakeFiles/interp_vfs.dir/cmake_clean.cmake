@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_vfs.dir/vfs.cc.o"
+  "CMakeFiles/interp_vfs.dir/vfs.cc.o.d"
+  "libinterp_vfs.a"
+  "libinterp_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfx_test.dir/gfx_test.cc.o"
+  "CMakeFiles/gfx_test.dir/gfx_test.cc.o.d"
+  "gfx_test"
+  "gfx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

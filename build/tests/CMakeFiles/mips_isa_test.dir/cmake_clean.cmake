@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mips_isa_test.dir/mips_isa_test.cc.o"
+  "CMakeFiles/mips_isa_test.dir/mips_isa_test.cc.o.d"
+  "mips_isa_test"
+  "mips_isa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mips_isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

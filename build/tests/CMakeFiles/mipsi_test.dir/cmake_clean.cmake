@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mipsi_test.dir/mipsi_test.cc.o"
+  "CMakeFiles/mipsi_test.dir/mipsi_test.cc.o.d"
+  "mipsi_test"
+  "mipsi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mipsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

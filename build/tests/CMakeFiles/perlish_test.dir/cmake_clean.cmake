@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perlish_test.dir/perlish_test.cc.o"
+  "CMakeFiles/perlish_test.dir/perlish_test.cc.o.d"
+  "perlish_test"
+  "perlish_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perlish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tclish_test.dir/tclish_test.cc.o"
+  "CMakeFiles/tclish_test.dir/tclish_test.cc.o.d"
+  "tclish_test"
+  "tclish_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tclish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

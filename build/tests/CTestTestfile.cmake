@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vfs_test "/root/repo/build/tests/vfs_test")
+set_tests_properties(vfs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gfx_test "/root/repo/build/tests/gfx_test")
+set_tests_properties(gfx_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trace_test "/root/repo/build/tests/trace_test")
+set_tests_properties(trace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mips_isa_test "/root/repo/build/tests/mips_isa_test")
+set_tests_properties(mips_isa_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mipsi_test "/root/repo/build/tests/mipsi_test")
+set_tests_properties(mipsi_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(minic_test "/root/repo/build/tests/minic_test")
+set_tests_properties(minic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(jvm_test "/root/repo/build/tests/jvm_test")
+set_tests_properties(jvm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(perlish_test "/root/repo/build/tests/perlish_test")
+set_tests_properties(perlish_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tclish_test "/root/repo/build/tests/tclish_test")
+set_tests_properties(tclish_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(harness_test "/root/repo/build/tests/harness_test")
+set_tests_properties(harness_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(shapes_test "/root/repo/build/tests/shapes_test")
+set_tests_properties(shapes_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;23;interp_add_test;/root/repo/tests/CMakeLists.txt;0;")
