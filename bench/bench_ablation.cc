@@ -16,7 +16,9 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "harness/workloads.hh"
 
@@ -26,13 +28,15 @@ using namespace interp::harness;
 namespace {
 
 void
-ablationSymtab()
+ablationSymtab(int jobs)
 {
     std::printf("A. Tcl symbol-table size vs per-access cost "
                 "(paper: 206 at des-size to 514 at xf-size)\n");
     std::printf("   %-12s %14s %12s\n", "extra vars", "insts/access",
                 "cycles(x1k)");
-    for (int filler : {0, 50, 150, 400, 800}) {
+    const std::vector<int> fillers = {0, 50, 150, 400, 800};
+    std::vector<BenchSpec> specs;
+    for (int filler : fillers) {
         std::string script;
         for (int i = 0; i < filler; ++i)
             script += "set filler" + std::to_string(i) + " 1\n";
@@ -41,16 +45,20 @@ ablationSymtab()
         spec.lang = Lang::Tcl;
         spec.name = "des+" + std::to_string(filler);
         spec.source = script;
-        Measurement m = run(spec);
-        std::printf("   %-12d %14.1f %12.0f\n", filler,
-                    m.profile.memModelCostPerAccess(),
-                    m.cycles / 1000.0);
+        specs.push_back(std::move(spec));
     }
+    SuiteOptions opt;
+    opt.jobs = jobs;
+    std::vector<Measurement> results = runSuite(specs, opt);
+    for (size_t i = 0; i < results.size(); ++i)
+        std::printf("   %-12d %14.1f %12.0f\n", fillers[i],
+                    results[i].profile.memModelCostPerAccess(),
+                    results[i].cycles / 1000.0);
     std::printf("\n");
 }
 
 void
-ablationIcache()
+ablationIcache(int jobs)
 {
     std::printf("B. Bigger/associative I-cache (8K/1w -> 32K/4w), "
                 "total-cycle improvement\n");
@@ -59,28 +67,37 @@ ablationIcache()
     sim::MachineConfig big;
     big.icache.sizeBytes = 32 * 1024;
     big.icache.assoc = 4;
-    for (const BenchSpec &spec : macroSuite()) {
-        if (spec.name != "des")
-            continue;
-        Measurement base = run(spec);
-        Measurement wide = run(spec, {}, &big);
+    std::vector<BenchSpec> specs;
+    for (BenchSpec &spec : macroSuite())
+        if (spec.name == "des")
+            specs.push_back(std::move(spec));
+    SuiteOptions base_opt;
+    base_opt.jobs = jobs;
+    SuiteOptions big_opt;
+    big_opt.jobs = jobs;
+    big_opt.machineCfg = &big;
+    std::vector<Measurement> base = runSuite(specs, base_opt);
+    std::vector<Measurement> wide = runSuite(specs, big_opt);
+    for (size_t i = 0; i < specs.size(); ++i)
         std::printf("   %-14s %14.0f %14.0f %7.2fx\n",
-                    (std::string(langName(spec.lang)) + "-des").c_str(),
-                    base.cycles / 1000.0, wide.cycles / 1000.0,
-                    (double)base.cycles / (double)wide.cycles);
-    }
+                    (std::string(langName(specs[i].lang)) + "-des")
+                        .c_str(),
+                    base[i].cycles / 1000.0, wide[i].cycles / 1000.0,
+                    (double)base[i].cycles / (double)wide[i].cycles);
     std::printf("   (paper: the win concentrates in Perl/Tcl, whose "
                 "loops do not fit 8 KB)\n\n");
 }
 
 void
-ablationPrecompile()
+ablationPrecompile(int jobs)
 {
     std::printf("C. Perl startup compilation: fixed precompile cost vs "
                 "run length\n");
     std::printf("   %-10s %16s %16s %10s\n", "loop count",
                 "precompile(x1k)", "run insts(x1k)", "pre share");
-    for (int n : {10, 100, 1000, 10000}) {
+    const std::vector<int> counts = {10, 100, 1000, 10000};
+    std::vector<BenchSpec> specs;
+    for (int n : counts) {
         BenchSpec spec;
         spec.lang = Lang::Perl;
         spec.name = "scaling";
@@ -89,11 +106,19 @@ ablationPrecompile()
             "for ($i = 0; $i < " + std::to_string(n) + "; $i += 1) {\n"
             "    $s += $i * 3 - ($s >> 4);\n"
             "}\nprint \"$s\";\n";
-        Measurement m = run(spec, {}, nullptr, false);
-        double pre = (double)m.profile.precompileInsts();
-        double rest = (double)m.profile.userInstructions() - pre;
-        std::printf("   %-10d %16.1f %16.1f %9.1f%%\n", n, pre / 1000.0,
-                    rest / 1000.0, 100.0 * pre / (pre + rest));
+        specs.push_back(std::move(spec));
+    }
+    SuiteOptions opt;
+    opt.jobs = jobs;
+    opt.withMachine = false;
+    std::vector<Measurement> results = runSuite(specs, opt);
+    for (size_t i = 0; i < results.size(); ++i) {
+        double pre = (double)results[i].profile.precompileInsts();
+        double rest =
+            (double)results[i].profile.userInstructions() - pre;
+        std::printf("   %-10d %16.1f %16.1f %9.1f%%\n", counts[i],
+                    pre / 1000.0, rest / 1000.0,
+                    100.0 * pre / (pre + rest));
     }
     std::printf("   (the same startup work would repeat per statement "
                 "in a Tcl-style direct\n    interpreter; amortizing it "
@@ -103,12 +128,13 @@ ablationPrecompile()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
     std::printf("Ablations for DESIGN.md's called-out design choices\n"
                 "====================================================\n\n");
-    ablationSymtab();
-    ablationIcache();
-    ablationPrecompile();
+    ablationSymtab(jobs);
+    ablationIcache(jobs);
+    ablationPrecompile(jobs);
     return 0;
 }

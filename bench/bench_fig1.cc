@@ -8,14 +8,17 @@
 
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace interp;
 using namespace interp::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
+
     std::printf("Figure 1: cumulative execute-instruction share of the "
                 "top-x virtual commands\n");
     std::printf("(each row is one curve; the paper plots x on a log "
@@ -25,9 +28,16 @@ main()
     std::printf("------------------------------------------------------"
                 "--\n");
 
-    for (const BenchSpec &spec : macroSuite()) {
-        // Counting only — no timing needed for this figure.
-        Measurement m = run(spec, {}, nullptr, false);
+    // Counting only — no timing needed for this figure.
+    SuiteOptions opt;
+    opt.jobs = jobs;
+    opt.withMachine = false;
+    for (const Measurement &m : runSuite(macroSuite(), opt)) {
+        if (m.failed) {
+            std::printf("%-6s %-10s failed: %s\n", langName(m.lang),
+                        m.name.c_str(), m.error.c_str());
+            continue;
+        }
         std::printf("%-6s %-10s %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% "
                     "%5.1f%%\n",
                     langName(m.lang), m.name.c_str(),

@@ -10,19 +10,29 @@
 
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace interp;
 using namespace interp::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
+
     std::printf("Figure 2: virtual-command and execute-instruction "
                 "distributions\n\n");
 
-    for (const BenchSpec &spec : macroSuite()) {
-        Measurement m = run(spec, {}, nullptr, false);
+    SuiteOptions opt;
+    opt.jobs = jobs;
+    opt.withMachine = false;
+    for (const Measurement &m : runSuite(macroSuite(), opt)) {
+        if (m.failed) {
+            std::printf("--- %s / %s --- failed: %s\n", langName(m.lang),
+                        m.name.c_str(), m.error.c_str());
+            continue;
+        }
         std::printf("--- %s / %s ---\n", langName(m.lang),
                     m.name.c_str());
         std::printf("  %-14s %10s %10s\n", "command", "cmds%",

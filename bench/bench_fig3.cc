@@ -10,7 +10,9 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "harness/workloads.hh"
 
@@ -32,8 +34,10 @@ printRow(const Measurement &m, const char *tag)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
+
     std::printf("Figure 3: issue-slot breakdown on the Table 3 machine "
                 "(2-issue, 8K I/D L1, 512K L2)\n\n");
     std::printf("%-14s %5s ", "benchmark", "busy");
@@ -46,7 +50,8 @@ main()
     std::printf("--------------------------------------------------"
                 "------------------------------\n");
 
-    // SPEC-like compiled programs, run natively (the C- rows).
+    // SPEC-like compiled programs run natively (the C- rows) plus the
+    // interpreter suite, as one flat parallel job list.
     std::vector<std::pair<std::string, std::string>> spec_like = {
         {"compress", "minic/compress.mc"},
         {"eqntott", "minic/eqntott.mc"},
@@ -55,28 +60,40 @@ main()
         {"cc1like", "minic/cc1like.mc"}, // the gcc stand-in
         {"des", "minic/des.mc"},
     };
+    std::vector<BenchSpec> specs;
     for (const auto &[name, path] : spec_like) {
         BenchSpec spec;
         spec.lang = Lang::C;
         spec.name = name;
         spec.source = loadProgram(path);
         spec.needsInputs = true;
-        Measurement m = run(spec);
-        printRow(m, ("C-" + name).c_str());
+        specs.push_back(std::move(spec));
     }
-    std::printf("\n");
+    size_t num_native = specs.size();
+    for (BenchSpec &spec : macroSuite())
+        if (spec.lang != Lang::C) // C-des is already covered above
+            specs.push_back(std::move(spec));
 
-    // The interpreter suite.
+    SuiteOptions opt;
+    opt.jobs = jobs;
+    std::vector<Measurement> results = runSuite(specs, opt);
+
     Lang last = Lang::C;
-    for (const BenchSpec &spec : macroSuite()) {
-        if (spec.lang == Lang::C)
-            continue; // already covered above
-        if (spec.lang != last)
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Measurement &m = results[i];
+        if (i == num_native)
             std::printf("\n");
-        last = spec.lang;
-        Measurement m = run(spec);
-        std::string tag = std::string(langName(spec.lang)) + "-" +
-                          spec.name;
+        if (i >= num_native) {
+            if (m.lang != last)
+                std::printf("\n");
+            last = m.lang;
+        }
+        std::string tag = std::string(langName(m.lang)) + "-" + m.name;
+        if (m.failed) {
+            std::printf("%-14s failed: %s\n", tag.c_str(),
+                        m.error.c_str());
+            continue;
+        }
         printRow(m, tag.c_str());
     }
 

@@ -7,7 +7,9 @@
  */
 
 #include <cstdio>
+#include <memory>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "sim/cache_sweep.hh"
 
@@ -15,8 +17,9 @@ using namespace interp;
 using namespace interp::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
     const std::vector<uint32_t> sizes = {8, 16, 32, 64};
     const std::vector<uint32_t> assocs = {1, 2, 4};
 
@@ -30,19 +33,32 @@ main()
     std::printf("------------------------------------------------------"
                 "------------------------------------------------\n");
 
-    for (const BenchSpec &spec : macroSuite()) {
-        if (spec.lang != Lang::Java && spec.lang != Lang::Perl &&
-            spec.lang != Lang::Tcl)
+    std::vector<BenchSpec> specs;
+    for (BenchSpec &spec : macroSuite())
+        if (spec.lang == Lang::Java || spec.lang == Lang::Perl ||
+            spec.lang == Lang::Tcl)
+            specs.push_back(std::move(spec));
+
+    // One private sweep sink per job: each sees the same stream the
+    // machine model would, with no cross-thread sharing.
+    std::vector<std::unique_ptr<sim::CacheSweep>> sweeps(specs.size());
+    std::vector<Measurement> results = runSuiteWith(
+        specs, jobs,
+        [&](const BenchSpec &spec, size_t i) {
+            sweeps[i] = std::make_unique<sim::CacheSweep>(sizes, assocs);
+            return run(spec, {sweeps[i].get()}, nullptr, false);
+        });
+
+    for (size_t i = 0; i < specs.size(); ++i) {
+        std::string tag = std::string(langName(specs[i].lang)) + "-" +
+                          specs[i].name;
+        if (results[i].failed) {
+            std::printf("%-16s failed: %s\n", tag.c_str(),
+                        results[i].error.c_str());
             continue;
-        sim::CacheSweep sweep(sizes, assocs);
-        // The sweep sink sees the same stream the machine model does.
-        Measurement m = run(spec, {&sweep}, nullptr, false);
-        (void)m;
-        auto results = sweep.results();
-        std::string tag = std::string(langName(spec.lang)) + "-" +
-                          spec.name;
+        }
         std::printf("%-16s", tag.c_str());
-        for (const auto &point : results)
+        for (const auto &point : sweeps[i]->results())
             std::printf(" %7.2f", point.missesPer100Insts);
         std::printf("\n");
     }

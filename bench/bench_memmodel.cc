@@ -8,29 +8,44 @@
  */
 
 #include <cstdio>
+#include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace interp;
 using namespace interp::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
+
     std::printf("Section 3.3: memory-model cost per interpreter\n\n");
     std::printf("%-6s %-10s %14s %14s %10s\n", "Lang", "Bench",
                 "accesses(x1k)", "insts/access", "%%of-total");
     std::printf("----------------------------------------------------"
                 "-----\n");
 
+    std::vector<BenchSpec> specs;
+    for (BenchSpec &spec : macroSuite())
+        if (spec.lang != Lang::C)
+            specs.push_back(std::move(spec));
+
+    SuiteOptions opt;
+    opt.jobs = jobs;
+    opt.withMachine = false;
+
     Lang last = Lang::C;
-    for (const BenchSpec &spec : macroSuite()) {
-        if (spec.lang == Lang::C)
-            continue;
-        if (spec.lang != last)
+    for (const Measurement &m : runSuite(specs, opt)) {
+        if (m.lang != last)
             std::printf("\n");
-        last = spec.lang;
-        Measurement m = run(spec, {}, nullptr, false);
+        last = m.lang;
+        if (m.failed) {
+            std::printf("%-6s %-10s failed: %s\n", langName(m.lang),
+                        m.name.c_str(), m.error.c_str());
+            continue;
+        }
         std::printf("%-6s %-10s %14.1f %14.1f %9.2f%%\n",
                     langName(m.lang), m.name.c_str(),
                     m.profile.memModelAccesses() / 1000.0,

@@ -13,15 +13,18 @@
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 
 using namespace interp;
 using namespace interp::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
     const Lang kLangs[] = {Lang::C, Lang::Mipsi, Lang::Java, Lang::Perl,
                            Lang::Tcl};
 
@@ -32,15 +35,32 @@ main()
     std::printf("--------------------------------------------------"
                 "-------\n");
 
+    // The whole op x lang cross product is one flat parallel suite;
+    // results come back in spec order, so row assembly stays simple.
+    std::vector<BenchSpec> specs;
+    for (const std::string &op : microOps())
+        for (Lang lang : kLangs)
+            specs.push_back(microBench(lang, op, microIterations(lang)));
+    std::vector<Measurement> results = runSuiteWith(
+        specs, jobs,
+        [](const BenchSpec &spec, size_t) { return run(spec); });
+
+    size_t next = 0;
     for (const std::string &op : microOps()) {
         std::map<Lang, double> cycles_per_iter;
         for (Lang lang : kLangs) {
-            int iters = microIterations(lang);
-            Measurement m = run(microBench(lang, op, iters));
+            const Measurement &m = results[next++];
+            if (m.failed) {
+                std::fprintf(stderr, "warn: %s/%s failed: %s\n",
+                             langName(lang), op.c_str(),
+                             m.error.c_str());
+                continue;
+            }
             if (!m.finished)
                 std::fprintf(stderr, "warn: %s/%s hit budget\n",
                              langName(lang), op.c_str());
-            cycles_per_iter[lang] = (double)m.cycles / iters;
+            cycles_per_iter[lang] =
+                (double)m.cycles / microIterations(lang);
         }
         double base = cycles_per_iter[Lang::C];
         std::printf("%-14s %10.1f %10.1f %10.1f %10.1f\n", op.c_str(),

@@ -8,10 +8,14 @@
  *
  * Workloads are scaled down from the paper's (documented in
  * EXPERIMENTS.md); compare shapes, not absolute counts.
+ *
+ * `--jobs N` (or INTERP_JOBS) runs the suite on N worker threads;
+ * the table is byte-identical at any job count.
  */
 
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "support/strutil.hh"
 
@@ -19,8 +23,10 @@ using namespace interp;
 using namespace interp::harness;
 
 int
-main()
+main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
+
     std::printf("Table 2: baseline performance of the interpreters\n");
     std::printf("(counts in units of 10^3, as in the paper)\n\n");
     std::printf("%-6s %-10s %7s %10s %14s %12s %8s %12s\n", "Lang",
@@ -32,10 +38,17 @@ main()
     std::printf("--------------------------------------------------"
                 "--------------------------------\n");
 
+    SuiteOptions opt;
+    opt.jobs = jobs;
+
     Lang last = Lang::C;
     bool first = true;
-    for (const BenchSpec &spec : macroSuite()) {
-        Measurement m = run(spec);
+    for (const Measurement &m : runSuite(macroSuite(), opt)) {
+        if (m.failed) {
+            std::printf("%-6s %-10s failed: %s\n", langName(m.lang),
+                        m.name.c_str(), m.error.c_str());
+            continue;
+        }
         if (!first && m.lang != last)
             std::printf("\n");
         first = false;

@@ -29,7 +29,7 @@ bench/CMakeFiles/bench_fig1.dir/bench_fig1.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
  /usr/include/x86_64-linux-gnu/bits/stdio.h \
- /root/repo/src/harness/runner.hh /usr/include/c++/12/functional \
+ /root/repo/src/harness/parallel.hh /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/stl_function.h /usr/include/c++/12/bits/move.h \
  /usr/include/c++/12/type_traits /usr/include/c++/12/backward/binders.h \
  /usr/include/c++/12/new /usr/include/c++/12/bits/exception.h \
@@ -109,7 +109,8 @@ bench/CMakeFiles/bench_fig1.dir/bench_fig1.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/std_abs.h /root/repo/src/harness/runner.hh \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \

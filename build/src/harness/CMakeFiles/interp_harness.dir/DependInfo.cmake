@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/parallel.cc" "src/harness/CMakeFiles/interp_harness.dir/parallel.cc.o" "gcc" "src/harness/CMakeFiles/interp_harness.dir/parallel.cc.o.d"
+  "/root/repo/src/harness/pool.cc" "src/harness/CMakeFiles/interp_harness.dir/pool.cc.o" "gcc" "src/harness/CMakeFiles/interp_harness.dir/pool.cc.o.d"
   "/root/repo/src/harness/runner.cc" "src/harness/CMakeFiles/interp_harness.dir/runner.cc.o" "gcc" "src/harness/CMakeFiles/interp_harness.dir/runner.cc.o.d"
   "/root/repo/src/harness/workloads.cc" "src/harness/CMakeFiles/interp_harness.dir/workloads.cc.o" "gcc" "src/harness/CMakeFiles/interp_harness.dir/workloads.cc.o.d"
   )

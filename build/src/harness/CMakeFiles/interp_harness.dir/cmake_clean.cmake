@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/interp_harness.dir/parallel.cc.o"
+  "CMakeFiles/interp_harness.dir/parallel.cc.o.d"
+  "CMakeFiles/interp_harness.dir/pool.cc.o"
+  "CMakeFiles/interp_harness.dir/pool.cc.o.d"
   "CMakeFiles/interp_harness.dir/runner.cc.o"
   "CMakeFiles/interp_harness.dir/runner.cc.o.d"
   "CMakeFiles/interp_harness.dir/workloads.cc.o"

@@ -132,4 +132,8 @@ src/jvm/CMakeFiles/interp_jvm.dir/heap.cc.o: /root/repo/src/jvm/heap.cc \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h \
  /root/repo/src/trace/code_registry.hh /root/repo/src/trace/events.hh \
- /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg
+ /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

@@ -132,4 +132,7 @@ src/minic/CMakeFiles/interp_minic.dir/lexer.cc.o: \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/support/logging.hh \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

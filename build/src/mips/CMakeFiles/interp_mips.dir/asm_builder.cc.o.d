@@ -129,4 +129,8 @@ src/mips/CMakeFiles/interp_mips.dir/asm_builder.cc.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/mips/isa.hh \
- /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg
+ /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

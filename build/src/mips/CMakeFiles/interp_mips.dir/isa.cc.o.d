@@ -119,6 +119,10 @@ src/mips/CMakeFiles/interp_mips.dir/isa.cc.o: /root/repo/src/mips/isa.cc \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc \
  /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/exception \
+ /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /root/repo/src/support/strutil.hh /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \

@@ -197,4 +197,5 @@ src/perlish/CMakeFiles/interp_perlish.dir/hash_table.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/perlish/value.hh
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/perlish/value.hh \
+ /root/repo/src/support/logging.hh /usr/include/c++/12/cstdarg

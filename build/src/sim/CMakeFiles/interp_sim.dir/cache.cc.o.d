@@ -122,4 +122,7 @@ src/sim/CMakeFiles/interp_sim.dir/cache.cc.o: /root/repo/src/sim/cache.cc \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/support/logging.hh \
- /usr/include/c++/12/cstdarg
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/stdexcept \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h

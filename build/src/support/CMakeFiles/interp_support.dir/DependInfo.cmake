@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/detalloc.cc" "src/support/CMakeFiles/interp_support.dir/detalloc.cc.o" "gcc" "src/support/CMakeFiles/interp_support.dir/detalloc.cc.o.d"
   "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/interp_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/interp_support.dir/logging.cc.o.d"
   "/root/repo/src/support/strutil.cc" "src/support/CMakeFiles/interp_support.dir/strutil.cc.o" "gcc" "src/support/CMakeFiles/interp_support.dir/strutil.cc.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/interp_support.dir/detalloc.cc.o"
+  "CMakeFiles/interp_support.dir/detalloc.cc.o.d"
   "CMakeFiles/interp_support.dir/logging.cc.o"
   "CMakeFiles/interp_support.dir/logging.cc.o.d"
   "CMakeFiles/interp_support.dir/strutil.cc.o"

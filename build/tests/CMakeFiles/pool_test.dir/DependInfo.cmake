@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pool_test.cc" "tests/CMakeFiles/pool_test.dir/pool_test.cc.o" "gcc" "tests/CMakeFiles/pool_test.dir/pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/interp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/mipsi/CMakeFiles/interp_mipsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/interp_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/perlish/CMakeFiles/interp_perlish.dir/DependInfo.cmake"
+  "/root/repo/build/src/tclish/CMakeFiles/interp_tclish.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/interp_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/interp_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/interp_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mips/CMakeFiles/interp_mips.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/interp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/interp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/interp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

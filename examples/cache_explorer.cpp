@@ -8,13 +8,15 @@
  * `des` in every execution mode over a grid of machine configurations
  * and prints cycles and the dominant stall for each.
  *
- * Usage: ./build/examples/cache_explorer [benchmark]
+ * Usage: ./build/examples/cache_explorer [--jobs N] [benchmark]
  *        (benchmark = any macro-suite name; default "des")
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "sim/machine.hh"
 
@@ -38,6 +40,7 @@ dominantStall(const sim::SlotBreakdown &bd)
 int
 main(int argc, char **argv)
 {
+    int jobs = parseJobs(argc, argv);
     std::string which = argc > 1 ? argv[1] : "des";
 
     struct Config
@@ -52,33 +55,57 @@ main(int argc, char **argv)
         {"both 32K/2w", 32, 2, 32, 2},
         {"both 64K/4w", 64, 4, 64, 4},
     };
+    constexpr size_t kNumConfigs = sizeof(configs) / sizeof(configs[0]);
 
-    bool found = false;
-    for (const BenchSpec &spec : macroSuite()) {
-        if (spec.name != which)
-            continue;
-        found = true;
-        std::printf("=== %s-%s ===\n", langName(spec.lang),
-                    spec.name.c_str());
-        uint64_t base_cycles = 0;
+    std::vector<BenchSpec> matching;
+    for (BenchSpec &spec : macroSuite())
+        if (spec.name == which)
+            matching.push_back(std::move(spec));
+
+    // Flatten the benchmark x config grid into one parallel job list;
+    // spec i of the flat suite is (matching[i / kNumConfigs],
+    // configs[i % kNumConfigs]).
+    std::vector<BenchSpec> grid;
+    std::vector<sim::MachineConfig> cfgs;
+    for (const BenchSpec &spec : matching) {
         for (const Config &config : configs) {
             sim::MachineConfig cfg;
             cfg.icache.sizeBytes = config.icache_kb * 1024;
             cfg.icache.assoc = config.iassoc;
             cfg.dcache.sizeBytes = config.dcache_kb * 1024;
             cfg.dcache.assoc = config.dassoc;
-            Measurement m = run(spec, {}, &cfg);
+            cfgs.push_back(cfg);
+            grid.push_back(spec);
+        }
+    }
+    std::vector<Measurement> results = runSuiteWith(
+        grid, jobs, [&cfgs](const BenchSpec &spec, size_t i) {
+            return run(spec, {}, &cfgs[i]);
+        });
+
+    for (size_t b = 0; b < matching.size(); ++b) {
+        const BenchSpec &spec = matching[b];
+        std::printf("=== %s-%s ===\n", langName(spec.lang),
+                    spec.name.c_str());
+        uint64_t base_cycles = 0;
+        for (size_t c = 0; c < kNumConfigs; ++c) {
+            const Measurement &m = results[b * kNumConfigs + c];
+            if (m.failed) {
+                std::printf("  %-22s failed: %s\n", configs[c].name,
+                            m.error.c_str());
+                continue;
+            }
             if (base_cycles == 0)
                 base_cycles = m.cycles;
             std::printf("  %-22s %12llu cycles  %5.2fx  busy %4.1f%%  "
                         "worst stall: %s\n",
-                        config.name, (unsigned long long)m.cycles,
+                        configs[c].name, (unsigned long long)m.cycles,
                         (double)base_cycles / (double)m.cycles,
                         m.breakdown.busyPct, dominantStall(m.breakdown));
         }
         std::printf("\n");
     }
-    if (!found) {
+    if (matching.empty()) {
         std::fprintf(stderr,
                      "no macro benchmark named '%s' (try des, compress, "
                      "tcllex, txt2html, ...)\n",

@@ -1,0 +1,126 @@
+#include "harness/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "harness/pool.hh"
+#include "support/logging.hh"
+
+namespace interp::harness {
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? (int)hw : 1;
+}
+
+int
+defaultJobs()
+{
+    const char *env = std::getenv("INTERP_JOBS");
+    if (!env || !*env)
+        return 1;
+    char *end = nullptr;
+    long value = std::strtol(env, &end, 10);
+    if (end == env || *end || value < 0)
+        fatal("INTERP_JOBS must be a non-negative integer, got \"%s\"",
+              env);
+    return resolveJobs((int)value);
+}
+
+int
+parseJobs(int &argc, char **argv)
+{
+    int jobs = defaultJobs();
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+            if (i + 1 >= argc)
+                fatal("%s requires a count", arg);
+            value = argv[++i];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else if (arg[0] == '-' && arg[1] == 'j' && arg[2]) {
+            value = arg + 2;
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        char *end = nullptr;
+        long parsed = std::strtol(value, &end, 10);
+        if (end == value || *end || parsed < 0)
+            fatal("--jobs expects a non-negative integer, got \"%s\"",
+                  value);
+        jobs = resolveJobs((int)parsed);
+    }
+    argv[out] = nullptr;
+    argc = out;
+    return jobs;
+}
+
+void
+parallelFor(size_t n, int jobs, const std::function<void(size_t)> &fn)
+{
+    int workers = resolveJobs(jobs);
+    if (workers <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    if ((size_t)workers > n)
+        workers = (int)n;
+    ThreadPool pool((unsigned)workers);
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+std::vector<Measurement>
+runSuiteWith(const std::vector<BenchSpec> &specs, int jobs,
+             const std::function<Measurement(const BenchSpec &, size_t)> &fn)
+{
+    // Slot i belongs exclusively to job i: deterministic spec order
+    // regardless of which worker finishes first.
+    std::vector<Measurement> results(specs.size());
+    parallelFor(specs.size(), jobs, [&](size_t i) {
+        try {
+            ScopedFatalThrow contain;
+            results[i] = fn(specs[i], i);
+        } catch (const std::exception &ex) {
+            Measurement failed;
+            failed.lang = specs[i].lang;
+            failed.name = specs[i].name;
+            failed.failed = true;
+            failed.error = ex.what();
+            results[i] = std::move(failed);
+        } catch (...) {
+            Measurement failed;
+            failed.lang = specs[i].lang;
+            failed.name = specs[i].name;
+            failed.failed = true;
+            failed.error = "unknown exception";
+            results[i] = std::move(failed);
+        }
+    });
+    return results;
+}
+
+std::vector<Measurement>
+runSuite(const std::vector<BenchSpec> &specs, const SuiteOptions &opt)
+{
+    return runSuiteWith(specs, opt.jobs,
+                        [&opt](const BenchSpec &spec, size_t) {
+                            return run(spec, {}, opt.machineCfg,
+                                       opt.withMachine);
+                        });
+}
+
+} // namespace interp::harness

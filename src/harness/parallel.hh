@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Parallel suite execution for the benchmark harness.
+ *
+ * The paper's evaluation is a cross product of independent runs;
+ * these helpers execute a std::vector<BenchSpec> (or any indexed job
+ * set) on a ThreadPool and return Measurements in deterministic spec
+ * order regardless of completion order. Every job gets its own
+ * Profile, Machine, FileSystem and sinks inside harness::run(), and
+ * the deterministic AddressMapper makes the results bit-identical to
+ * a serial pass, so `--jobs N` changes wall-clock time only.
+ *
+ * Failure containment: each job runs under a ScopedFatalThrow, so a
+ * fatal program error (or any exception) marks that one Measurement
+ * failed instead of killing the whole suite.
+ */
+
+#ifndef INTERP_HARNESS_PARALLEL_HH
+#define INTERP_HARNESS_PARALLEL_HH
+
+#include <functional>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace interp::harness {
+
+/**
+ * Job count from the environment: INTERP_JOBS if set (0 = one per
+ * hardware thread), else 1 (serial, the historical behaviour).
+ */
+int defaultJobs();
+
+/**
+ * Strip a `--jobs N` / `--jobs=N` / `-jN` option from argv and return
+ * the requested job count (0 = one per hardware thread). Returns
+ * defaultJobs() when no option is present; argc is updated.
+ */
+int parseJobs(int &argc, char **argv);
+
+/** Resolve a user-facing jobs value: 0 -> hardware threads, >=1 kept. */
+int resolveJobs(int jobs);
+
+/**
+ * Run fn(i) for every i in [0, n) on @p jobs worker threads.
+ * Serial (and allocation-free) when jobs resolves to 1. @p fn must
+ * not throw; wrap fallible work via runSuiteWith() instead.
+ */
+void parallelFor(size_t n, int jobs, const std::function<void(size_t)> &fn);
+
+/**
+ * Run every spec through @p fn (typically a harness::run wrapper)
+ * on @p jobs threads. Results are returned in spec order. Exceptions
+ * (including fatal() program errors) surface as Measurements with
+ * failed=true and the message in error.
+ */
+std::vector<Measurement>
+runSuiteWith(const std::vector<BenchSpec> &specs, int jobs,
+             const std::function<Measurement(const BenchSpec &, size_t)> &fn);
+
+/** Options forwarded to harness::run() for every spec of a suite. */
+struct SuiteOptions
+{
+    int jobs = 1;                                ///< 0 = hardware threads
+    const sim::MachineConfig *machineCfg = nullptr; ///< null = Table 3
+    bool withMachine = true;                     ///< simulate timing
+};
+
+/** Run a whole suite under the standard instrumentation. */
+std::vector<Measurement> runSuite(const std::vector<BenchSpec> &specs,
+                                  const SuiteOptions &opt = {});
+
+} // namespace interp::harness
+
+#endif // INTERP_HARNESS_PARALLEL_HH

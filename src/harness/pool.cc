@@ -1,0 +1,63 @@
+#include "harness/pool.hh"
+
+namespace interp::harness {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    workCv.notify_all();
+    for (std::thread &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        queue.push_back(std::move(job));
+    }
+    workCv.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idleCv.wait(lock, [this] { return queue.empty() && running == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        workCv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty())
+            return; // stopping, nothing left to drain
+        std::function<void()> job = std::move(queue.front());
+        queue.pop_front();
+        ++running;
+        lock.unlock();
+        job();
+        lock.lock();
+        --running;
+        if (queue.empty() && running == 0)
+            idleCv.notify_all();
+    }
+}
+
+} // namespace interp::harness

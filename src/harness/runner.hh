@@ -64,6 +64,14 @@ struct Measurement
     double imissPer100 = 0;
     std::string stdoutText;
     bool finished = false;
+    /**
+     * The run aborted before producing results (a fatal program error
+     * or an exception inside a suite job); `error` says why. Only the
+     * parallel/suite helpers set this — a direct run() call propagates
+     * the error instead.
+     */
+    bool failed = false;
+    std::string error;
     /** Command names resolved from the interpreter's command set. */
     std::vector<std::string> commandNames;
 };

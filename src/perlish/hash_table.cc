@@ -1,5 +1,7 @@
 #include "perlish/hash_table.hh"
 
+#include "support/logging.hh"
+
 namespace interp::perlish {
 
 HashTable::HashTable() : buckets(8) {}
@@ -32,8 +34,16 @@ HashTable::lookup(const std::string &key, int &chain_steps)
     ++count;
     if (count > buckets.size() * 3) {
         grow();
-        int dummy;
-        return *find(key, dummy); // relocated by grow
+        // grow() reallocated the bucket array and rehashed every node:
+        // the address cached above dangles. Recompute it against the
+        // live array before handing back the relocated slot, so the
+        // d-cache charge in the interpreter sees a live bucket head.
+        index = hashKey(key) & (uint32_t)(buckets.size() - 1);
+        lastBucketAddr = &buckets[index];
+        for (Node *n = buckets[index].get(); n; n = n->next.get())
+            if (n->key == key)
+                return n->value;
+        panic("hash_table: key relocated out of existence during grow");
     }
     return buckets[index]->value;
 }

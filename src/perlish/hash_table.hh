@@ -50,6 +50,15 @@ class HashTable
     size_t size() const { return count; }
     size_t bucketCount() const { return buckets.size(); }
 
+    /** True if @p p points into the live bucket array (testing aid). */
+    bool ownsBucketAddr(const void *p) const
+    {
+        auto addr = (uintptr_t)p;
+        auto base = (uintptr_t)buckets.data();
+        return addr >= base &&
+               addr < base + buckets.size() * sizeof(buckets[0]);
+    }
+
     /** Host addresses touched by the last lookup, for d-cache realism. */
     const void *lastBucketAddr = nullptr;
 

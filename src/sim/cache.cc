@@ -44,7 +44,8 @@ Cache::access(uint32_t addr)
             return true;
         }
         if (!way.valid) {
-            victim = &way;
+            if (victim->valid)
+                victim = &way; // first free way, as in Tlb::access
         } else if (victim->valid && way.lastUse < victim->lastUse) {
             victim = &way;
         }

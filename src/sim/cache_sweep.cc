@@ -22,6 +22,10 @@ CacheSweep::CacheSweep(const std::vector<uint32_t> &sizes_kb,
 void
 CacheSweep::onBundle(const trace::Bundle &bundle)
 {
+    // An empty bundle touches no lines; without this guard the
+    // (count - 1) below underflows and walks ~2^32 cache lines.
+    if (bundle.count == 0)
+        return;
     insts += bundle.count;
     uint32_t first = bundle.pc / lineBytes;
     uint32_t last = (bundle.pc + (bundle.count - 1) * 4) / lineBytes;

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Deterministic replacement for the global operator new/delete.
+ *
+ * The simulated data addresses fed to the d-cache come from
+ * trace::AddressMapper, which canonicalizes host pointers by
+ * first-touch order of 16-byte granules. That makes the simulation
+ * independent of raw address values — but not of *aliasing*: when the
+ * host allocator recycles memory of a freed, already-charged object
+ * for a new one, the mapper sees an already-seen granule instead of a
+ * fresh one. glibc malloc's recycling decisions (tcache, bin state,
+ * chunk splitting and coalescing) depend on the whole process's prior
+ * heap history, so two identical benchmark runs diverge once the heap
+ * is warm, and a parallel suite cannot reproduce a serial one.
+ *
+ * This allocator makes the aliasing pattern a pure function of each
+ * run's own allocation/free sequence:
+ *
+ *  - exact size classes, strict LIFO reuse, no splitting and no
+ *    coalescing: a new cell is either the most recently freed cell of
+ *    the same class (a deterministic correspondence driven entirely
+ *    by the run's own sequence) or bump-allocated from a fresh mmap
+ *    slab (granules never seen before, so always fresh to the run's
+ *    mapper);
+ *  - thread-local state, so concurrent suite jobs cannot perturb one
+ *    another and no locks are taken;
+ *  - 16-byte cell alignment, preserving the intra-granule offsets the
+ *    mapper relies on.
+ *
+ * Carried-over free-list cells (freed before the current run began)
+ * are indistinguishable from fresh slab memory as far as the run's
+ * mapper is concerned — their granules are not in it — so per-thread
+ * state may persist across jobs without breaking reproducibility.
+ *
+ * Slabs are never unmapped; a short-lived benchmark process trades a
+ * bounded amount of fragmentation for reproducibility. Sanitizer
+ * builds (INTERP_SANITIZE_BUILD) compile this file down to just the
+ * status query, keeping ASan's instrumented heap.
+ */
+
+#include "support/detalloc.hh"
+
+#if defined(INTERP_SANITIZE_BUILD)
+
+namespace interp::support {
+
+bool
+deterministicAllocatorActive()
+{
+    return false;
+}
+
+} // namespace interp::support
+
+#else // !INTERP_SANITIZE_BUILD
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <sys/mman.h>
+
+namespace {
+
+constexpr size_t kGranule = 16;  ///< cell alignment; mapper granule
+constexpr size_t kHeader = 16;   ///< bytes reserved before user data
+constexpr size_t kSmallMaxCell = 4096;
+constexpr size_t kNumSmallClasses = kSmallMaxCell / kGranule + 1;
+constexpr size_t kNumBigClasses = 32; ///< power-of-two cells, by log2
+constexpr size_t kMaxCell = (size_t)1 << 30;
+constexpr size_t kSlabBytes = (size_t)1 << 20;
+
+/** Stored immediately before the user pointer while a cell is live. */
+struct Header
+{
+    uint64_t cell; ///< total cell bytes (the free-list class key)
+    uint64_t back; ///< user pointer minus cell base
+};
+
+/**
+ * Per-thread heap. Plain zero-initialized PODs only: safe to touch
+ * from the very first allocation on a thread and needs no teardown.
+ */
+struct ThreadHeap
+{
+    void *smallFree[kNumSmallClasses];
+    void *bigFree[kNumBigClasses];
+    char *bump;
+    size_t bumpLeft;
+};
+
+thread_local ThreadHeap t_heap;
+
+/** log2, rounded up; class index for big cells. */
+size_t
+bigClass(size_t cell)
+{
+    return 64 - (size_t)__builtin_clzll(cell - 1);
+}
+
+void **
+freeListFor(size_t cell)
+{
+    if (cell <= kSmallMaxCell)
+        return &t_heap.smallFree[cell / kGranule];
+    return &t_heap.bigFree[bigClass(cell)];
+}
+
+void *
+osAlloc(size_t bytes)
+{
+    void *p = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    return p == MAP_FAILED ? nullptr : p;
+}
+
+/** A cell of exactly @p cell bytes: LIFO reuse, else fresh memory. */
+void *
+takeCell(size_t cell)
+{
+    void **list = freeListFor(cell);
+    if (*list) {
+        void *base = *list;
+        *list = *(void **)base;
+        return base;
+    }
+    if (cell > kSlabBytes)
+        return osAlloc(cell); // its own slab
+    if (t_heap.bumpLeft < cell) {
+        char *slab = (char *)osAlloc(kSlabBytes);
+        if (!slab)
+            return nullptr;
+        // The old slab's tail is abandoned, never reused: fresh slab
+        // memory is always granule-fresh, so slab geometry cannot
+        // influence the mapper.
+        t_heap.bump = slab;
+        t_heap.bumpLeft = kSlabBytes;
+    }
+    char *base = t_heap.bump;
+    t_heap.bump += cell;
+    t_heap.bumpLeft -= cell;
+    return base;
+}
+
+void *
+allocate(size_t size, size_t align) noexcept
+{
+    if (size == 0)
+        size = 1;
+    if (align < kGranule)
+        align = kGranule;
+    size_t need = size + kHeader + (align > kGranule ? align : 0);
+    if (need < size || need > kMaxCell)
+        return nullptr;
+    size_t cell = need <= kSmallMaxCell
+                      ? (need + kGranule - 1) & ~(kGranule - 1)
+                      : (size_t)1 << bigClass(need);
+    char *base = (char *)takeCell(cell);
+    if (!base)
+        return nullptr;
+    char *user = base + kHeader;
+    if (align > kGranule)
+        user = (char *)(((uintptr_t)user + align - 1) &
+                        ~(uintptr_t)(align - 1));
+    auto *h = (Header *)(user - kHeader);
+    h->cell = cell;
+    h->back = (uint64_t)(user - base);
+    return user;
+}
+
+void
+release(void *ptr) noexcept
+{
+    if (!ptr)
+        return;
+    auto *h = (Header *)((char *)ptr - kHeader);
+    size_t cell = h->cell;
+    void *base = (char *)ptr - h->back;
+    void **list = freeListFor(cell);
+    *(void **)base = *list;
+    *list = base;
+}
+
+void *
+allocateOrThrow(size_t size, size_t align)
+{
+    void *p = allocate(size, align);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    return allocateOrThrow(n, kGranule);
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return allocateOrThrow(n, kGranule);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align)
+{
+    return allocateOrThrow(n, (size_t)align);
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align)
+{
+    return allocateOrThrow(n, (size_t)align);
+}
+
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    return allocate(n, kGranule);
+}
+
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    return allocate(n, kGranule);
+}
+
+void *
+operator new(std::size_t n, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return allocate(n, (size_t)align);
+}
+
+void *
+operator new[](std::size_t n, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return allocate(n, (size_t)align);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    release(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    release(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    release(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    release(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    release(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    release(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    release(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    release(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    release(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    release(p);
+}
+
+namespace interp::support {
+
+bool
+deterministicAllocatorActive()
+{
+    return true;
+}
+
+} // namespace interp::support
+
+#endif // INTERP_SANITIZE_BUILD

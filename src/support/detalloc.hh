@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Deterministic global allocator (see detalloc.cc for the rationale).
+ */
+
+#ifndef INTERP_SUPPORT_DETALLOC_HH
+#define INTERP_SUPPORT_DETALLOC_HH
+
+namespace interp::support {
+
+/**
+ * True when the deterministic size-class allocator has replaced the
+ * global operator new/delete. False in sanitizer builds, which keep
+ * the instrumented system allocator (and with it the heap checking
+ * the sanitizers exist for) at the cost of bit-exact reproducibility.
+ */
+bool deterministicAllocatorActive();
+
+} // namespace interp::support
+
+#endif // INTERP_SUPPORT_DETALLOC_HH

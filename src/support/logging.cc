@@ -3,20 +3,61 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include "support/detalloc.hh"
 
 namespace interp {
 
 namespace {
 
+// Pull the deterministic-allocator object out of the static library:
+// operator new/delete replacements only take effect when their object
+// file is linked, and nothing else references detalloc.cc by name.
+[[maybe_unused]] const bool detalloc_linked =
+    support::deterministicAllocatorActive();
+
+// Serializes stderr reporting so concurrent benchmark jobs never
+// interleave half-written lines.
+std::mutex report_mutex;
+
+// Per-thread: fatal() throws instead of exiting (see ScopedFatalThrow).
+thread_local bool fatal_throws = false;
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    std::lock_guard<std::mutex> lock(report_mutex);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }
 
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return fmt;
+    std::string out((size_t)n, '\0');
+    std::vsnprintf(out.data(), (size_t)n + 1, fmt, ap);
+    return out;
+}
+
 } // namespace
+
+ScopedFatalThrow::ScopedFatalThrow() : saved(fatal_throws)
+{
+    fatal_throws = true;
+}
+
+ScopedFatalThrow::~ScopedFatalThrow()
+{
+    fatal_throws = saved;
+}
 
 void
 panic(const char *fmt, ...)
@@ -33,6 +74,11 @@ fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
+    if (fatal_throws) {
+        std::string msg = vformat(fmt, ap);
+        va_end(ap);
+        throw FatalError(msg);
+    }
     vreport("fatal", fmt, ap);
     va_end(ap);
     std::exit(1);

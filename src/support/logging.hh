@@ -14,15 +14,50 @@
 #define INTERP_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace interp {
+
+/**
+ * Thrown by fatal() instead of exiting while a ScopedFatalThrow is
+ * active on the calling thread. Carries the formatted message.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * While an instance is alive, fatal() on this thread throws FatalError
+ * instead of printing and exiting the process. The parallel suite
+ * runner installs one around each job so a fatal program error (bad
+ * source, missing input file, budget misuse) fails that one
+ * measurement instead of killing every in-flight benchmark. Nests
+ * safely; panic() still aborts.
+ */
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow();
+    ~ScopedFatalThrow();
+
+    ScopedFatalThrow(const ScopedFatalThrow &) = delete;
+    ScopedFatalThrow &operator=(const ScopedFatalThrow &) = delete;
+
+  private:
+    bool saved;
+};
 
 /** Print a formatted message to stderr and abort(). */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print a formatted message to stderr and exit(1). */
+/**
+ * Report an unrecoverable user-level error: print to stderr and
+ * exit(1), or throw FatalError under a ScopedFatalThrow.
+ */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 

@@ -26,15 +26,21 @@ namespace interp::trace {
 /**
  * Maps host pointers into a compact synthetic 32-bit data space.
  *
- * The page offset (sim page = 8 KB) of the host address is preserved
- * so intra-page locality is genuine; each distinct host page is given
- * the next synthetic page in first-touch order, which keeps runs
- * deterministic given deterministic allocation order.
+ * Each distinct 16-byte host granule is assigned the next synthetic
+ * granule in first-touch order; the offset inside the granule is
+ * preserved. Sixteen bytes is the malloc and stack-frame alignment
+ * unit, so both the granule-touch order and the intra-granule offsets
+ * are functions of the program's allocation/access sequence alone —
+ * never of raw host address values. That makes every simulated data
+ * address identical across processes (ASLR) and across threads, which
+ * is what lets a parallel suite run reproduce a serial run bit for
+ * bit. Sequential walks still map to sequential synthetic addresses,
+ * so spatial locality inside arrays and strings remains genuine.
  */
 class AddressMapper
 {
   public:
-    static constexpr uint32_t kPageBits = 13; // 8 KB pages
+    static constexpr uint32_t kGranuleBits = 4; // 16 B: malloc/ABI alignment
     static constexpr uint32_t kHeapBase = 0x40000000u;
 
     /** Synthetic address for a host pointer. */
@@ -42,24 +48,24 @@ class AddressMapper
     map(const void *ptr)
     {
         auto addr = (uint64_t)ptr;
-        uint64_t page = addr >> kPageBits;
-        auto it = pageMap.find(page);
-        uint32_t synth_page;
-        if (it == pageMap.end()) {
-            synth_page = nextPage++;
-            pageMap.emplace(page, synth_page);
+        uint64_t granule = addr >> kGranuleBits;
+        auto it = granuleMap.find(granule);
+        uint32_t synth;
+        if (it == granuleMap.end()) {
+            synth = nextGranule++;
+            granuleMap.emplace(granule, synth);
         } else {
-            synth_page = it->second;
+            synth = it->second;
         }
-        return kHeapBase + (synth_page << kPageBits) +
-               (uint32_t)(addr & ((1u << kPageBits) - 1));
+        return kHeapBase + (synth << kGranuleBits) +
+               (uint32_t)(addr & ((1u << kGranuleBits) - 1));
     }
 
-    size_t pagesTouched() const { return pageMap.size(); }
+    size_t granulesTouched() const { return granuleMap.size(); }
 
   private:
-    std::unordered_map<uint64_t, uint32_t> pageMap;
-    uint32_t nextPage = 0;
+    std::unordered_map<uint64_t, uint32_t> granuleMap;
+    uint32_t nextGranule = 0;
 };
 
 /**

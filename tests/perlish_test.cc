@@ -83,6 +83,26 @@ TEST(PerlHash, GrowsAndKeepsEntries)
     }
 }
 
+TEST(PerlHash, LastBucketAddrSurvivesGrow)
+{
+    // Regression: lookup() caches &buckets[index] for the memory-model
+    // charge before insertion may trigger grow(); grow() reallocates
+    // the bucket array, so the cached address must be recomputed or it
+    // dangles into freed memory. Insert far past the growth threshold
+    // (count > 3 * buckets.size(), initial 8 buckets) and check the
+    // published address points into the live array every time.
+    HashTable table;
+    int steps;
+    for (int i = 0; i < 100; ++i) {
+        table.lookup("grow" + std::to_string(i), steps).setNum(i);
+        ASSERT_NE(table.lastBucketAddr, nullptr);
+        EXPECT_TRUE(table.ownsBucketAddr(table.lastBucketAddr))
+            << "stale bucket address after insert " << i
+            << " (buckets=" << table.bucketCount() << ")";
+    }
+    EXPECT_GT(table.bucketCount(), 8u) << "test never forced a grow";
+}
+
 TEST(PerlHash, KeysEnumeratesAll)
 {
     HashTable table;

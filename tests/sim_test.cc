@@ -58,6 +58,41 @@ TEST(Cache, LruEvictsOldest)
     EXPECT_FALSE(cache.access(1 * 32));
 }
 
+/**
+ * Fill-then-evict in strict LRU order, parameterized on associativity.
+ * Filling a set must consume free ways without evicting valid lines
+ * (first free way, as in Tlb::access), and once full, evictions must
+ * follow recency order exactly.
+ */
+class CacheLruOrder : public testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(CacheLruOrder, FillThenEvictFollowsRecency)
+{
+    const uint32_t assoc = GetParam();
+    Cache cache({assoc * 32, assoc, 32}); // one set, `assoc` ways
+
+    // Fill: each new line is a cold miss but must not evict any of the
+    // previously installed lines while free ways remain.
+    for (uint32_t i = 0; i < assoc; ++i) {
+        EXPECT_FALSE(cache.access(i * 32)) << "cold line " << i;
+        for (uint32_t j = 0; j <= i; ++j)
+            EXPECT_TRUE(cache.access(j * 32))
+                << "line " << j << " evicted during fill at " << i;
+    }
+    // That re-touch loop left recency order = 0,1,...,assoc-1 (oldest
+    // first). Overflowing lines must evict in exactly that order.
+    for (uint32_t i = 0; i < assoc; ++i) {
+        EXPECT_FALSE(cache.access((assoc + i) * 32));
+        EXPECT_FALSE(cache.access(i * 32))
+            << "line " << i << " should have been the LRU victim";
+        // Re-installing line i evicts the then-oldest resident, so
+        // line i+1 is gone by the time the next iteration probes it.
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Assoc, CacheLruOrder, testing::Values(2u, 4u));
+
 TEST(Cache, WorkingSetFitsAfterWarmup)
 {
     Cache cache({8192, 1, 32});
@@ -341,6 +376,27 @@ TEST(CacheSweep, GridShapeAndMonotonicity)
             EXPECT_LE(results[a * 4 + s].misses,
                       results[a * 4 + s - 1].misses + 5);
     EXPECT_EQ(sweep.instructions(), 200000u);
+}
+
+TEST(CacheSweep, ZeroCountBundleIsIgnored)
+{
+    // A Bundle with count == 0 carries no instructions; the line walk
+    // from pc to pc + (count - 1) * 4 must not underflow and sweep
+    // ~2^32 lines through every cache.
+    CacheSweep sweep({8}, {1});
+    trace::Bundle b;
+    b.pc = 0x1000;
+    b.count = 0;
+    b.cls = trace::InstClass::IntAlu;
+    sweep.onBundle(b);
+    EXPECT_EQ(sweep.instructions(), 0u);
+    EXPECT_EQ(sweep.results()[0].misses, 0u);
+
+    // And a normal bundle afterwards behaves as if it came first.
+    b.count = 4;
+    sweep.onBundle(b);
+    EXPECT_EQ(sweep.instructions(), 4u);
+    EXPECT_EQ(sweep.results()[0].misses, 1u);
 }
 
 } // namespace

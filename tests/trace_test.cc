@@ -47,32 +47,49 @@ TEST(CodeRegistry, SegmentsAreDisjoint)
               reg.routine(b).base & 0xfc000000);
 }
 
-TEST(AddressMapper, PreservesPageOffset)
+TEST(AddressMapper, PreservesGranuleOffset)
 {
     AddressMapper mapper;
-    alignas(64) char buf[2] = {};
-    uint32_t s = mapper.map(&buf[0]);
-    uint32_t mask = (1u << AddressMapper::kPageBits) - 1;
-    EXPECT_EQ(s & mask, (uint64_t)&buf[0] & mask);
+    alignas(16) char buf[16] = {};
+    uint32_t s = mapper.map(&buf[5]);
+    uint32_t mask = (1u << AddressMapper::kGranuleBits) - 1;
+    EXPECT_EQ(s & mask, 5u);
 }
 
-TEST(AddressMapper, SamePageMapsTogether)
+TEST(AddressMapper, SequentialWalkStaysSequential)
 {
     AddressMapper mapper;
-    alignas(4096) static char page[4096];
-    uint32_t a = mapper.map(&page[0]);
-    uint32_t b = mapper.map(&page[100]);
-    EXPECT_EQ(b - a, 100u);
+    alignas(16) static char arr[64];
+    uint32_t a = mapper.map(&arr[0]);
+    uint32_t b = mapper.map(&arr[16]);
+    uint32_t c = mapper.map(&arr[36]);
+    EXPECT_EQ(b - a, 16u);
+    EXPECT_EQ(c - a, 36u);
 }
 
-TEST(AddressMapper, DistinctPagesDistinctSynthPages)
+TEST(AddressMapper, DistinctGranulesDistinctSynthGranules)
 {
     AddressMapper mapper;
-    static char big[3 * 8192];
+    alignas(16) static char big[3 * 16];
     uint32_t a = mapper.map(&big[0]);
-    uint32_t b = mapper.map(&big[2 * 8192]);
-    EXPECT_NE(a >> AddressMapper::kPageBits, b >> AddressMapper::kPageBits);
-    EXPECT_EQ(mapper.pagesTouched(), 2u);
+    uint32_t b = mapper.map(&big[2 * 16]);
+    EXPECT_NE(a >> AddressMapper::kGranuleBits,
+              b >> AddressMapper::kGranuleBits);
+    EXPECT_EQ(mapper.granulesTouched(), 2u);
+}
+
+TEST(AddressMapper, IndependentOfHostAddressValues)
+{
+    // Two mappers fed accesses with the same touch order and the same
+    // intra-granule offsets produce identical synthetic addresses even
+    // though the host base addresses differ — the property that makes
+    // simulated cycles reproducible across ASLR and across threads.
+    AddressMapper m1, m2;
+    alignas(16) static char region1[256];
+    alignas(16) static char region2[256];
+    const size_t offsets[] = {0, 3, 48, 17, 240, 5};
+    for (size_t off : offsets)
+        EXPECT_EQ(m1.map(&region1[off]), m2.map(&region2[off]));
 }
 
 TEST(CommandSet, InternIsIdempotent)
