@@ -28,7 +28,7 @@ using namespace interp::harness;
 namespace {
 
 void
-ablationSymtab(int jobs)
+ablationSymtab(int jobs, const TraceIo &tio)
 {
     std::printf("A. Tcl symbol-table size vs per-access cost "
                 "(paper: 206 at des-size to 514 at xf-size)\n");
@@ -49,6 +49,7 @@ ablationSymtab(int jobs)
     }
     SuiteOptions opt;
     opt.jobs = jobs;
+    opt.io = tio;
     std::vector<Measurement> results = runSuite(specs, opt);
     for (size_t i = 0; i < results.size(); ++i)
         std::printf("   %-12d %14.1f %12.0f\n", fillers[i],
@@ -58,7 +59,7 @@ ablationSymtab(int jobs)
 }
 
 void
-ablationIcache(int jobs)
+ablationIcache(int jobs, const TraceIo &tio)
 {
     std::printf("B. Bigger/associative I-cache (8K/1w -> 32K/4w), "
                 "total-cycle improvement\n");
@@ -71,11 +72,20 @@ ablationIcache(int jobs)
     for (BenchSpec &spec : macroSuite())
         if (spec.name == "des")
             specs.push_back(std::move(spec));
+    // The record-once/replay-many case in miniature: with --record
+    // the first sweep writes each trace, with --replay both machine
+    // configurations decode the same tape.
     SuiteOptions base_opt;
     base_opt.jobs = jobs;
+    base_opt.io = tio;
     SuiteOptions big_opt;
     big_opt.jobs = jobs;
     big_opt.machineCfg = &big;
+    big_opt.io = tio;
+    if (!tio.recordDir.empty()) {
+        big_opt.io.recordDir.clear(); // reuse the fresh tapes instead
+        big_opt.io.replayDir = tio.recordDir;
+    }
     std::vector<Measurement> base = runSuite(specs, base_opt);
     std::vector<Measurement> wide = runSuite(specs, big_opt);
     for (size_t i = 0; i < specs.size(); ++i)
@@ -89,7 +99,7 @@ ablationIcache(int jobs)
 }
 
 void
-ablationPrecompile(int jobs)
+ablationPrecompile(int jobs, const TraceIo &tio)
 {
     std::printf("C. Perl startup compilation: fixed precompile cost vs "
                 "run length\n");
@@ -100,7 +110,9 @@ ablationPrecompile(int jobs)
     for (int n : counts) {
         BenchSpec spec;
         spec.lang = Lang::Perl;
-        spec.name = "scaling";
+        // Distinct names: each point gets its own trace file under
+        // --record.
+        spec.name = "scaling-" + std::to_string(n);
         spec.source =
             "$s = 0;\n"
             "for ($i = 0; $i < " + std::to_string(n) + "; $i += 1) {\n"
@@ -111,6 +123,7 @@ ablationPrecompile(int jobs)
     SuiteOptions opt;
     opt.jobs = jobs;
     opt.withMachine = false;
+    opt.io = tio;
     std::vector<Measurement> results = runSuite(specs, opt);
     for (size_t i = 0; i < results.size(); ++i) {
         double pre = (double)results[i].profile.precompileInsts();
@@ -131,10 +144,11 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
     std::printf("Ablations for DESIGN.md's called-out design choices\n"
                 "====================================================\n\n");
-    ablationSymtab(jobs);
-    ablationIcache(jobs);
-    ablationPrecompile(jobs);
+    ablationSymtab(jobs, tio);
+    ablationIcache(jobs, tio);
+    ablationPrecompile(jobs, tio);
     return 0;
 }

@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
 
     std::printf("Figure 1: cumulative execute-instruction share of the "
                 "top-x virtual commands\n");
@@ -32,6 +33,7 @@ main(int argc, char **argv)
     SuiteOptions opt;
     opt.jobs = jobs;
     opt.withMachine = false;
+    opt.io = tio;
     for (const Measurement &m : runSuite(macroSuite(), opt)) {
         if (m.failed) {
             std::printf("%-6s %-10s failed: %s\n", langName(m.lang),

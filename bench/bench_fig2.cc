@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
 
     std::printf("Figure 2: virtual-command and execute-instruction "
                 "distributions\n\n");
@@ -27,6 +28,7 @@ main(int argc, char **argv)
     SuiteOptions opt;
     opt.jobs = jobs;
     opt.withMachine = false;
+    opt.io = tio;
     for (const Measurement &m : runSuite(macroSuite(), opt)) {
         if (m.failed) {
             std::printf("--- %s / %s --- failed: %s\n", langName(m.lang),

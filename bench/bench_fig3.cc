@@ -37,6 +37,7 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
 
     std::printf("Figure 3: issue-slot breakdown on the Table 3 machine "
                 "(2-issue, 8K I/D L1, 512K L2)\n\n");
@@ -76,6 +77,7 @@ main(int argc, char **argv)
 
     SuiteOptions opt;
     opt.jobs = jobs;
+    opt.io = tio;
     std::vector<Measurement> results = runSuite(specs, opt);
 
     Lang last = Lang::C;

@@ -4,6 +4,13 @@
  * instructions) of the Java, Perl and Tcl benchmarks as a function of
  * cache size (8/16/32/64 KB) and associativity (1/2/4-way). One pass
  * per benchmark feeds all twelve cache configurations.
+ *
+ * `--record <dir>` captures each workload's event stream as a binary
+ * trace while sweeping; `--replay <dir>` drives the whole sweep from
+ * those traces instead — each workload's trace is decoded exactly
+ * once and fans out to all twelve configurations, with the workloads
+ * themselves spread across the `--jobs` pool. The printed table is
+ * byte-identical either way.
  */
 
 #include <cstdio>
@@ -20,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
     const std::vector<uint32_t> sizes = {8, 16, 32, 64};
     const std::vector<uint32_t> assocs = {1, 2, 4};
 
@@ -40,13 +48,16 @@ main(int argc, char **argv)
             specs.push_back(std::move(spec));
 
     // One private sweep sink per job: each sees the same stream the
-    // machine model would, with no cross-thread sharing.
+    // machine model would, with no cross-thread sharing. Under
+    // --replay that stream comes from one decode of the workload's
+    // trace, shared by all twelve sweep points.
     std::vector<std::unique_ptr<sim::CacheSweep>> sweeps(specs.size());
     std::vector<Measurement> results = runSuiteWith(
         specs, jobs,
         [&](const BenchSpec &spec, size_t i) {
             sweeps[i] = std::make_unique<sim::CacheSweep>(sizes, assocs);
-            return run(spec, {sweeps[i].get()}, nullptr, false);
+            return runOrReplay(spec, tio, {sweeps[i].get()}, nullptr,
+                               false);
         });
 
     for (size_t i = 0; i < specs.size(); ++i) {

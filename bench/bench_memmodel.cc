@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
 
     std::printf("Section 3.3: memory-model cost per interpreter\n\n");
     std::printf("%-6s %-10s %14s %14s %10s\n", "Lang", "Bench",
@@ -35,6 +36,7 @@ main(int argc, char **argv)
     SuiteOptions opt;
     opt.jobs = jobs;
     opt.withMachine = false;
+    opt.io = tio;
 
     Lang last = Lang::C;
     for (const Measurement &m : runSuite(specs, opt)) {

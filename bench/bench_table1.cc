@@ -9,6 +9,9 @@
  * absolute slowdowns run lower than the paper's (whose baseline was
  * an optimizing C compiler); the ordering and the orders of magnitude
  * are the reproduction target.
+ *
+ * `--record <dir>` / `--replay <dir>` capture and replay the whole
+ * micro cross product as binary traces (see record_replay.hh).
  */
 
 #include <cstdio>
@@ -25,6 +28,7 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
     const Lang kLangs[] = {Lang::C, Lang::Mipsi, Lang::Java, Lang::Perl,
                            Lang::Tcl};
 
@@ -42,8 +46,9 @@ main(int argc, char **argv)
         for (Lang lang : kLangs)
             specs.push_back(microBench(lang, op, microIterations(lang)));
     std::vector<Measurement> results = runSuiteWith(
-        specs, jobs,
-        [](const BenchSpec &spec, size_t) { return run(spec); });
+        specs, jobs, [&tio](const BenchSpec &spec, size_t) {
+            return runOrReplay(spec, tio);
+        });
 
     size_t next = 0;
     for (const std::string &op : microOps()) {

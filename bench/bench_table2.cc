@@ -10,7 +10,10 @@
  * EXPERIMENTS.md); compare shapes, not absolute counts.
  *
  * `--jobs N` (or INTERP_JOBS) runs the suite on N worker threads;
- * the table is byte-identical at any job count.
+ * the table is byte-identical at any job count. `--record <dir>`
+ * additionally captures each run as a binary trace; `--replay <dir>`
+ * regenerates the table from previously recorded traces without
+ * re-interpreting anything (again byte-identical).
  */
 
 #include <cstdio>
@@ -26,6 +29,7 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
 
     std::printf("Table 2: baseline performance of the interpreters\n");
     std::printf("(counts in units of 10^3, as in the paper)\n\n");
@@ -40,6 +44,7 @@ main(int argc, char **argv)
 
     SuiteOptions opt;
     opt.jobs = jobs;
+    opt.io = tio;
 
     Lang last = Lang::C;
     bool first = true;

@@ -118,8 +118,9 @@ runSuite(const std::vector<BenchSpec> &specs, const SuiteOptions &opt)
 {
     return runSuiteWith(specs, opt.jobs,
                         [&opt](const BenchSpec &spec, size_t) {
-                            return run(spec, {}, opt.machineCfg,
-                                       opt.withMachine);
+                            return runOrReplay(spec, opt.io, {},
+                                               opt.machineCfg,
+                                               opt.withMachine);
                         });
 }
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "harness/record_replay.hh"
 #include "harness/runner.hh"
 
 namespace interp::harness {
@@ -64,6 +65,13 @@ struct SuiteOptions
     int jobs = 1;                                ///< 0 = hardware threads
     const sim::MachineConfig *machineCfg = nullptr; ///< null = Table 3
     bool withMachine = true;                     ///< simulate timing
+    /**
+     * Record every run into io.recordDir, or replay every spec from
+     * io.replayDir, instead of plain live runs (see record_replay.hh).
+     * Record/replay jobs are ordinary suite jobs: they run on the
+     * pool and a bad trace file fails one Measurement, not the suite.
+     */
+    TraceIo io;
 };
 
 /** Run a whole suite under the standard instrumentation. */

@@ -1,0 +1,138 @@
+#include "harness/record_replay.hh"
+
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+
+#include "support/logging.hh"
+#include "tracefile/reader.hh"
+#include "tracefile/writer.hh"
+
+namespace interp::harness {
+
+TraceIo
+parseTraceDirs(int &argc, char **argv)
+{
+    TraceIo io;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::string *dest = nullptr;
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--record") == 0 ||
+            std::strcmp(arg, "--replay") == 0) {
+            if (i + 1 >= argc)
+                fatal("%s requires a directory", arg);
+            dest = std::strcmp(arg, "--record") == 0 ? &io.recordDir
+                                                     : &io.replayDir;
+            value = argv[++i];
+        } else if (std::strncmp(arg, "--record=", 9) == 0) {
+            dest = &io.recordDir;
+            value = arg + 9;
+        } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+            dest = &io.replayDir;
+            value = arg + 9;
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        if (!*value)
+            fatal("--record/--replay require a non-empty directory");
+        *dest = value;
+    }
+    argv[out] = nullptr;
+    argc = out;
+    if (!io.recordDir.empty() && !io.replayDir.empty())
+        fatal("--record and --replay are mutually exclusive");
+    return io;
+}
+
+std::string
+traceFileName(const BenchSpec &spec)
+{
+    std::string name = langName(spec.lang);
+    name += '-';
+    name += spec.name;
+    for (char &c : name) {
+        if (std::isupper((unsigned char)c))
+            c = (char)std::tolower((unsigned char)c);
+        else if (!std::isalnum((unsigned char)c) && c != '-' &&
+                 c != '_' && c != '.')
+            c = '_';
+    }
+    return name + ".itr";
+}
+
+std::string
+traceFilePath(const std::string &dir, const BenchSpec &spec)
+{
+    return (std::filesystem::path(dir) / traceFileName(spec)).string();
+}
+
+Measurement
+replayTrace(const std::string &path, const BenchSpec &spec,
+            const std::vector<trace::Sink *> &extra_sinks,
+            const sim::MachineConfig *machine_cfg, bool with_machine)
+{
+    tracefile::TraceReader reader(path);
+    const tracefile::TraceMeta &meta = reader.meta();
+    if (meta.lang != langName(spec.lang) || meta.name != spec.name)
+        fatal("trace file %s records %s-%s but the suite asked for "
+              "%s-%s", path.c_str(), meta.lang.c_str(),
+              meta.name.c_str(), langName(spec.lang),
+              spec.name.c_str());
+
+    Measurement m;
+    m.lang = spec.lang;
+    m.name = spec.name;
+
+    sim::MachineConfig cfg =
+        machine_cfg ? *machine_cfg : sim::MachineConfig();
+    sim::Machine machine(cfg);
+    // Same sink order as harness::run(): profile, machine, extras.
+    std::vector<trace::Sink *> sinks;
+    sinks.push_back(&m.profile);
+    if (with_machine)
+        sinks.push_back(&machine);
+    for (trace::Sink *sink : extra_sinks)
+        sinks.push_back(sink);
+    reader.replay(sinks);
+
+    m.programBytes = (size_t)meta.programBytes;
+    m.commands = meta.commands;
+    m.finished = meta.finished;
+    m.commandNames = meta.commandNames;
+    m.cycles = machine.cycles();
+    m.breakdown = machine.breakdown();
+    m.imissPer100 = machine.imissPer100Insts();
+    return m;
+}
+
+Measurement
+runOrReplay(const BenchSpec &spec, const TraceIo &io,
+            const std::vector<trace::Sink *> &extra_sinks,
+            const sim::MachineConfig *machine_cfg, bool with_machine)
+{
+    if (!io.replayDir.empty())
+        return replayTrace(traceFilePath(io.replayDir, spec), spec,
+                           extra_sinks, machine_cfg, with_machine);
+    if (io.recordDir.empty())
+        return run(spec, extra_sinks, machine_cfg, with_machine);
+
+    std::error_code ec;
+    std::filesystem::create_directories(io.recordDir, ec);
+    if (ec)
+        fatal("cannot create trace directory %s: %s",
+              io.recordDir.c_str(), ec.message().c_str());
+    tracefile::TraceWriter writer(traceFilePath(io.recordDir, spec),
+                                  langName(spec.lang), spec.name);
+    std::vector<trace::Sink *> sinks = extra_sinks;
+    sinks.push_back(&writer);
+    Measurement m = run(spec, sinks, machine_cfg, with_machine);
+    writer.setRunResult(m.programBytes, m.commands, m.finished);
+    writer.setCommandNames(m.commandNames);
+    writer.finish();
+    return m;
+}
+
+} // namespace interp::harness

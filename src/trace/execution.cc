@@ -28,6 +28,18 @@ Execution::Execution()
 }
 
 void
+Execution::addSink(Sink *sink)
+{
+    if (totalInsts != 0 || totalCommands != 0)
+        fatal("trace sink attached after %llu instructions / %llu "
+              "commands were already emitted; sinks must be "
+              "registered before execution starts",
+              (unsigned long long)totalInsts,
+              (unsigned long long)totalCommands);
+    sinks.push_back(sink);
+}
+
+void
 Execution::removeSink(Sink *sink)
 {
     sinks.erase(std::remove(sinks.begin(), sinks.end(), sink),

@@ -97,8 +97,14 @@ class Execution
     CodeRegistry &code() { return registry; }
     AddressMapper &mapper() { return addrMapper; }
 
-    /** Attach a sink; not owned. */
-    void addSink(Sink *sink) { sinks.push_back(sink); }
+    /**
+     * Attach a sink; not owned. Sinks must be attached before the
+     * first instruction or command is emitted — a sink joining
+     * mid-run (e.g.\ a tracefile::TraceWriter) would silently record
+     * a partial stream that replays to different counters than the
+     * live run. fatal() (ScopedFatalThrow-compatible) otherwise.
+     */
+    void addSink(Sink *sink);
     void removeSink(Sink *sink);
 
     // --- routine control -------------------------------------------------

@@ -1,0 +1,210 @@
+#include "tracefile/format.hh"
+
+#include <array>
+
+namespace interp::tracefile {
+
+// --- little-endian serialization ------------------------------------------
+
+void
+putU16(std::string &out, uint16_t v)
+{
+    out.push_back((char)(v & 0xff));
+    out.push_back((char)(v >> 8));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back((char)((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back((char)((v >> (8 * i)) & 0xff));
+}
+
+bool
+getU16(const uint8_t *&p, const uint8_t *end, uint16_t &v)
+{
+    if (end - p < 2)
+        return false;
+    v = (uint16_t)(p[0] | (p[1] << 8));
+    p += 2;
+    return true;
+}
+
+bool
+getU32(const uint8_t *&p, const uint8_t *end, uint32_t &v)
+{
+    if (end - p < 4)
+        return false;
+    v = (uint32_t)p[0] | ((uint32_t)p[1] << 8) | ((uint32_t)p[2] << 16) |
+        ((uint32_t)p[3] << 24);
+    p += 4;
+    return true;
+}
+
+bool
+getU64(const uint8_t *&p, const uint8_t *end, uint64_t &v)
+{
+    if (end - p < 8)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= (uint64_t)p[i] << (8 * i);
+    p += 8;
+    return true;
+}
+
+// --- varints ---------------------------------------------------------------
+
+void
+putVarint(std::string &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back((char)(0x80 | (v & 0x7f)));
+        v >>= 7;
+    }
+    out.push_back((char)v);
+}
+
+bool
+getVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v)
+{
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (p >= end)
+            return false;
+        uint8_t byte = *p++;
+        v |= (uint64_t)(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false; // > 10 continuation bytes: malformed
+}
+
+void
+putSVarint(std::string &out, int64_t v)
+{
+    putVarint(out, zigzag(v));
+}
+
+bool
+getSVarint(const uint8_t *&p, const uint8_t *end, int64_t &v)
+{
+    uint64_t raw;
+    if (!getVarint(p, end, raw))
+        return false;
+    v = unzigzag(raw);
+    return true;
+}
+
+// --- crc32 -----------------------------------------------------------------
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t n = 0; n < 256; ++n) {
+        uint32_t c = n;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[n] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    const uint8_t *p = (const uint8_t *)data;
+    uint32_t crc = 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+// --- byte RLE --------------------------------------------------------------
+
+namespace {
+
+constexpr size_t kMinRun = 4;    ///< shorter runs stay literal
+constexpr size_t kMaxRun = 130;  ///< 0xff - 0x80 + 3
+constexpr size_t kMaxLiteral = 128;
+
+void
+flushLiteral(std::string &out, const std::string &raw, size_t begin,
+             size_t end)
+{
+    while (begin < end) {
+        size_t n = std::min(end - begin, kMaxLiteral);
+        out.push_back((char)(n - 1));
+        out.append(raw, begin, n);
+        begin += n;
+    }
+}
+
+} // namespace
+
+std::string
+rleCompress(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size() / 2 + 16);
+    size_t lit_begin = 0;
+    size_t i = 0;
+    while (i < raw.size()) {
+        size_t run = 1;
+        while (i + run < raw.size() && raw[i + run] == raw[i] &&
+               run < kMaxRun)
+            ++run;
+        if (run >= kMinRun) {
+            flushLiteral(out, raw, lit_begin, i);
+            out.push_back((char)(0x80 + (run - 3)));
+            out.push_back(raw[i]);
+            i += run;
+            lit_begin = i;
+        } else {
+            i += run;
+        }
+    }
+    flushLiteral(out, raw, lit_begin, raw.size());
+    return out;
+}
+
+bool
+rleDecompress(const uint8_t *stored, size_t stored_len,
+              size_t expected_bytes, std::string &out)
+{
+    out.clear();
+    out.reserve(expected_bytes);
+    const uint8_t *p = stored;
+    const uint8_t *end = stored + stored_len;
+    while (p < end) {
+        uint8_t c = *p++;
+        if (c < 0x80) {
+            size_t n = (size_t)c + 1;
+            if ((size_t)(end - p) < n || out.size() + n > expected_bytes)
+                return false;
+            out.append((const char *)p, n);
+            p += n;
+        } else {
+            size_t n = (size_t)(c - 0x80) + 3;
+            if (p >= end || out.size() + n > expected_bytes)
+                return false;
+            out.append(n, (char)*p++);
+        }
+    }
+    return out.size() == expected_bytes;
+}
+
+} // namespace interp::tracefile

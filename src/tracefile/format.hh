@@ -1,0 +1,177 @@
+/**
+ * @file
+ * On-disk format of the binary trace files (.itr).
+ *
+ * The paper's methodology is trace-driven: instruction/address traces
+ * are captured once (they used ATOM on real Alpha binaries) and then
+ * fed to counters and machine simulators many times. This format is
+ * our equivalent of those trace tapes. A file is:
+ *
+ *   header   magic "INTERPTR", version, flags, run metadata
+ *            (language, benchmark name, program size, command count),
+ *            and the event/instruction totals used to validate a
+ *            complete decode,
+ *   chunks   a sequence of independently decodable chunks, each with
+ *            a fixed 32-byte header (type, codec, sizes, event and
+ *            instruction counts, CRC32 of the stored payload) and a
+ *            payload of varint/delta-encoded trace::events,
+ *   names    one final chunk carrying the interned virtual-command
+ *            name table, so replayed Measurements can label Figure
+ *            1/2-style per-command rows.
+ *
+ * Event payload encoding (per chunk; all delta state resets at chunk
+ * boundaries, so a damaged chunk cannot corrupt decoding of later
+ * ones — it is detected and reported instead):
+ *
+ *   tag & 0x80          Bundle. Low bits: cls (0-3), taken (4),
+ *                       sequential-pc (5), count==1 (6). Fields, in
+ *                       order and only when needed: signed-varint PC
+ *                       delta from the expected next PC, varint count,
+ *                       signed-varint data-address delta (loads and
+ *                       stores), signed-varint target-minus-PC
+ *                       (branch classes).
+ *   0x01 Command        varint command id; also selects that command
+ *                       as the attribution target (mirroring
+ *                       Execution::beginCommand).
+ *   0x02 MemAccess      one logical memory-model access.
+ *   0x03 State          attribution change: category, memModel,
+ *                       native, system, and optionally the current
+ *                       command (covers resumeCommand).
+ *
+ * Chunk payloads may additionally be run-length encoded (codec 1)
+ * with a simple byte RLE when that makes them smaller; PC-sequential
+ * ALU bundles compress extremely well under it.
+ *
+ * Everything is little-endian and serialized explicitly; no structs
+ * are written raw.
+ */
+
+#ifndef INTERP_TRACEFILE_FORMAT_HH
+#define INTERP_TRACEFILE_FORMAT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace interp::tracefile {
+
+// --- file constants --------------------------------------------------------
+
+/** First eight bytes of every trace file. */
+constexpr char kMagic[8] = {'I', 'N', 'T', 'E', 'R', 'P', 'T', 'R'};
+
+/** Format version; readers reject anything else. */
+constexpr uint32_t kVersion = 1;
+
+/** Size of the fixed (pre-name) part of the file header. */
+constexpr size_t kFixedHeaderBytes = 80;
+
+/** Byte offset of the patched-on-finish region (flags..numChunks). */
+constexpr size_t kPatchOffset = 12;
+
+/** Header flag: the recorded run finished (did not hit its budget). */
+constexpr uint32_t kFlagRunFinished = 1u << 0;
+/** Header flag: finish() ran; totals are valid. Never set on a file
+ *  left behind by an aborted recording. */
+constexpr uint32_t kFlagFinalized = 1u << 1;
+
+// --- chunk constants -------------------------------------------------------
+
+constexpr uint32_t kChunkMagic = 0x4b4e4843; // "CHNK"
+constexpr size_t kChunkHeaderBytes = 32;
+
+constexpr uint8_t kChunkEvents = 0; ///< event payload
+constexpr uint8_t kChunkNames = 1;  ///< command-name table payload
+
+constexpr uint8_t kCodecRaw = 0;
+constexpr uint8_t kCodecRle = 1;
+
+/** Raw payload bytes at which the writer seals a chunk. */
+constexpr size_t kDefaultChunkBytes = 48 * 1024;
+
+/** Upper bound on any single chunk's raw or stored size; anything
+ *  larger is treated as corruption rather than allocated. */
+constexpr uint32_t kMaxChunkBytes = 64u * 1024 * 1024;
+
+/** Upper bound on header string lengths (lang, benchmark name). */
+constexpr uint32_t kMaxHeaderString = 4096;
+
+// --- event tags ------------------------------------------------------------
+
+constexpr uint8_t kTagCommand = 0x01;
+constexpr uint8_t kTagMemAccess = 0x02;
+constexpr uint8_t kTagState = 0x03;
+constexpr uint8_t kTagBundleBit = 0x80;
+
+constexpr uint8_t kBundleClsMask = 0x0f;
+constexpr uint8_t kBundleTakenBit = 0x10;
+constexpr uint8_t kBundleSeqPcBit = 0x20;
+constexpr uint8_t kBundleCountOneBit = 0x40;
+
+constexpr uint8_t kStateCatMask = 0x03;
+constexpr uint8_t kStateMemModelBit = 0x04;
+constexpr uint8_t kStateNativeBit = 0x08;
+constexpr uint8_t kStateSystemBit = 0x10;
+constexpr uint8_t kStateCommandBit = 0x20;
+
+// --- little-endian serialization ------------------------------------------
+
+void putU16(std::string &out, uint16_t v);
+void putU32(std::string &out, uint32_t v);
+void putU64(std::string &out, uint64_t v);
+
+/**
+ * Bounds-checked reads advancing @p p; return false instead of
+ * reading past @p end (the caller reports the truncation).
+ */
+bool getU16(const uint8_t *&p, const uint8_t *end, uint16_t &v);
+bool getU32(const uint8_t *&p, const uint8_t *end, uint32_t &v);
+bool getU64(const uint8_t *&p, const uint8_t *end, uint64_t &v);
+
+// --- varints ---------------------------------------------------------------
+
+/** LEB128 unsigned varint. */
+void putVarint(std::string &out, uint64_t v);
+bool getVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v);
+
+/** Zigzag mapping for signed deltas. */
+constexpr uint64_t
+zigzag(int64_t v)
+{
+    return ((uint64_t)v << 1) ^ (uint64_t)(v >> 63);
+}
+
+constexpr int64_t
+unzigzag(uint64_t v)
+{
+    return (int64_t)(v >> 1) ^ -(int64_t)(v & 1);
+}
+
+void putSVarint(std::string &out, int64_t v);
+bool getSVarint(const uint8_t *&p, const uint8_t *end, int64_t &v);
+
+// --- integrity and compression --------------------------------------------
+
+/** CRC-32 (IEEE 802.3 polynomial, as used by zip/png). */
+uint32_t crc32(const void *data, size_t len);
+
+/**
+ * Byte run-length encoding. Control byte c < 0x80: copy the next
+ * c + 1 literal bytes; c >= 0x80: repeat the next byte c - 0x80 + 3
+ * times. Chosen over a real LZ so the decoder is trivially
+ * bounds-checkable; the encoded stream never expands by more than
+ * 1/128 + 1 bytes.
+ */
+std::string rleCompress(const std::string &raw);
+
+/**
+ * Decode @p stored into @p out, which must come out to exactly
+ * @p expected_bytes. Returns false on any malformed input (truncated
+ * run, size mismatch) without reading out of bounds.
+ */
+bool rleDecompress(const uint8_t *stored, size_t stored_len,
+                   size_t expected_bytes, std::string &out);
+
+} // namespace interp::tracefile
+
+#endif // INTERP_TRACEFILE_FORMAT_HH

@@ -1,0 +1,316 @@
+#include "tracefile/reader.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+#include "tracefile/writer.hh" // CodecState, classHasMemAddr/Target
+
+namespace interp::tracefile {
+
+namespace {
+
+constexpr uint8_t kMaxInstClass = (uint8_t)trace::InstClass::Nop;
+constexpr uint8_t kMaxCategory = (uint8_t)trace::Category::Precompile;
+
+} // namespace
+
+void
+TraceReader::corrupt(const char *what)
+{
+    fatal("trace file %s: %s", path_.c_str(), what);
+}
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    in_.open(path_, std::ios::binary);
+    if (!in_)
+        fatal("cannot open trace file %s", path_.c_str());
+    in_.seekg(0, std::ios::end);
+    fileBytes_ = (uint64_t)in_.tellg();
+    in_.seekg(0);
+
+    char fixed[kFixedHeaderBytes];
+    in_.read(fixed, sizeof(fixed));
+    if (!in_)
+        corrupt("truncated header");
+    if (std::memcmp(fixed, kMagic, sizeof(kMagic)) != 0)
+        corrupt("bad magic (not a trace file)");
+    const uint8_t *p = (const uint8_t *)fixed + sizeof(kMagic);
+    const uint8_t *end = (const uint8_t *)fixed + sizeof(fixed);
+    uint32_t version = 0, flags = 0;
+    getU32(p, end, version);
+    getU32(p, end, flags);
+    if (version != kVersion)
+        fatal("trace file %s: format version %u, this build reads "
+              "version %u", path_.c_str(), version, kVersion);
+    if (!(flags & kFlagFinalized))
+        corrupt("not finalized (recording aborted?)");
+    meta_.finished = (flags & kFlagRunFinished) != 0;
+    getU64(p, end, meta_.programBytes);
+    getU64(p, end, meta_.commands);
+    getU64(p, end, meta_.totalEvents);
+    getU64(p, end, meta_.totalBundles);
+    getU64(p, end, meta_.totalInsts);
+    getU64(p, end, meta_.totalCommandEvents);
+    getU64(p, end, meta_.totalMemAccesses);
+    getU64(p, end, meta_.numChunks);
+
+    auto read_string = [this](std::string &out, const char *what) {
+        char len_buf[4];
+        in_.read(len_buf, 4);
+        if (!in_)
+            corrupt("truncated header");
+        const uint8_t *lp = (const uint8_t *)len_buf;
+        uint32_t len = 0;
+        getU32(lp, lp + 4, len);
+        if (len > kMaxHeaderString)
+            fatal("trace file %s: implausible %s length %u",
+                  path_.c_str(), what, len);
+        out.resize(len);
+        in_.read(out.data(), (std::streamsize)len);
+        if (!in_)
+            corrupt("truncated header");
+    };
+    read_string(meta_.lang, "language");
+    read_string(meta_.name, "benchmark name");
+    dataStart_ = (uint64_t)in_.tellg();
+    scanChunks();
+}
+
+ChunkInfo
+TraceReader::readChunkHeader(uint32_t &crc)
+{
+    ChunkInfo info;
+    info.offset = (uint64_t)in_.tellg();
+    char hdr[kChunkHeaderBytes];
+    in_.read(hdr, sizeof(hdr));
+    if (!in_)
+        corrupt("truncated chunk header");
+    const uint8_t *p = (const uint8_t *)hdr;
+    const uint8_t *end = p + sizeof(hdr);
+    uint32_t magic = 0;
+    uint16_t reserved = 0;
+    getU32(p, end, magic);
+    if (magic != kChunkMagic)
+        corrupt("bad chunk magic");
+    info.type = *p++;
+    info.codec = *p++;
+    getU16(p, end, reserved);
+    getU32(p, end, info.rawBytes);
+    getU32(p, end, info.storedBytes);
+    getU32(p, end, info.eventCount);
+    getU32(p, end, crc);
+    getU64(p, end, info.instCount);
+    if (info.type != kChunkEvents && info.type != kChunkNames)
+        corrupt("unknown chunk type");
+    if (info.codec != kCodecRaw && info.codec != kCodecRle)
+        corrupt("unknown chunk codec");
+    if (info.rawBytes > kMaxChunkBytes || info.storedBytes > kMaxChunkBytes)
+        corrupt("implausible chunk size");
+    if (info.offset + kChunkHeaderBytes + info.storedBytes > fileBytes_)
+        corrupt("truncated chunk payload");
+    return info;
+}
+
+std::pair<const uint8_t *, size_t>
+TraceReader::readChunkPayload(const ChunkInfo &info, uint32_t crc,
+                              std::string &stored, std::string &raw)
+{
+    stored.resize(info.storedBytes);
+    in_.read(stored.data(), (std::streamsize)info.storedBytes);
+    if (!in_)
+        corrupt("truncated chunk payload");
+    if (crc32(stored.data(), stored.size()) != crc)
+        corrupt("chunk CRC mismatch");
+    if (info.codec == kCodecRle) {
+        if (!rleDecompress((const uint8_t *)stored.data(), stored.size(),
+                           info.rawBytes, raw))
+            corrupt("chunk RLE payload undecodable");
+        return {(const uint8_t *)raw.data(), raw.size()};
+    }
+    if (stored.size() != info.rawBytes)
+        corrupt("chunk size fields disagree");
+    return {(const uint8_t *)stored.data(), stored.size()};
+}
+
+void
+TraceReader::scanChunks()
+{
+    std::string stored, raw;
+    for (uint64_t i = 0; i < meta_.numChunks; ++i) {
+        uint32_t crc = 0;
+        ChunkInfo info = readChunkHeader(crc);
+        if (info.type == kChunkNames) {
+            auto [payload, len] = readChunkPayload(info, crc, stored, raw);
+            decodeNames(payload, payload + len, info);
+        } else {
+            in_.seekg((std::streamoff)info.storedBytes, std::ios::cur);
+        }
+        chunks_.push_back(info);
+    }
+    if ((uint64_t)in_.tellg() != fileBytes_)
+        corrupt("trailing bytes after final chunk");
+}
+
+void
+TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
+                          const ChunkInfo &info,
+                          const std::vector<trace::Sink *> &sinks,
+                          EventTotals &totals)
+{
+    CodecState st;
+    uint64_t events = 0;
+    uint64_t insts = 0;
+    while (p < end) {
+        uint8_t tag = *p++;
+        if (tag & kTagBundleBit) {
+            uint8_t cls = tag & kBundleClsMask;
+            if (cls > kMaxInstClass)
+                corrupt("bundle with unknown instruction class");
+            trace::Bundle b;
+            b.cls = (trace::InstClass)cls;
+            b.taken = (tag & kBundleTakenBit) != 0;
+            if (tag & kBundleSeqPcBit) {
+                b.pc = st.nextPc;
+            } else {
+                int64_t delta;
+                if (!getSVarint(p, end, delta))
+                    corrupt("truncated bundle PC delta");
+                b.pc = (uint32_t)((int64_t)st.nextPc + delta);
+            }
+            if (tag & kBundleCountOneBit) {
+                b.count = 1;
+            } else {
+                uint64_t count;
+                if (!getVarint(p, end, count))
+                    corrupt("truncated bundle count");
+                if (count == 0 || count > 0xffffffffull)
+                    corrupt("bundle with implausible count");
+                b.count = (uint32_t)count;
+            }
+            if (classHasMemAddr(b.cls)) {
+                int64_t delta;
+                if (!getSVarint(p, end, delta))
+                    corrupt("truncated data-address delta");
+                b.memAddr = (uint32_t)((int64_t)st.lastMemAddr + delta);
+                st.lastMemAddr = b.memAddr;
+            }
+            if (classHasTarget(b.cls)) {
+                int64_t delta;
+                if (!getSVarint(p, end, delta))
+                    corrupt("truncated branch target");
+                b.target = (uint32_t)((int64_t)b.pc + delta);
+            }
+            b.cat = st.cat;
+            b.command = st.command;
+            b.memModel = st.memModel;
+            b.native = st.native;
+            b.system = st.system;
+            st.nextPc = b.pc + b.count * 4;
+            insts += b.count;
+            ++events;
+            ++totals.bundles;
+            for (trace::Sink *sink : sinks)
+                sink->onBundle(b);
+        } else if (tag == kTagCommand) {
+            uint64_t id;
+            if (!getVarint(p, end, id))
+                corrupt("truncated command event");
+            if (id > 0xffff)
+                corrupt("command id out of range");
+            st.command = (trace::CommandId)id;
+            ++events;
+            ++totals.commandEvents;
+            for (trace::Sink *sink : sinks)
+                sink->onCommand((trace::CommandId)id);
+        } else if (tag == kTagMemAccess) {
+            ++events;
+            ++totals.memAccesses;
+            for (trace::Sink *sink : sinks)
+                sink->onMemModelAccess();
+        } else if (tag == kTagState) {
+            if (p >= end)
+                corrupt("truncated state event");
+            uint8_t bits = *p++;
+            if ((bits & kStateCatMask) > kMaxCategory)
+                corrupt("state event with unknown category");
+            st.cat = (trace::Category)(bits & kStateCatMask);
+            st.memModel = (bits & kStateMemModelBit) != 0;
+            st.native = (bits & kStateNativeBit) != 0;
+            st.system = (bits & kStateSystemBit) != 0;
+            if (bits & kStateCommandBit) {
+                uint64_t id;
+                if (!getVarint(p, end, id))
+                    corrupt("truncated state command id");
+                if (id > 0xffff)
+                    corrupt("command id out of range");
+                st.command = (trace::CommandId)id;
+            }
+            ++events;
+        } else {
+            corrupt("unknown event tag");
+        }
+    }
+    if (events != info.eventCount)
+        corrupt("chunk event count does not match payload");
+    if (insts != info.instCount)
+        corrupt("chunk instruction count does not match payload");
+}
+
+void
+TraceReader::decodeNames(const uint8_t *p, const uint8_t *end,
+                         const ChunkInfo &info)
+{
+    uint64_t count;
+    if (!getVarint(p, end, count))
+        corrupt("truncated name table");
+    if (count != info.eventCount || count > 0x10000)
+        corrupt("implausible name-table size");
+    std::vector<std::string> names;
+    names.reserve((size_t)count);
+    for (uint64_t i = 0; i < count; ++i) {
+        uint64_t len;
+        if (!getVarint(p, end, len))
+            corrupt("truncated name table");
+        if (len > kMaxHeaderString || (uint64_t)(end - p) < len)
+            corrupt("truncated name table");
+        names.emplace_back((const char *)p, (size_t)len);
+        p += len;
+    }
+    if (p != end)
+        corrupt("trailing bytes in name table");
+    meta_.commandNames = std::move(names);
+}
+
+void
+TraceReader::replay(const std::vector<trace::Sink *> &sinks)
+{
+    in_.clear();
+    in_.seekg((std::streamoff)dataStart_);
+
+    uint64_t events = 0, insts = 0;
+    EventTotals totals;
+    std::string stored, raw;
+    for (uint64_t i = 0; i < meta_.numChunks; ++i) {
+        uint32_t crc = 0;
+        ChunkInfo info = readChunkHeader(crc);
+        auto [payload, len] = readChunkPayload(info, crc, stored, raw);
+        if (info.type == kChunkEvents) {
+            decodeEvents(payload, payload + len, info, sinks, totals);
+            events += info.eventCount;
+            insts += info.instCount;
+        } else {
+            decodeNames(payload, payload + len, info);
+        }
+    }
+
+    if ((uint64_t)in_.tellg() != fileBytes_)
+        corrupt("trailing bytes after final chunk");
+    if (events != meta_.totalEvents || insts != meta_.totalInsts ||
+        totals.bundles != meta_.totalBundles ||
+        totals.commandEvents != meta_.totalCommandEvents ||
+        totals.memAccesses != meta_.totalMemAccesses)
+        corrupt("file totals do not match decoded events");
+}
+
+} // namespace interp::tracefile

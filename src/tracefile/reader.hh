@@ -1,0 +1,125 @@
+/**
+ * @file
+ * TraceReader: streams a recorded .itr file back into trace::Sinks.
+ *
+ * This is the replay half of the paper's trace-driven methodology: a
+ * recorded event stream drives any combination of trace::Profile,
+ * sim::Machine and sim::CacheSweep with no interpreter in the loop,
+ * producing bit-identical counters to the live run that recorded it.
+ *
+ * Robustness contract: every malformed input — bad magic, unsupported
+ * version, a file left unfinalized by an aborted recording, truncated
+ * chunks, CRC mismatches, undecodable payloads, totals that do not
+ * add up — is reported through fatal() with a message naming the file
+ * and the defect. Under a ScopedFatalThrow (the suite runner installs
+ * one per job) that surfaces as a contained FatalError, never a crash
+ * or a silently wrong result.
+ */
+
+#ifndef INTERP_TRACEFILE_READER_HH
+#define INTERP_TRACEFILE_READER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tracefile/format.hh"
+#include "trace/events.hh"
+
+namespace interp::tracefile {
+
+/** Header metadata of one trace file. */
+struct TraceMeta
+{
+    std::string lang;     ///< harness::langName of the recorded run
+    std::string name;     ///< benchmark name
+    uint64_t programBytes = 0;
+    uint64_t commands = 0; ///< Measurement.commands of the run
+    bool finished = false; ///< the run did not hit its command budget
+    uint64_t totalEvents = 0;
+    uint64_t totalBundles = 0;
+    uint64_t totalInsts = 0;
+    uint64_t totalCommandEvents = 0;
+    uint64_t totalMemAccesses = 0;
+    uint64_t numChunks = 0;
+    /** Interned command names, from the trailing name-table chunk. */
+    std::vector<std::string> commandNames;
+};
+
+/** Summary of one chunk, for tracestat and tests. */
+struct ChunkInfo
+{
+    uint64_t offset = 0;    ///< file offset of the chunk header
+    uint8_t type = 0;       ///< kChunkEvents / kChunkNames
+    uint8_t codec = 0;      ///< kCodecRaw / kCodecRle
+    uint32_t rawBytes = 0;
+    uint32_t storedBytes = 0;
+    uint32_t eventCount = 0;
+    uint64_t instCount = 0;
+};
+
+/** Streaming decoder for one trace file. */
+class TraceReader
+{
+  public:
+    /**
+     * Opens @p path, validates the header, walks the chunk table
+     * (structure only — event payloads are not decoded) and loads the
+     * command-name table, so meta() and chunks() are complete without
+     * a replay(). fatal() on any defect.
+     */
+    explicit TraceReader(const std::string &path);
+
+    const TraceMeta &meta() const { return meta_; }
+    const std::string &path() const { return path_; }
+    uint64_t fileBytes() const { return fileBytes_; }
+
+    /**
+     * Decode the whole file, delivering every event to every sink in
+     * order. May be called repeatedly (each call re-reads from the
+     * first chunk). Verifies per-chunk CRCs and counts and the file
+     * totals; fatal() on any mismatch.
+     */
+    void replay(const std::vector<trace::Sink *> &sinks);
+
+    /** Per-chunk summaries (populated at open). */
+    const std::vector<ChunkInfo> &chunks() const { return chunks_; }
+
+  private:
+    /** Per-kind event counts accumulated across a replay pass. */
+    struct EventTotals
+    {
+        uint64_t bundles = 0;
+        uint64_t commandEvents = 0;
+        uint64_t memAccesses = 0;
+    };
+
+    [[noreturn]] void corrupt(const char *what);
+    /** Read and validate one chunk header at the current position. */
+    ChunkInfo readChunkHeader(uint32_t &crc);
+    /** Read, CRC-check and decompress a chunk payload into @p out;
+     *  returns the decoded span. */
+    std::pair<const uint8_t *, size_t>
+    readChunkPayload(const ChunkInfo &info, uint32_t crc,
+                     std::string &stored, std::string &raw);
+    /** Structure-only pass: index chunks, decode the name table. */
+    void scanChunks();
+    void decodeEvents(const uint8_t *p, const uint8_t *end,
+                      const ChunkInfo &info,
+                      const std::vector<trace::Sink *> &sinks,
+                      EventTotals &totals);
+    void decodeNames(const uint8_t *p, const uint8_t *end,
+                     const ChunkInfo &info);
+
+    std::string path_;
+    std::ifstream in_;
+    uint64_t fileBytes_ = 0;
+    uint64_t dataStart_ = 0;
+    TraceMeta meta_;
+    std::vector<ChunkInfo> chunks_;
+};
+
+} // namespace interp::tracefile
+
+#endif // INTERP_TRACEFILE_READER_HH

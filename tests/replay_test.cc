@@ -1,0 +1,238 @@
+/**
+ * @file
+ * End-to-end record/replay equivalence: for every execution mode of
+ * the study, a benchmark recorded with runOrReplay(--record) and then
+ * replayed from the tape must reproduce the live Measurement —
+ * profile counters, Table 3 machine cycles and stall breakdown, and
+ * the Figure 4 cache-sweep points — exactly. The doubles are derived
+ * deterministically from the same integer event stream on both paths,
+ * so equality here is bitwise, not approximate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/record_replay.hh"
+#include "harness/runner.hh"
+#include "sim/cache_sweep.hh"
+#include "support/logging.hh"
+#include "tracefile/reader.hh"
+
+namespace {
+
+using namespace interp;
+using namespace interp::harness;
+namespace fs = std::filesystem;
+
+std::string
+traceDir()
+{
+    fs::path dir = fs::path(::testing::TempDir()) / "interp_replay";
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+void
+expectSameProfile(const trace::Profile &live, const trace::Profile &tape)
+{
+    EXPECT_EQ(live.commands(), tape.commands());
+    EXPECT_EQ(live.instructions(), tape.instructions());
+    EXPECT_EQ(live.fetchDecodeInsts(), tape.fetchDecodeInsts());
+    EXPECT_EQ(live.executeInsts(), tape.executeInsts());
+    EXPECT_EQ(live.precompileInsts(), tape.precompileInsts());
+    EXPECT_EQ(live.nativeLibInsts(), tape.nativeLibInsts());
+    EXPECT_EQ(live.memModelInsts(), tape.memModelInsts());
+    EXPECT_EQ(live.systemInsts(), tape.systemInsts());
+    EXPECT_EQ(live.memModelAccesses(), tape.memModelAccesses());
+
+    const auto &lc = live.perCommand();
+    const auto &tc = tape.perCommand();
+    ASSERT_EQ(lc.size(), tc.size());
+    for (size_t i = 0; i < lc.size(); ++i) {
+        EXPECT_EQ(lc[i].retired, tc[i].retired) << "command " << i;
+        EXPECT_EQ(lc[i].fetchDecode, tc[i].fetchDecode)
+            << "command " << i;
+        EXPECT_EQ(lc[i].execute, tc[i].execute) << "command " << i;
+        EXPECT_EQ(lc[i].nativeLib, tc[i].nativeLib) << "command " << i;
+    }
+}
+
+void
+expectSameMeasurement(const Measurement &live, const Measurement &tape)
+{
+    EXPECT_EQ(live.programBytes, tape.programBytes);
+    EXPECT_EQ(live.commands, tape.commands);
+    EXPECT_EQ(live.cycles, tape.cycles);
+    EXPECT_EQ(live.finished, tape.finished);
+    EXPECT_EQ(live.commandNames, tape.commandNames);
+    // Bitwise equality: same integer stream, same arithmetic.
+    EXPECT_EQ(live.imissPer100, tape.imissPer100);
+    EXPECT_EQ(live.breakdown.busyPct, tape.breakdown.busyPct);
+    for (size_t i = 0; i < live.breakdown.stallPct.size(); ++i)
+        EXPECT_EQ(live.breakdown.stallPct[i],
+                  tape.breakdown.stallPct[i])
+            << "stall cause " << i;
+    expectSameProfile(live.profile, tape.profile);
+}
+
+/** Record spec into dir, replay it, and check both Measurements. */
+void
+roundTrip(BenchSpec spec)
+{
+    std::string dir = traceDir();
+    TraceIo record;
+    record.recordDir = dir;
+    TraceIo replay;
+    replay.replayDir = dir;
+
+    Measurement live = runOrReplay(spec, record);
+    Measurement tape = runOrReplay(spec, replay);
+    expectSameMeasurement(live, tape);
+
+    // Program stdout is deliberately not part of the trace format.
+    EXPECT_TRUE(tape.stdoutText.empty());
+}
+
+TEST(Replay, CByteIdentical)
+{
+    roundTrip(microBench(Lang::C, "a=b+c", 60));
+}
+
+TEST(Replay, MipsiByteIdentical)
+{
+    roundTrip(microBench(Lang::Mipsi, "a=b+c", 60));
+}
+
+TEST(Replay, JavaByteIdentical)
+{
+    roundTrip(microBench(Lang::Java, "string-split", 40));
+}
+
+TEST(Replay, PerlByteIdentical)
+{
+    roundTrip(microBench(Lang::Perl, "string-split", 40));
+}
+
+TEST(Replay, TclByteIdentical)
+{
+    roundTrip(microBench(Lang::Tcl, "string-split", 40));
+}
+
+TEST(Replay, CacheSweepMatchesLiveRun)
+{
+    // The bench_fig4 shape: the sweep rides along as an extra sink on
+    // both the live run and the replay; every (size, assoc) point must
+    // agree.
+    BenchSpec spec = microBench(Lang::Perl, "a=b+c", 40);
+    std::string dir = traceDir();
+    TraceIo record;
+    record.recordDir = dir;
+    TraceIo replay;
+    replay.replayDir = dir;
+
+    const std::vector<uint32_t> sizes = {8, 16, 32, 64};
+    const std::vector<uint32_t> assocs = {1, 2, 4};
+    sim::CacheSweep live_sweep(sizes, assocs);
+    sim::CacheSweep tape_sweep(sizes, assocs);
+
+    runOrReplay(spec, record, {&live_sweep}, nullptr, false);
+    runOrReplay(spec, replay, {&tape_sweep}, nullptr, false);
+
+    std::vector<sim::SweepPoint> live = live_sweep.results();
+    std::vector<sim::SweepPoint> tape = tape_sweep.results();
+    ASSERT_EQ(live.size(), tape.size());
+    EXPECT_EQ(live_sweep.instructions(), tape_sweep.instructions());
+    for (size_t i = 0; i < live.size(); ++i) {
+        EXPECT_EQ(live[i].misses, tape[i].misses) << "point " << i;
+        EXPECT_EQ(live[i].missesPer100Insts, tape[i].missesPer100Insts)
+            << "point " << i;
+    }
+}
+
+TEST(Replay, AlternateMachineConfigFromOneTape)
+{
+    // Record once, replay under a different machine configuration —
+    // the record-once/replay-many workflow. The replayed cycles must
+    // match a live run under that same configuration.
+    BenchSpec spec = microBench(Lang::Tcl, "if", 30);
+    std::string dir = traceDir();
+    TraceIo record;
+    record.recordDir = dir;
+    TraceIo replay;
+    replay.replayDir = dir;
+
+    sim::MachineConfig big;
+    big.icache.sizeBytes = 32 * 1024;
+    big.icache.assoc = 4;
+
+    Measurement live_default = runOrReplay(spec, record);
+    Measurement live_big = run(spec, {}, &big);
+    Measurement tape_default = runOrReplay(spec, replay);
+    Measurement tape_big = runOrReplay(spec, replay, {}, &big);
+
+    EXPECT_EQ(live_default.cycles, tape_default.cycles);
+    EXPECT_EQ(live_big.cycles, tape_big.cycles);
+    // Sanity: the sweep actually changes the answer, so the equality
+    // above is not vacuous.
+    EXPECT_NE(live_big.cycles, live_default.cycles);
+}
+
+TEST(Replay, WrongTapeForSpecIsFatal)
+{
+    BenchSpec recorded = microBench(Lang::Perl, "if", 20);
+    std::string dir = traceDir();
+    TraceIo record;
+    record.recordDir = dir;
+    runOrReplay(recorded, record);
+
+    BenchSpec other = microBench(Lang::Perl, "if", 20);
+    other.name = "something-else";
+    ScopedFatalThrow contain;
+    EXPECT_THROW(
+        replayTrace(traceFilePath(dir, recorded), other), FatalError);
+}
+
+TEST(Replay, MissingTapeIsFatal)
+{
+    BenchSpec spec = microBench(Lang::Perl, "if", 20);
+    TraceIo replay;
+    replay.replayDir = traceDir() + "/no-such-subdir";
+    ScopedFatalThrow contain;
+    EXPECT_THROW(runOrReplay(spec, replay), FatalError);
+}
+
+TEST(Replay, TraceFileNamesAreSanitized)
+{
+    BenchSpec spec;
+    spec.lang = Lang::Perl;
+    spec.name = "des+50 weird/name";
+    EXPECT_EQ(traceFileName(spec), "perl-des_50_weird_name.itr");
+    spec.name = "scaling-10";
+    spec.lang = Lang::C;
+    EXPECT_EQ(traceFileName(spec), "c-scaling-10.itr");
+}
+
+TEST(Replay, RecordedMetaDescribesTheRun)
+{
+    BenchSpec spec = microBench(Lang::Java, "if", 25);
+    std::string dir = traceDir();
+    TraceIo record;
+    record.recordDir = dir;
+    Measurement live = runOrReplay(spec, record);
+
+    tracefile::TraceReader reader(traceFilePath(dir, spec));
+    const tracefile::TraceMeta &meta = reader.meta();
+    EXPECT_EQ(meta.lang, langName(spec.lang));
+    EXPECT_EQ(meta.name, spec.name);
+    EXPECT_EQ(meta.programBytes, live.programBytes);
+    EXPECT_EQ(meta.commands, live.commands);
+    EXPECT_EQ(meta.finished, live.finished);
+    EXPECT_EQ(meta.totalInsts, live.profile.instructions());
+    EXPECT_EQ(meta.totalMemAccesses, live.profile.memModelAccesses());
+    EXPECT_EQ(meta.commandNames, live.commandNames);
+}
+
+} // namespace

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "support/logging.hh"
 #include "trace/code_registry.hh"
 #include "trace/execution.hh"
 #include "trace/profile.hh"
@@ -307,6 +308,30 @@ TEST(Execution, NestedRoutinesReturnToCaller)
     EXPECT_EQ(after.cls, InstClass::IntAlu);
     EXPECT_GE(after.pc, routine.base);
     EXPECT_LT(after.pc, routine.base + routine.sizeInsts * 4);
+}
+
+TEST(Execution, LateSinkAttachIsFatal)
+{
+    // A sink attached mid-run would silently miss the prefix of the
+    // stream (a partial trace recording, a wrong profile); the
+    // Execution seals its sink list at the first emitted event.
+    Execution exec;
+    Profile early;
+    exec.addSink(&early);
+    exec.alu(1);
+    Profile late;
+    interp::ScopedFatalThrow contain;
+    EXPECT_THROW(exec.addSink(&late), interp::FatalError);
+}
+
+TEST(Execution, LateSinkAttachAfterCommandIsFatal)
+{
+    Execution exec;
+    CommandSet set;
+    exec.beginCommand(set.intern("cmd"));
+    Profile late;
+    interp::ScopedFatalThrow contain;
+    EXPECT_THROW(exec.addSink(&late), interp::FatalError);
 }
 
 } // namespace
