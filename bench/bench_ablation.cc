@@ -28,33 +28,51 @@ using namespace interp::harness;
 namespace {
 
 void
-ablationSymtab(int jobs, const TraceIo &tio)
+ablationSymtab(int jobs, const TraceIo &tio, ModeSet modes)
 {
     std::printf("A. Tcl symbol-table size vs per-access cost "
                 "(paper: 206 at des-size to 514 at xf-size)\n");
     std::printf("   %-12s %14s %12s\n", "extra vars", "insts/access",
                 "cycles(x1k)");
     const std::vector<int> fillers = {0, 50, 150, 400, 800};
+    // Two passes when the remedy mode rides along; the baseline pass
+    // builds its specs exactly as it always did, so the driver's
+    // allocation sequence (and with it the deterministic heap's
+    // granule aliasing at --jobs 1) is unchanged by the mode's
+    // existence.
+    bool with_remedy = modes != ModeSet::Baseline;
+    int passes = with_remedy ? 2 : 1;
     std::vector<BenchSpec> specs;
-    for (int filler : fillers) {
-        std::string script;
-        for (int i = 0; i < filler; ++i)
-            script += "set filler" + std::to_string(i) + " 1\n";
-        script += loadProgram("tclish/des.tcl");
-        BenchSpec spec;
-        spec.lang = Lang::Tcl;
-        spec.name = "des+" + std::to_string(filler);
-        spec.source = script;
-        specs.push_back(std::move(spec));
+    for (int pass = 0; pass < passes; ++pass) {
+        for (int filler : fillers) {
+            std::string script;
+            for (int i = 0; i < filler; ++i)
+                script += "set filler" + std::to_string(i) + " 1\n";
+            script += loadProgram("tclish/des.tcl");
+            BenchSpec spec;
+            spec.lang = pass == 0 ? Lang::Tcl : Lang::TclBytecode;
+            spec.name = "des+" + std::to_string(filler);
+            spec.source = script;
+            specs.push_back(std::move(spec));
+        }
     }
     SuiteOptions opt;
     opt.jobs = jobs;
     opt.io = tio;
     std::vector<Measurement> results = runSuite(specs, opt);
-    for (size_t i = 0; i < results.size(); ++i)
-        std::printf("   %-12d %14.1f %12.0f\n", fillers[i],
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (i % fillers.size() == 0 && with_remedy)
+            std::printf("   [%s]\n", langName(specs[i].lang));
+        std::printf("   %-12d %14.1f %12.0f\n",
+                    fillers[i % fillers.size()],
                     results[i].profile.memModelCostPerAccess(),
                     results[i].cycles / 1000.0);
+    }
+    if (with_remedy)
+        std::printf("   (the symbol-table cost is execute-side work: "
+                    "per-access cost is identical in\n    bytecode "
+                    "mode, only the parse disappears from the "
+                    "cycles)\n");
     std::printf("\n");
 }
 
@@ -145,9 +163,10 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
+    ModeSet modes = parseModes(argc, argv);
     std::printf("Ablations for DESIGN.md's called-out design choices\n"
                 "====================================================\n\n");
-    ablationSymtab(jobs, tio);
+    ablationSymtab(jobs, tio, modes);
     ablationIcache(jobs, tio);
     ablationPrecompile(jobs, tio);
     return 0;

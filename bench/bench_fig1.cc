@@ -10,6 +10,7 @@
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/workloads.hh"
 
 using namespace interp;
 using namespace interp::harness;
@@ -19,6 +20,7 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
+    ModeSet modes = parseModes(argc, argv);
 
     std::printf("Figure 1: cumulative execute-instruction share of the "
                 "top-x virtual commands\n");
@@ -34,7 +36,8 @@ main(int argc, char **argv)
     opt.jobs = jobs;
     opt.withMachine = false;
     opt.io = tio;
-    for (const Measurement &m : runSuite(macroSuite(), opt)) {
+    for (const Measurement &m : runSuite(withModes(macroSuite(), modes),
+                                         opt)) {
         if (m.failed) {
             std::printf("%-6s %-10s failed: %s\n", langName(m.lang),
                         m.name.c_str(), m.error.c_str());

@@ -12,6 +12,7 @@
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/workloads.hh"
 
 using namespace interp;
 using namespace interp::harness;
@@ -21,6 +22,7 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
+    ModeSet modes = parseModes(argc, argv);
 
     std::printf("Figure 2: virtual-command and execute-instruction "
                 "distributions\n\n");
@@ -29,7 +31,8 @@ main(int argc, char **argv)
     opt.jobs = jobs;
     opt.withMachine = false;
     opt.io = tio;
-    for (const Measurement &m : runSuite(macroSuite(), opt)) {
+    for (const Measurement &m : runSuite(withModes(macroSuite(), modes),
+                                         opt)) {
         if (m.failed) {
             std::printf("--- %s / %s --- failed: %s\n", langName(m.lang),
                         m.name.c_str(), m.error.c_str());

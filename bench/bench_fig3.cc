@@ -38,6 +38,7 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
+    ModeSet modes = parseModes(argc, argv);
 
     std::printf("Figure 3: issue-slot breakdown on the Table 3 machine "
                 "(2-issue, 8K I/D L1, 512K L2)\n\n");
@@ -71,7 +72,7 @@ main(int argc, char **argv)
         specs.push_back(std::move(spec));
     }
     size_t num_native = specs.size();
-    for (BenchSpec &spec : macroSuite())
+    for (BenchSpec &spec : withModes(macroSuite(), modes))
         if (spec.lang != Lang::C) // C-des is already covered above
             specs.push_back(std::move(spec));
 

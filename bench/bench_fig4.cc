@@ -18,6 +18,7 @@
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/workloads.hh"
 #include "sim/cache_sweep.hh"
 
 using namespace interp;
@@ -28,6 +29,7 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
+    ModeSet modes = parseModes(argc, argv);
     const std::vector<uint32_t> sizes = {8, 16, 32, 64};
     const std::vector<uint32_t> assocs = {1, 2, 4};
 
@@ -42,10 +44,12 @@ main(int argc, char **argv)
                 "------------------------------------------------\n");
 
     std::vector<BenchSpec> specs;
-    for (BenchSpec &spec : macroSuite())
-        if (spec.lang == Lang::Java || spec.lang == Lang::Perl ||
-            spec.lang == Lang::Tcl)
+    for (BenchSpec &spec : withModes(macroSuite(), modes)) {
+        Lang base = baselineOf(spec.lang);
+        if (base == Lang::Java || base == Lang::Perl ||
+            base == Lang::Tcl)
             specs.push_back(std::move(spec));
+    }
 
     // One private sweep sink per job: each sees the same stream the
     // machine model would, with no cross-thread sharing. Under

@@ -12,6 +12,7 @@
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/workloads.hh"
 
 using namespace interp;
 using namespace interp::harness;
@@ -21,6 +22,7 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
+    ModeSet modes = parseModes(argc, argv);
 
     std::printf("Section 3.3: memory-model cost per interpreter\n\n");
     std::printf("%-6s %-10s %14s %14s %10s\n", "Lang", "Bench",
@@ -29,7 +31,7 @@ main(int argc, char **argv)
                 "-----\n");
 
     std::vector<BenchSpec> specs;
-    for (BenchSpec &spec : macroSuite())
+    for (BenchSpec &spec : withModes(macroSuite(), modes))
         if (spec.lang != Lang::C)
             specs.push_back(std::move(spec));
 

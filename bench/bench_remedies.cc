@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Measures the §5 fetch/decode remedies on the real interpreters.
+ *
+ * The paper's §5 claims that the fetch/decode overhead dominating
+ * MIPSI and Java in Table 2 "could be reduced by using threaded
+ * interpretation ... or binary translation". This driver runs each
+ * remedied interpreter (threaded MIPSI, quickened JVM, bytecode
+ * tclish) against its faithful baseline on the macro suite and prints
+ * the Table-2-style before/after split. By construction the execute
+ * stage of every remedy is the same code as the baseline's, so the
+ * whole improvement must appear in the fetch/decode column — the
+ * driver verifies the per-command execute counts are identical and
+ * flags any pair where they are not.
+ *
+ * `--json [file]` additionally writes the machine-readable
+ * BENCH_remedies.json (schema documented in EXPERIMENTS.md).
+ * `--jobs N` / `--record <dir>` / `--replay <dir>` behave as in the
+ * other drivers; output is byte-identical at any job count.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/parallel.hh"
+#include "harness/runner.hh"
+#include "support/strutil.hh"
+
+using namespace interp;
+using namespace interp::harness;
+
+namespace {
+
+/** Per-command retired+execute equality (fetch/decode excluded). */
+bool
+executeIdentical(const trace::Profile &base, const trace::Profile &remedy)
+{
+    const auto &a = base.perCommand();
+    const auto &b = remedy.perCommand();
+    size_t n = a.size() > b.size() ? a.size() : b.size();
+    for (size_t i = 0; i < n; ++i) {
+        trace::CommandStats sa = i < a.size() ? a[i] : trace::CommandStats{};
+        trace::CommandStats sb = i < b.size() ? b[i] : trace::CommandStats{};
+        if (sa.retired != sb.retired || sa.execute != sb.execute)
+            return false;
+    }
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = parseJobs(argc, argv);
+    TraceIo tio = parseTraceDirs(argc, argv);
+
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = i + 1 < argc ? argv[i + 1]
+                                     : "BENCH_remedies.json";
+            break;
+        }
+        if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+            break;
+        }
+    }
+
+    std::printf("Section 5: fetch/decode remedies on the real "
+                "interpreters\n");
+    std::printf("(each pair: faithful baseline vs remedy; execute/cmd "
+                "must match exactly)\n\n");
+    std::printf("%-15s %-10s %10s | %9s %8s %11s | %9s %8s %11s | %7s\n",
+                "Mode", "Benchmark", "VirtCmds", "f/d-base", "f/d-rem",
+                "(pre x1k)", "exec-base", "exec-rem", "cycles-sav",
+                "i/cmd-%");
+    std::printf("---------------------------------------------------------"
+                "--------------------------------------------------\n");
+
+    // One flat suite: baseline row immediately followed by its remedy
+    // row, so pair i is results[2i] / results[2i+1].
+    std::vector<BenchSpec> specs;
+    for (BenchSpec &spec : macroSuite()) {
+        Lang base = spec.lang;
+        Lang remedy = base == Lang::Mipsi  ? Lang::MipsiThreaded
+                      : base == Lang::Java ? Lang::JavaQuick
+                      : base == Lang::Tcl  ? Lang::TclBytecode
+                                           : base;
+        if (remedy == base)
+            continue;
+        BenchSpec rem = spec;
+        rem.lang = remedy;
+        specs.push_back(std::move(spec));
+        specs.push_back(std::move(rem));
+    }
+
+    SuiteOptions opt;
+    opt.jobs = jobs;
+    opt.io = tio;
+    std::vector<Measurement> results = runSuite(specs, opt);
+
+    std::string json = "{\n  \"schema\": \"interp-remedies-v1\",\n"
+                       "  \"pairs\": [\n";
+    bool first_json = true;
+    Lang last = Lang::C;
+    bool first_row = true;
+    int bad_pairs = 0;
+
+    for (size_t i = 0; i + 1 < results.size(); i += 2) {
+        const Measurement &base = results[i];
+        const Measurement &rem = results[i + 1];
+        if (base.failed || rem.failed) {
+            std::printf("%-15s %-10s failed: %s\n", langName(rem.lang),
+                        rem.name.c_str(),
+                        (base.failed ? base.error : rem.error).c_str());
+            ++bad_pairs;
+            continue;
+        }
+        if (!first_row && rem.lang != last)
+            std::printf("\n");
+        first_row = false;
+        last = rem.lang;
+
+        double fd_base = base.profile.fetchDecodePerCommand();
+        double fd_rem = rem.profile.fetchDecodePerCommand();
+        double ex_base = base.profile.executePerCommand();
+        double ex_rem = rem.profile.executePerCommand();
+        bool exec_ok = executeIdentical(base.profile, rem.profile) &&
+                       base.commands == rem.commands;
+        if (!exec_ok)
+            ++bad_pairs;
+
+        double ipc_base =
+            base.commands
+                ? (double)base.profile.userInstructions() / base.commands
+                : 0;
+        double ipc_rem =
+            rem.commands
+                ? (double)rem.profile.userInstructions() / rem.commands
+                : 0;
+        double reduction =
+            ipc_base > 0 ? 100.0 * (1.0 - ipc_rem / ipc_base) : 0;
+
+        std::printf("%-15s %-10s %10s | %9.1f %8.1f %11.1f | %9.1f %8.1f"
+                    " %11s | %6.1f%%%s\n",
+                    langName(rem.lang), rem.name.c_str(),
+                    sigThousands((double)rem.commands).c_str(), fd_base,
+                    fd_rem, rem.profile.precompileInsts() / 1000.0,
+                    ex_base, ex_rem,
+                    sigThousands((double)base.cycles -
+                                 (double)rem.cycles)
+                        .c_str(),
+                    reduction,
+                    exec_ok ? "" : "  [EXECUTE MISMATCH]");
+
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"baseline_lang\": \"%s\", \"remedy_lang\": \"%s\", "
+            "\"bench\": \"%s\",\n"
+            "     \"commands\": %llu,\n"
+            "     \"baseline\": {\"fd_per_cmd\": %.3f, \"exec_per_cmd\": "
+            "%.3f, \"insts\": %llu, \"cycles\": %llu},\n"
+            "     \"remedy\": {\"fd_per_cmd\": %.3f, \"exec_per_cmd\": "
+            "%.3f, \"insts\": %llu, \"cycles\": %llu, "
+            "\"precompile_insts\": %llu},\n"
+            "     \"execute_identical\": %s, \"insts_per_cmd_reduction_pct\""
+            ": %.2f}",
+            jsonEscape(langName(base.lang)).c_str(),
+            jsonEscape(langName(rem.lang)).c_str(),
+            jsonEscape(rem.name).c_str(),
+            (unsigned long long)rem.commands, fd_base, ex_base,
+            (unsigned long long)base.profile.userInstructions(),
+            (unsigned long long)base.cycles, fd_rem, ex_rem,
+            (unsigned long long)rem.profile.userInstructions(),
+            (unsigned long long)rem.cycles,
+            (unsigned long long)rem.profile.precompileInsts(),
+            exec_ok ? "true" : "false", reduction);
+        if (!first_json)
+            json += ",\n";
+        first_json = false;
+        json += buf;
+    }
+    json += "\n  ]\n}\n";
+
+    std::printf("\nReading the table: f/d per command drops (threading "
+                "~10x for MIPSI, quickening\n~2x for hot Java bytecodes, "
+                "compiled scripts ~10-100x for Tcl) while execute per\n"
+                "command is unchanged; the one-shot translation cost "
+                "appears as (pre). This is\nthe paper's §5 remedy claim "
+                "measured on the actual interpreters.\n");
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+    }
+    return bad_pairs == 0 ? 0 : 1;
+}

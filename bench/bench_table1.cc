@@ -12,6 +12,8 @@
  *
  * `--record <dir>` / `--replay <dir>` capture and replay the whole
  * micro cross product as binary traces (see record_replay.hh).
+ * `--modes=baseline|remedies|all` swaps in / adds the §5 remedy
+ * modes as extra columns against the same compiled-C baseline.
  */
 
 #include <cstdio>
@@ -20,6 +22,7 @@
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/workloads.hh"
 
 using namespace interp;
 using namespace interp::harness;
@@ -29,13 +32,34 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
-    const Lang kLangs[] = {Lang::C, Lang::Mipsi, Lang::Java, Lang::Perl,
-                           Lang::Tcl};
+    ModeSet modes = parseModes(argc, argv);
+
+    // Interpreted columns by mode; C is always the slowdown baseline.
+    std::vector<Lang> interp_langs;
+    switch (modes) {
+      case ModeSet::Baseline:
+        interp_langs = {Lang::Mipsi, Lang::Java, Lang::Perl, Lang::Tcl};
+        break;
+      case ModeSet::Remedies:
+        interp_langs = {Lang::MipsiThreaded, Lang::JavaQuick,
+                        Lang::TclBytecode};
+        break;
+      case ModeSet::All:
+        interp_langs = {Lang::Mipsi, Lang::Java, Lang::Perl, Lang::Tcl,
+                        Lang::MipsiThreaded, Lang::JavaQuick,
+                        Lang::TclBytecode};
+        break;
+    }
+    std::vector<Lang> all_langs = {Lang::C};
+    all_langs.insert(all_langs.end(), interp_langs.begin(),
+                     interp_langs.end());
 
     std::printf("Table 1: microbenchmark slowdowns relative to "
                 "compiled C (direct mode)\n\n");
-    std::printf("%-14s %10s %10s %10s %10s\n", "Benchmark", "MIPSI",
-                "Java", "Perl", "Tcl");
+    std::printf("%-14s", "Benchmark");
+    for (Lang lang : interp_langs)
+        std::printf(" %10s", langName(lang));
+    std::printf("\n");
     std::printf("--------------------------------------------------"
                 "-------\n");
 
@@ -43,7 +67,7 @@ main(int argc, char **argv)
     // results come back in spec order, so row assembly stays simple.
     std::vector<BenchSpec> specs;
     for (const std::string &op : microOps())
-        for (Lang lang : kLangs)
+        for (Lang lang : all_langs)
             specs.push_back(microBench(lang, op, microIterations(lang)));
     std::vector<Measurement> results = runSuiteWith(
         specs, jobs, [&tio](const BenchSpec &spec, size_t) {
@@ -53,7 +77,7 @@ main(int argc, char **argv)
     size_t next = 0;
     for (const std::string &op : microOps()) {
         std::map<Lang, double> cycles_per_iter;
-        for (Lang lang : kLangs) {
+        for (Lang lang : all_langs) {
             const Measurement &m = results[next++];
             if (m.failed) {
                 std::fprintf(stderr, "warn: %s/%s failed: %s\n",
@@ -68,11 +92,10 @@ main(int argc, char **argv)
                 (double)m.cycles / microIterations(lang);
         }
         double base = cycles_per_iter[Lang::C];
-        std::printf("%-14s %10.1f %10.1f %10.1f %10.1f\n", op.c_str(),
-                    cycles_per_iter[Lang::Mipsi] / base,
-                    cycles_per_iter[Lang::Java] / base,
-                    cycles_per_iter[Lang::Perl] / base,
-                    cycles_per_iter[Lang::Tcl] / base);
+        std::printf("%-14s", op.c_str());
+        for (Lang lang : interp_langs)
+            std::printf(" %10.1f", cycles_per_iter[lang] / base);
+        std::printf("\n");
     }
 
     std::printf("\nPaper reference (Table 1, optimized-C baseline):\n"

@@ -14,12 +14,15 @@
  * additionally captures each run as a binary trace; `--replay <dir>`
  * regenerates the table from previously recorded traces without
  * re-interpreting anything (again byte-identical).
+ * `--modes=baseline|remedies|all` additionally runs the §5 remedy
+ * modes (threaded MIPSI, quickened JVM, Tcl bytecode).
  */
 
 #include <cstdio>
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
+#include "harness/workloads.hh"
 #include "support/strutil.hh"
 
 using namespace interp;
@@ -30,6 +33,7 @@ main(int argc, char **argv)
 {
     int jobs = parseJobs(argc, argv);
     TraceIo tio = parseTraceDirs(argc, argv);
+    ModeSet modes = parseModes(argc, argv);
 
     std::printf("Table 2: baseline performance of the interpreters\n");
     std::printf("(counts in units of 10^3, as in the paper)\n\n");
@@ -48,7 +52,8 @@ main(int argc, char **argv)
 
     Lang last = Lang::C;
     bool first = true;
-    for (const Measurement &m : runSuite(macroSuite(), opt)) {
+    for (const Measurement &m : runSuite(withModes(macroSuite(), modes),
+                                         opt)) {
         if (m.failed) {
             std::printf("%-6s %-10s failed: %s\n", langName(m.lang),
                         m.name.c_str(), m.error.c_str());

@@ -6,6 +6,7 @@
 #include "minic/compile.hh"
 #include "mipsi/direct.hh"
 #include "mipsi/mipsi.hh"
+#include "mipsi/threaded.hh"
 #include "perlish/interp.hh"
 #include "support/logging.hh"
 #include "support/strutil.hh"
@@ -24,8 +25,28 @@ langName(Lang lang)
       case Lang::Java: return "Java";
       case Lang::Perl: return "Perl";
       case Lang::Tcl: return "Tcl";
+      case Lang::MipsiThreaded: return "MIPSI-threaded";
+      case Lang::JavaQuick: return "Java-quick";
+      case Lang::TclBytecode: return "Tcl-bytecode";
       default: return "?";
     }
+}
+
+Lang
+baselineOf(Lang lang)
+{
+    switch (lang) {
+      case Lang::MipsiThreaded: return Lang::Mipsi;
+      case Lang::JavaQuick: return Lang::Java;
+      case Lang::TclBytecode: return Lang::Tcl;
+      default: return lang;
+    }
+}
+
+bool
+isRemedy(Lang lang)
+{
+    return baselineOf(lang) != lang;
 }
 
 Measurement
@@ -113,6 +134,39 @@ run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
         collect_names(vm.commandSet());
         break;
       }
+      case Lang::MipsiThreaded: {
+        auto image = spec.image ? *spec.image
+                                : minic::compileMips(spec.source,
+                                                     spec.name);
+        m.programBytes = image.sizeBytes();
+        mipsi::ThreadedMipsi vm(exec, fs);
+        vm.load(image);
+        auto r = vm.run(spec.maxCommands);
+        m.finished = r.exited;
+        m.commands = r.commands;
+        collect_names(vm.commandSet());
+        break;
+      }
+      case Lang::JavaQuick: {
+        auto module = minic::compileBytecode(spec.source, spec.name);
+        m.programBytes = module.sizeBytes();
+        jvm::Vm vm(exec, fs, /*quick=*/true);
+        vm.load(module);
+        auto r = vm.run(spec.maxCommands);
+        m.finished = r.exited;
+        m.commands = r.commands;
+        collect_names(vm.commandSet());
+        break;
+      }
+      case Lang::TclBytecode: {
+        m.programBytes = spec.source.size();
+        tclish::TclInterp vm(exec, fs, /*bytecode=*/true);
+        auto r = vm.run(spec.source, spec.maxCommands);
+        m.finished = r.exited;
+        m.commands = r.commands;
+        collect_names(vm.commandSet());
+        break;
+      }
     }
 
     m.cycles = machine.cycles();
@@ -185,8 +239,9 @@ microIterations(Lang lang)
 {
     // Scaled so no microbenchmark takes more than a couple of seconds
     // of host time; slowdowns are per-iteration ratios, so the counts
-    // need not match across languages.
-    switch (lang) {
+    // need not match across languages. Remedy modes use their
+    // baseline's counts so the pairs stay directly comparable.
+    switch (baselineOf(lang)) {
       case Lang::C: return 20000;
       case Lang::Mipsi: return 3000;
       case Lang::Java: return 5000;
@@ -533,7 +588,7 @@ microBench(Lang lang, const std::string &op, int iterations)
     spec.lang = lang;
     spec.name = op;
     spec.needsInputs = op == "read";
-    switch (lang) {
+    switch (baselineOf(lang)) {
       case Lang::C:
       case Lang::Mipsi:
         spec.image = microAsmKernel(op, iterations);
@@ -546,6 +601,8 @@ microBench(Lang lang, const std::string &op, int iterations)
         break;
       case Lang::Tcl:
         spec.source = tclMicro(op, iterations);
+        break;
+      default:
         break;
     }
     return spec;

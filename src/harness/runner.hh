@@ -21,7 +21,13 @@
 
 namespace interp::harness {
 
-/** The execution modes of the study. */
+/**
+ * The execution modes of the study: the five faithful baselines, plus
+ * the three §5 fetch/decode remedies as opt-in variants. Each remedy
+ * runs the same programs as its baseline with identical per-command
+ * execute attribution; only fetch/decode (and a one-shot Precompile
+ * charge) differ.
+ */
 enum class Lang : uint8_t
 {
     C,     ///< compiled MiniC, direct execution (the baseline)
@@ -29,9 +35,19 @@ enum class Lang : uint8_t
     Java,  ///< MiniC compiled to bytecode, run on the JVM-like VM
     Perl,  ///< perlish source
     Tcl,   ///< tclish source
+    MipsiThreaded, ///< MIPSI with predecoded direct threading (§5)
+    JavaQuick,     ///< JVM with bytecode quickening (§5)
+    TclBytecode,   ///< tclish with Tcl 8.0-style compiled scripts (§5)
 };
 
 const char *langName(Lang lang);
+
+/** The baseline a remedy mode is measured against (identity for the
+ *  five baseline modes). */
+Lang baselineOf(Lang lang);
+
+/** True for the three §5 remedy modes. */
+bool isRemedy(Lang lang);
 
 /** One benchmark to run. */
 struct BenchSpec

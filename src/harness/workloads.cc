@@ -43,6 +43,65 @@ loadProgram(const std::string &relative_path)
     return buffer.str();
 }
 
+// --- execution-mode selection ------------------------------------------
+
+namespace {
+
+/** The remedy variant of @p lang, or @p lang if it has none. */
+Lang
+remedyOf(Lang lang)
+{
+    switch (lang) {
+      case Lang::Mipsi: return Lang::MipsiThreaded;
+      case Lang::Java: return Lang::JavaQuick;
+      case Lang::Tcl: return Lang::TclBytecode;
+      default: return lang;
+    }
+}
+
+} // namespace
+
+ModeSet
+parseModes(int argc, char **argv)
+{
+    const std::string prefix = "--modes=";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        std::string value = arg.substr(prefix.size());
+        if (value == "baseline")
+            return ModeSet::Baseline;
+        if (value == "remedies")
+            return ModeSet::Remedies;
+        if (value == "all")
+            return ModeSet::All;
+        fatal("unknown --modes value '%s' (want baseline|remedies|all)",
+              value.c_str());
+    }
+    return ModeSet::Baseline;
+}
+
+std::vector<BenchSpec>
+withModes(std::vector<BenchSpec> suite, ModeSet mode)
+{
+    if (mode == ModeSet::Baseline)
+        return suite;
+    size_t base_rows = suite.size();
+    std::vector<BenchSpec> out = std::move(suite);
+    for (size_t i = 0; i < base_rows; ++i) {
+        Lang remedy = remedyOf(out[i].lang);
+        if (remedy == out[i].lang)
+            continue;
+        BenchSpec copy = out[i];
+        copy.lang = remedy;
+        out.push_back(std::move(copy));
+    }
+    if (mode == ModeSet::Remedies)
+        out.erase(out.begin(), out.begin() + (ptrdiff_t)base_rows);
+    return out;
+}
+
 std::string
 compressInput(size_t approx_bytes)
 {

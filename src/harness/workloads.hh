@@ -11,13 +11,46 @@
 #define INTERP_HARNESS_WORKLOADS_HH
 
 #include <string>
+#include <vector>
 
+#include "harness/runner.hh"
 #include "vfs/vfs.hh"
 
 namespace interp::harness {
 
 /** Read a program source from the repository's programs/ directory. */
 std::string loadProgram(const std::string &relative_path);
+
+// --- execution-mode selection ------------------------------------------
+
+/** Which execution modes a bench driver should run. */
+enum class ModeSet : uint8_t
+{
+    Baseline, ///< the five faithful modes only (the default)
+    Remedies, ///< only the three §5 remedy modes
+    All,      ///< baselines first, then the remedy modes
+};
+
+/**
+ * Parse a `--modes=baseline|remedies|all` argument if present
+ * (fatal on an unknown value); other arguments are left alone.
+ */
+ModeSet parseModes(int argc, char **argv);
+
+/**
+ * Expand @p suite for @p mode: Baseline returns it unchanged;
+ * Remedies keeps only rows whose language has a §5 remedy, retargeted
+ * to the remedy mode; All appends the remedy rows after the
+ * baselines. Row order within a language is preserved.
+ *
+ * Takes the suite by value so `withModes(macroSuite(), modes)` in the
+ * default Baseline case is a pure move — the driver's allocation
+ * sequence (which the deterministic heap, and hence simulated data
+ * aliasing at `--jobs 1`, depends on) is exactly what it was without
+ * the call.
+ */
+std::vector<BenchSpec> withModes(std::vector<BenchSpec> suite,
+                                 ModeSet mode);
 
 /** Text with word-level redundancy, good for LZW (compress.in). */
 std::string compressInput(size_t approx_bytes);

@@ -59,6 +59,15 @@ const char *bcName(Bc op);
 struct Insn
 {
     Bc op = Bc::Return;
+    /**
+     * Set once by the quickening pass (jvm-quick mode) when this
+     * instruction has been rewritten into its operand-resolved form;
+     * the interpreter then takes the short fetch/decode path. Never
+     * set in baseline mode. Lives in the padding byte after `op` so
+     * sizeof(Insn) — and with it the code arrays' data layout the
+     * simulator sees — is unchanged from the pre-quickening format.
+     */
+    bool quick = false;
     int32_t a = 0; ///< immediate / slot / field / target / callee
 };
 

@@ -14,8 +14,9 @@ constexpr uint32_t kStackSlots = 1u << 16;
 constexpr uint32_t kLocalSlots = 1u << 16;
 } // namespace
 
-Vm::Vm(trace::Execution &exec_, vfs::FileSystem &fs_)
-    : exec(exec_), fs(fs_), heap_(exec_), native(exec_, fs_)
+Vm::Vm(trace::Execution &exec_, vfs::FileSystem &fs_, bool quick)
+    : exec(exec_), fs(fs_), heap_(exec_), native(exec_, fs_),
+      quickMode(quick)
 {
     auto &code = exec.code();
     rLoop = code.registerRoutine("jvm.loop", 80);
@@ -27,6 +28,10 @@ Vm::Vm(trace::Execution &exec_, vfs::FileSystem &fs_)
     rInvoke = code.registerRoutine("jvm.op.invoke", 128);
     rNative = code.registerRoutine("jvm.op.native", 96);
     rNew = code.registerRoutine("jvm.op.new", 64);
+    // Only in quick mode, so the baseline VM's synthetic code layout
+    // is unchanged by the existence of the quickening pass.
+    if (quickMode)
+        rQuicken = code.registerRoutine("jvm.quicken", 64);
 
     for (size_t i = 0; i < (size_t)Bc::NumOps; ++i)
         bcCommand[i] = commands.intern(bcName((Bc)i));
@@ -131,6 +136,46 @@ Vm::pushFrame(int func_id)
     frames.push_back(frame);
 }
 
+bool
+Vm::quickenable(Bc op)
+{
+    switch (op) {
+      case Bc::IConst: case Bc::LdcStr: case Bc::ILoad: case Bc::IStore:
+      case Bc::GetStatic: case Bc::PutStatic:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+Vm::quicken(Insn &insn)
+{
+    // Rewriting an instruction that already carries its quickened
+    // encoding would mutate executed code a second time — a recorded
+    // trace could no longer match a fresh run. Contained fatal.
+    if (insn.quick)
+        fatal("jvm-quick: rewriting already-quickened bytecode "
+              "(code mutated after first execution)");
+    CategoryScope pre(exec, Category::Precompile);
+    RoutineScope r(exec, rQuicken);
+    exec.alu(6);       // resolve operand, select quickened form
+    insn.quick = true;
+    exec.store(&insn); // in-place rewrite
+}
+
+void
+Vm::debugQuicken(int func_id, uint32_t pc)
+{
+    if (func_id < 0 || (size_t)func_id >= moduleStorage.funcs.size())
+        fatal("jvm: debugQuicken: bad function id %d", func_id);
+    FuncDesc &fn = moduleStorage.funcs[func_id];
+    if (pc >= fn.code.size())
+        fatal("jvm: debugQuicken: pc %u out of range in %s", pc,
+              fn.name.c_str());
+    quicken(fn.code[pc]);
+}
+
 int32_t
 Vm::staticValue(const std::string &name) const
 {
@@ -155,7 +200,18 @@ Vm::run(uint64_t max_commands)
         const Insn &insn = fn.code[frame.pc];
 
         // ---- fetch & decode: uniform and cheap (the JVM way) ----------
-        {
+        if (quickMode && insn.quick) {
+            // Quickened form: operands were resolved inline by the
+            // rewrite, so fetch skips the dispatch-table indirection
+            // and most of the operand decode (§5 remedy).
+            CategoryScope fd(exec, Category::FetchDecode);
+            RoutineScope loop(exec, rLoop);
+            exec.alu(2);                       // loop bookkeeping
+            exec.load(&fn.code[frame.pc]);     // bytecode fetch
+            exec.shortInt(1);                  // opcode extract
+            exec.branch(false);                // bounds/halt test
+            exec.alu(1);                       // direct dispatch
+        } else {
             CategoryScope fd(exec, Category::FetchDecode);
             RoutineScope loop(exec, rLoop);
             exec.alu(3);                       // loop bookkeeping
@@ -165,6 +221,8 @@ Vm::run(uint64_t max_commands)
             exec.load(&dispatchTable[(size_t)insn.op]);
             exec.alu(6);   // operand decode, pc bounds, quickening check
         }
+        if (quickMode && !insn.quick && quickenable(insn.op))
+            quicken(moduleStorage.funcs[frame.funcId].code[frame.pc]);
         exec.beginCommand(bcCommand[(size_t)insn.op]);
         ++result.commands;
         ++frame.pc;

@@ -32,7 +32,16 @@ namespace interp::jvm {
 class Vm
 {
   public:
-    Vm(trace::Execution &exec, vfs::FileSystem &fs);
+    /**
+     * @p quick enables the jvm-quick execution mode (§5 remedy):
+     * quickenable bytecodes (const loads, local and static field
+     * access) are rewritten in place into operand-resolved forms at
+     * first execution, after which their fetch/decode path is about
+     * half the baseline cost. The rewrite itself is charged to the
+     * Precompile category; the execute stage is shared with baseline
+     * mode, so per-command execute attribution is identical.
+     */
+    Vm(trace::Execution &exec, vfs::FileSystem &fs, bool quick = false);
 
     /** Load a module (copied): allocates statics, resets frames. */
     void load(const Module &module);
@@ -54,6 +63,13 @@ class Vm
     /** Value of static field @p name (tests). */
     int32_t staticValue(const std::string &name) const;
 
+    /**
+     * Test hook: force-quicken the instruction at @p pc in function
+     * @p func_id. Quickening an already-quickened instruction is a
+     * post-first-event code mutation and raises a contained fatal().
+     */
+    void debugQuicken(int func_id, uint32_t pc);
+
   private:
     struct Frame
     {
@@ -69,6 +85,12 @@ class Vm
     int32_t pop();
 
     void pushFrame(int func_id);
+
+    /** Is @p op a rewrite candidate in quick mode? */
+    static bool quickenable(Bc op);
+
+    /** Rewrite @p insn into its quickened form (charged Precompile). */
+    void quicken(Insn &insn);
 
     static void scanRoots(void *ctx,
                           std::vector<const int32_t *> &ranges,
@@ -103,6 +125,12 @@ class Vm
 
     uint32_t dispatchTable[(size_t)Bc::NumOps] = {};
     std::vector<int32_t> stringRefs; ///< interned LdcStr arrays
+
+    // Quick-mode state, declared last: baseline members (notably the
+    // emitted &dispatchTable addresses) keep the exact offsets and
+    // granule alignment they had before the mode existed.
+    trace::RoutineId rQuicken = 0;
+    bool quickMode = false;
 };
 
 } // namespace interp::jvm

@@ -67,13 +67,16 @@ class BcGen
     void
     emit(Bc op, int32_t a = 0)
     {
-        code.push_back({op, a});
+        Insn insn;
+        insn.op = op;
+        insn.a = a;
+        code.push_back(insn);
     }
 
     size_t
     emitBranchPlaceholder(Bc op)
     {
-        code.push_back({op, -1});
+        emit(op, -1);
         return code.size() - 1;
     }
 

@@ -71,6 +71,126 @@ Mipsi::emitTranslate(uint32_t guest_addr)
     exec.alu(1);                           // epilogue
 }
 
+Mipsi::HClass
+Mipsi::handlerClass(mips::Op op)
+{
+    switch (op) {
+      case mips::Op::Lb: case mips::Op::Lbu: case mips::Op::Lh:
+      case mips::Op::Lhu: case mips::Op::Lw: case mips::Op::Sb:
+      case mips::Op::Sh: case mips::Op::Sw:
+        return HClass::Mem;
+      case mips::Op::Sll: case mips::Op::Srl: case mips::Op::Sra:
+      case mips::Op::Sllv: case mips::Op::Srlv: case mips::Op::Srav:
+        return HClass::Shift;
+      case mips::Op::Beq: case mips::Op::Bne: case mips::Op::Blez:
+      case mips::Op::Bgtz: case mips::Op::Bltz: case mips::Op::Bgez:
+        return HClass::Branch;
+      case mips::Op::J: case mips::Op::Jal: case mips::Op::Jr:
+      case mips::Op::Jalr:
+        return HClass::Jump;
+      case mips::Op::Mult: case mips::Op::Multu: case mips::Op::Div:
+      case mips::Op::Divu: case mips::Op::Mfhi: case mips::Op::Mflo:
+      case mips::Op::Mthi: case mips::Op::Mtlo:
+        return HClass::MulDiv;
+      case mips::Op::Syscall:
+        return HClass::Syscall;
+      default:
+        return HClass::Alu;
+    }
+}
+
+trace::RoutineId
+Mipsi::handlerRoutine(HClass cls) const
+{
+    switch (cls) {
+      case HClass::Mem: return rMem;
+      case HClass::Shift: return rShift;
+      case HClass::Branch: return rBranch;
+      case HClass::Jump: return rJump;
+      case HClass::MulDiv: return rMulDiv;
+      case HClass::Syscall: return rSyscall;
+      case HClass::Alu: return rAlu;
+    }
+    panic("mipsi: bad handler class");
+}
+
+bool
+Mipsi::executeInst(const mips::Inst &inst, uint32_t word, uint32_t pc,
+                   trace::RoutineId handler, RunResult &result,
+                   StepInfo &info)
+{
+    // The retired virtual command is the guest mnemonic.
+    exec.beginCommand(opCommand[(size_t)inst.op]);
+    ++result.commands;
+
+    exec.dispatch(handler);
+
+    // Pre-access page-table translation for loads/stores must be
+    // charged before the guest access; compute the address the
+    // same way the handler would.
+    if (handler == rMem) {
+        uint32_t addr = state.regs[inst.rs] + (uint32_t)(int32_t)inst.imm;
+        MemModelScope mm(exec);
+        exec.noteMemModelAccess();
+        emitTranslate(addr);
+    }
+
+    info = stepCpu(state, mem, inst);
+
+    // Register-file traffic (interpreter state is ordinary data).
+    exec.load(&state.regs[inst.rs]);
+    exec.load(&state.regs[inst.rt]);
+
+    if (info.badInst)
+        fatal("mipsi: invalid instruction 0x%08x at pc 0x%08x",
+              word, pc);
+
+    switch (info.mem) {
+      case StepInfo::Mem::Load:
+        exec.loadAt(kGuestDataBit | info.memAddr);
+        if (info.memSize < 4)
+            exec.shortInt(2); // extract/extend sub-word
+        exec.store(&state.regs[inst.rt]);
+        break;
+      case StepInfo::Mem::Store:
+        if (info.memSize < 4)
+            exec.shortInt(2); // merge sub-word
+        exec.storeAt(kGuestDataBit | info.memAddr);
+        break;
+      case StepInfo::Mem::None:
+        if (info.isCondBranch) {
+            exec.alu(2);               // compare operands
+            exec.branch(info.taken);   // interpreter mirrors outcome
+            exec.alu(1);               // update simulated npc
+        } else if (info.isJump) {
+            exec.alu(3);               // compute target, link reg
+            exec.store(&state.regs[31]);
+        } else if (info.isMultDiv) {
+            exec.floatOp(1);           // long-latency integer op
+            exec.alu(2);
+            exec.store(&state.hi);
+        } else if (info.isSyscall) {
+            exec.alu(4);               // marshal args
+        } else {
+            exec.alu(2);               // the ALU operation itself
+            exec.store(&state.regs[inst.rd ? inst.rd : inst.rt]);
+        }
+        break;
+    }
+
+    exec.endDispatch();
+
+    if (info.isSyscall) {
+        auto sys = syscalls->handle(state);
+        if (sys.exited) {
+            result.exited = true;
+            result.exitCode = sys.exitCode;
+            return true;
+        }
+    }
+    return false;
+}
+
 Mipsi::RunResult
 Mipsi::run(uint64_t max_commands)
 {
@@ -108,108 +228,12 @@ Mipsi::run(uint64_t max_commands)
             fatal("mipsi: invalid instruction 0x%08x at pc 0x%08x",
                   word, pc);
 
-        // The retired virtual command is the guest mnemonic.
-        exec.beginCommand(opCommand[(size_t)inst.op]);
-        ++result.commands;
-
         // ---- execute -----------------------------------------------------
-        trace::RoutineId handler;
-        switch (inst.op) {
-          case mips::Op::Lb: case mips::Op::Lbu: case mips::Op::Lh:
-          case mips::Op::Lhu: case mips::Op::Lw: case mips::Op::Sb:
-          case mips::Op::Sh: case mips::Op::Sw:
-            handler = rMem;
+        StepInfo info;
+        if (executeInst(inst, word, pc,
+                        handlerRoutine(handlerClass(inst.op)), result,
+                        info))
             break;
-          case mips::Op::Sll: case mips::Op::Srl: case mips::Op::Sra:
-          case mips::Op::Sllv: case mips::Op::Srlv: case mips::Op::Srav:
-            handler = rShift;
-            break;
-          case mips::Op::Beq: case mips::Op::Bne: case mips::Op::Blez:
-          case mips::Op::Bgtz: case mips::Op::Bltz: case mips::Op::Bgez:
-            handler = rBranch;
-            break;
-          case mips::Op::J: case mips::Op::Jal: case mips::Op::Jr:
-          case mips::Op::Jalr:
-            handler = rJump;
-            break;
-          case mips::Op::Mult: case mips::Op::Multu: case mips::Op::Div:
-          case mips::Op::Divu: case mips::Op::Mfhi: case mips::Op::Mflo:
-          case mips::Op::Mthi: case mips::Op::Mtlo:
-            handler = rMulDiv;
-            break;
-          case mips::Op::Syscall:
-            handler = rSyscall;
-            break;
-          default:
-            handler = rAlu;
-            break;
-        }
-
-        exec.dispatch(handler);
-
-        // Pre-access page-table translation for loads/stores must be
-        // charged before the guest access; compute the address the
-        // same way the handler would.
-        if (handler == rMem) {
-            uint32_t addr = state.regs[inst.rs] + (uint32_t)(int32_t)inst.imm;
-            MemModelScope mm(exec);
-            exec.noteMemModelAccess();
-            emitTranslate(addr);
-        }
-
-        StepInfo info = stepCpu(state, mem, inst);
-
-        // Register-file traffic (interpreter state is ordinary data).
-        exec.load(&state.regs[inst.rs]);
-        exec.load(&state.regs[inst.rt]);
-
-        if (info.badInst)
-            fatal("mipsi: invalid instruction 0x%08x at pc 0x%08x",
-                  word, pc);
-
-        switch (info.mem) {
-          case StepInfo::Mem::Load:
-            exec.loadAt(kGuestDataBit | info.memAddr);
-            if (info.memSize < 4)
-                exec.shortInt(2); // extract/extend sub-word
-            exec.store(&state.regs[inst.rt]);
-            break;
-          case StepInfo::Mem::Store:
-            if (info.memSize < 4)
-                exec.shortInt(2); // merge sub-word
-            exec.storeAt(kGuestDataBit | info.memAddr);
-            break;
-          case StepInfo::Mem::None:
-            if (info.isCondBranch) {
-                exec.alu(2);               // compare operands
-                exec.branch(info.taken);   // interpreter mirrors outcome
-                exec.alu(1);               // update simulated npc
-            } else if (info.isJump) {
-                exec.alu(3);               // compute target, link reg
-                exec.store(&state.regs[31]);
-            } else if (info.isMultDiv) {
-                exec.floatOp(1);           // long-latency integer op
-                exec.alu(2);
-                exec.store(&state.hi);
-            } else if (info.isSyscall) {
-                exec.alu(4);               // marshal args
-            } else {
-                exec.alu(2);               // the ALU operation itself
-                exec.store(&state.regs[inst.rd ? inst.rd : inst.rt]);
-            }
-            break;
-        }
-
-        exec.endDispatch();
-
-        if (info.isSyscall) {
-            auto sys = syscalls->handle(state);
-            if (sys.exited) {
-                result.exited = true;
-                result.exitCode = sys.exitCode;
-                break;
-            }
-        }
     }
     return result;
 }

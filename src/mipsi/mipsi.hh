@@ -56,6 +56,12 @@ class Mipsi
     /**
      * Interpret until the guest exits or @p max_commands commands have
      * been retired.
+     *
+     * load()/run() are deliberately non-virtual: both cores are always
+     * used as concrete types (the harness picks one per Lang), and a
+     * vtable pointer would shift every data member's 16-byte-granule
+     * alignment and perturb the baseline's simulated cache behaviour.
+     * ThreadedMipsi shadows these two methods instead of overriding.
      */
     RunResult run(uint64_t max_commands = UINT64_MAX);
 
@@ -65,7 +71,32 @@ class Mipsi
     GuestMemory &memory() { return mem; }
     CpuState &cpu() { return state; }
 
-  private:
+  protected:
+    /**
+     * Handler classes: which stretch of interpreter code executes an
+     * opcode. The switch core resolves the class per trip; the
+     * threaded core predecodes it (see threaded.hh).
+     */
+    enum class HClass : uint8_t
+    {
+        Alu, Shift, Mem, Branch, Jump, MulDiv, Syscall,
+    };
+
+    static HClass handlerClass(mips::Op op);
+    trace::RoutineId handlerRoutine(HClass cls) const;
+
+    /**
+     * The shared execute stage: retire the virtual command, dispatch
+     * to @p handler, charge the §3.3 memory model, step the CPU, and
+     * emit the per-instruction work. Identical for the switch and
+     * threaded cores, so the two modes cannot diverge in execute
+     * attribution. @p info receives what the instruction did.
+     * @return true when the run should stop (guest exited).
+     */
+    bool executeInst(const mips::Inst &inst, uint32_t word, uint32_t pc,
+                     trace::RoutineId handler, RunResult &result,
+                     StepInfo &info);
+
     /** Emit the in-core page-table walk for one translation. */
     void emitTranslate(uint32_t guest_addr);
 
@@ -75,6 +106,8 @@ class Mipsi
     CpuState state;
     SyscallHandler *syscalls = nullptr;
     trace::CommandSet commands;
+
+  private:
 
     // Pre-interned command ids, one per semantic opcode.
     std::array<trace::CommandId, (size_t)mips::Op::NumOps> opCommand{};

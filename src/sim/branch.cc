@@ -4,10 +4,29 @@
 
 namespace interp::sim {
 
+namespace {
+
+bool
+isPowerOfTwo(uint32_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace
+
 BranchPredictor::BranchPredictor(const BranchConfig &config) : cfg(config)
 {
     if (cfg.bhtEntries == 0 || cfg.returnStack == 0 || cfg.btcEntries == 0)
-        panic("branch predictor structures must be nonempty");
+        fatal("branch predictor structures must be nonempty");
+    // Both tables are indexed by masking with (entries - 1); a
+    // non-power-of-two size would silently alias away part of the
+    // table (indices >= the next lower power of two are unreachable).
+    if (!isPowerOfTwo(cfg.bhtEntries))
+        fatal("BHT entry count %u is not a power of two",
+              cfg.bhtEntries);
+    if (!isPowerOfTwo(cfg.btcEntries))
+        fatal("BTC entry count %u is not a power of two",
+              cfg.btcEntries);
     bht.assign(cfg.bhtEntries, 0);
     btcTags.assign(cfg.btcEntries, 0xffffffffu);
     btcTargets.assign(cfg.btcEntries, 0);
@@ -32,7 +51,7 @@ bool
 BranchPredictor::predictIndirect(uint32_t pc, uint32_t target)
 {
     ++lookupCount;
-    uint32_t idx = (pc >> 2) % cfg.btcEntries;
+    uint32_t idx = (pc >> 2) & (cfg.btcEntries - 1);
     bool correct = btcTags[idx] == pc && btcTargets[idx] == target;
     btcTags[idx] = pc;
     btcTargets[idx] = target;

@@ -14,12 +14,17 @@
 
 namespace interp::sim {
 
-/** Geometry of the branch-prediction structures. */
+/**
+ * Geometry of the branch-prediction structures. bhtEntries and
+ * btcEntries must be powers of two (both tables are indexed by
+ * masking); the constructor rejects other sizes. returnStack may be
+ * any nonzero depth.
+ */
 struct BranchConfig
 {
-    uint32_t bhtEntries = 256;   ///< 1-bit history entries
+    uint32_t bhtEntries = 256;   ///< 1-bit history entries (power of two)
     uint32_t returnStack = 12;   ///< return-address stack depth
-    uint32_t btcEntries = 32;    ///< branch target cache entries
+    uint32_t btcEntries = 32;    ///< branch target cache entries (pow2)
 };
 
 /** Combined predictor; each predict* method returns true if correct. */

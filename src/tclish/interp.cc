@@ -46,8 +46,9 @@ parseInt(const std::string &text, int64_t &out)
 
 } // namespace
 
-TclInterp::TclInterp(trace::Execution &exec_, vfs::FileSystem &fs_)
-    : exec(exec_), fs(fs_)
+TclInterp::TclInterp(trace::Execution &exec_, vfs::FileSystem &fs_,
+                     bool bytecode)
+    : exec(exec_), fs(fs_), bytecodeMode(bytecode)
 {
     auto &code = exec.code();
     rParse = code.registerRoutine("tcl.parse", 1400);
@@ -64,6 +65,11 @@ TclInterp::TclInterp(trace::Execution &exec_, vfs::FileSystem &fs_)
     rKernel = code.registerRoutine("tcl.kernel", 200,
                                    trace::Segment::NativeLib);
     scopes.emplace_back(); // global scope
+    // Last, and only in bytecode mode: the baseline interpreter's
+    // synthetic code layout (and hence its i-cache behaviour) stays
+    // bit-for-bit what it was before the mode existed.
+    if (bytecodeMode)
+        initBytecode();
 }
 
 // --- cost emission -----------------------------------------------------------
@@ -75,7 +81,12 @@ TclInterp::chargeParse(size_t chars, size_t words)
     // builds a fresh argv (with allocation and copying) on every
     // execution — the dominant share of Tcl's 2,000+ fetch/decode
     // instructions per command.
-    CategoryScope fd(exec, Category::FetchDecode);
+    // In bytecode mode this same scan happens once per distinct
+    // script, inside evalCompiled()'s compile step: it is then
+    // translation work, not per-trip fetch, and lands in Precompile
+    // like Perl's parse.
+    CategoryScope fd(exec, compiling ? Category::Precompile
+                                     : Category::FetchDecode);
     RoutineScope r(exec, rParse);
     exec.alu(60);
     for (size_t i = 0; i < chars; ++i) {
@@ -862,6 +873,22 @@ TclInterp::run(const std::string &script, uint64_t max_commands)
 
 Result
 TclInterp::evalScript(const std::string &script)
+{
+    if (bytecodeMode)
+        return evalCompiled(script);
+    return evalDirect(script);
+}
+
+/*
+ * The baseline eval loop, bit-for-bit. evalScript above is noinline
+ * (see the header) so every call site compiles to the same call it
+ * was before the bytecode mode existed, and the dispatch becomes a
+ * sibcall into this function — whose frame, holding the word buffers
+ * whose SSO storage addresses reach the trace through chargeLookup,
+ * is laid out exactly as the old evalScript's was.
+ */
+Result
+TclInterp::evalDirect(const std::string &script)
 {
     Result last;
     size_t pos = 0;

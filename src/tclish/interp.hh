@@ -33,6 +33,9 @@
 
 namespace interp::tclish {
 
+/** Compiled-script cache of the bytecode mode (see bytecode.cc). */
+struct BytecodeState;
+
 /** Outcome of evaluating a script or command. */
 enum class Status : uint8_t
 {
@@ -50,7 +53,21 @@ struct Result
 class TclInterp
 {
   public:
-    TclInterp(trace::Execution &exec, vfs::FileSystem &fs);
+    /**
+     * @p bytecode enables the tclish-bytecode execution mode, the
+     * Tcl 8.0-style §5 remedy: each distinct script string (program,
+     * proc body, loop body, bracket script) is parsed ONCE into a
+     * cached command list, charged to the Precompile category; every
+     * subsequent trip fetches the compiled words for a few dozen
+     * instructions instead of re-scanning the text. Substitution,
+     * expr evaluation and command dispatch are unchanged, so
+     * per-command execute attribution is identical to baseline.
+     */
+    TclInterp(trace::Execution &exec, vfs::FileSystem &fs,
+              bool bytecode = false);
+
+    /** Out of line (bytecode.cc): BytecodeState is incomplete here. */
+    ~TclInterp();
 
     struct RunResult
     {
@@ -70,6 +87,13 @@ class TclInterp
 
     /** Framebuffer created by the tk-like commands (null before). */
     gfx::Framebuffer *framebuffer() { return fb.get(); }
+
+    /**
+     * Test hook: drop @p script from the compiled-script cache.
+     * Invalidating a script that has already executed is a
+     * post-first-event code mutation and raises a contained fatal().
+     */
+    void debugInvalidate(const std::string &script);
 
   private:
     struct Proc
@@ -93,7 +117,17 @@ class TclInterp
     trace::RoutineId commandRegion(const std::string &name);
 
     // --- evaluation -------------------------------------------------------
+    /**
+     * Mode dispatch only; noinline so the baseline call sites and the
+     * baseline loop's own frame (evalDirect) compile exactly as they
+     * did before the bytecode mode existed — stack temporaries feed
+     * the simulated data addresses, so their layout is part of the
+     * baseline's observable behaviour.
+     */
+    __attribute__((noinline))
     Result evalScript(const std::string &script);
+    Result evalDirect(const std::string &script);
+    Result evalCompiled(const std::string &script); ///< bytecode.cc
     Result evalCommand(const std::vector<std::string> &words, int line);
     Result invokeProc(const Proc &proc,
                       const std::vector<std::string> &words);
@@ -117,8 +151,13 @@ class TclInterp
     // --- expr ---------------------------------------------------------
     int64_t evalExpr(const std::string &text, int line);
 
+    // --- bytecode mode (all definitions in bytecode.cc) --------------------
+    /** Register the mode's routines and allocate `bc` (ctor helper). */
+    void initBytecode();
+
     // --- cost emission -----------------------------------------------------
     void chargeParse(size_t chars, size_t words);
+    void chargeBytecodeFetch(size_t words); ///< bytecode.cc
     void chargeLookup(const std::string &name, int chain_steps,
                       const void *bucket);
     void chargeCommandLookup(const std::string &name);
@@ -154,6 +193,24 @@ class TclInterp
     trace::RoutineId rIo;
     trace::RoutineId rTk;
     trace::RoutineId rKernel;
+
+    // Bytecode-mode state, declared last: baseline members keep the
+    // exact offsets (and 16-byte-granule alignment, which the
+    // simulated data addresses depend on) they had before this mode
+    // existed. The compiled-script cache lives behind a pointer to an
+    // incomplete type on purpose — instantiating its containers here
+    // would pull their template code into interp.cc, and that much
+    // extra code mass shifts GCC's per-unit inlining decisions, which
+    // moves stack temporaries across 16-byte granules and perturbs
+    // the baseline's simulated data addresses. bytecode.cc is the
+    // only TU that sees the complete type.
+    bool bytecodeMode = false;
+    bool compiling = false; ///< routes chargeParse to Precompile
+    /** Owned; a raw pointer (not unique_ptr) so interp.cc never
+     *  instantiates the deleter. Freed by ~TclInterp in bytecode.cc. */
+    BytecodeState *bc = nullptr;
+    trace::RoutineId rCompile = 0; ///< one-shot bytecode compiler
+    trace::RoutineId rBcFetch = 0; ///< compiled-command fetch loop
 };
 
 } // namespace interp::tclish

@@ -255,6 +255,32 @@ TEST(Jvm, GcCollectsGarbageArrays)
         << "dead frames' arrays were collected";
 }
 
+TEST(Jvm, LiveObjectSurvivesHeapGrowthAndGc)
+{
+    // Regression guard for the reference-invalidated-by-growth bug
+    // class: a long-lived array's contents must survive thousands of
+    // later allocations (which grow the heap's object table and
+    // trigger collections).
+    const char *src = R"(
+        int main() {
+            int keep[16];
+            for (int i = 0; i < 16; i += 1)
+                keep[i] = i * 3 + 1;
+            int s = 0;
+            for (int i = 0; i < 30000; i += 1) {
+                int tmp[32];
+                tmp[0] = i;
+                s = (s + tmp[0]) & 0xffff;
+            }
+            for (int i = 0; i < 16; i += 1)
+                s = s + keep[i];
+            print_int(s);
+            return 0;
+        }
+    )";
+    EXPECT_EQ(runJvm(src), runDirectRef(src));
+}
+
 TEST(Jvm, GfxNativesDrawDeterministically)
 {
     const char *src = R"(

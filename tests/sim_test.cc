@@ -11,6 +11,7 @@
 #include "sim/cache_sweep.hh"
 #include "sim/machine.hh"
 #include "sim/tlb.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 #include "trace/events.hh"
 
@@ -240,6 +241,50 @@ TEST(Branch, BtcRemembersIndirectTargets)
     EXPECT_TRUE(bp.predictIndirect(0x500, 0xaaaa));
     EXPECT_FALSE(bp.predictIndirect(0x500, 0xbbbb)) << "target changed";
     EXPECT_TRUE(bp.predictIndirect(0x500, 0xbbbb));
+}
+
+TEST(Branch, BtcIndexWrapsByMasking)
+{
+    BranchConfig cfg;
+    cfg.btcEntries = 4;
+    BranchPredictor bp(cfg);
+    // 0x100 and 0x110 are 4 word-slots apart: same BTC entry. The
+    // second PC must evict the first (tag mismatch), proving the
+    // index wraps over the full table rather than truncating.
+    bp.predictIndirect(0x100, 0xaaaa);
+    EXPECT_TRUE(bp.predictIndirect(0x100, 0xaaaa));
+    EXPECT_FALSE(bp.predictIndirect(0x110, 0xbbbb)) << "cold aliased slot";
+    EXPECT_FALSE(bp.predictIndirect(0x100, 0xaaaa)) << "evicted by alias";
+}
+
+TEST(Branch, NonPowerOfTwoBhtIsFatal)
+{
+    BranchConfig cfg;
+    cfg.bhtEntries = 100; // masking with 99 would alias away entries
+    ScopedFatalThrow contain;
+    EXPECT_THROW(BranchPredictor bp(cfg), FatalError);
+}
+
+TEST(Branch, NonPowerOfTwoBtcIsFatal)
+{
+    BranchConfig cfg;
+    cfg.btcEntries = 33;
+    ScopedFatalThrow contain;
+    EXPECT_THROW(BranchPredictor bp(cfg), FatalError);
+}
+
+TEST(Branch, EmptyPredictorStructuresAreFatal)
+{
+    ScopedFatalThrow contain;
+    BranchConfig no_bht;
+    no_bht.bhtEntries = 0;
+    EXPECT_THROW(BranchPredictor bp(no_bht), FatalError);
+    BranchConfig no_btc;
+    no_btc.btcEntries = 0;
+    EXPECT_THROW(BranchPredictor bp(no_btc), FatalError);
+    BranchConfig no_ras;
+    no_ras.returnStack = 0;
+    EXPECT_THROW(BranchPredictor bp(no_ras), FatalError);
 }
 
 // --- Machine -----------------------------------------------------------

@@ -47,6 +47,28 @@ TEST(TclSymTab, ChainsGrowWithEntries)
     EXPECT_GT(total / 512, 4) << "fixed buckets mean growing chains";
 }
 
+TEST(TclSymTab, ValuesStableAcrossGrowth)
+{
+    // Regression guard for the reference-invalidated-by-growth bug
+    // class: values written early must remain intact and findable
+    // after the table has grown by an order of magnitude (fixed
+    // bucket array, chained nodes — growth must never rehash or move
+    // live entries).
+    SymTab table;
+    int steps;
+    std::string *early = &table.lookup("early", steps);
+    *early = "payload";
+    for (int i = 0; i < 2000; ++i)
+        table.lookup("fill" + std::to_string(i), steps) =
+            std::to_string(i);
+    EXPECT_EQ(table.find("early", steps), early)
+        << "node moved during growth";
+    EXPECT_EQ(*early, "payload");
+    for (int i = 0; i < 2000; i += 97)
+        EXPECT_EQ(*table.find("fill" + std::to_string(i), steps),
+                  std::to_string(i));
+}
+
 TEST(TclSymTab, Erase)
 {
     SymTab table;
