@@ -6,29 +6,45 @@
  * interpreter/benchmark pair plus the SPECint-like compiled programs
  * (run natively and, for a subset, under MIPSI).
  *
+ * Every column is a percentage of the same issue-slot total, so each
+ * row sums to 100 (the `total` column prints the sum as a check).
+ *
+ * One pass per benchmark feeds machines at issue width 1, 2 and 4
+ * simultaneously; under `--replay <dir>` that pass is a single decode
+ * of the recorded trace fanned out to all three machines (the
+ * bench_fig4 pattern). The 2-issue machine is the paper's Figure 3
+ * row; the issue-width section at the end shows how busy% scales.
+ *
  * The gcc bar is represented by cc1like (see DESIGN.md §2).
  */
 
+#include <array>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "harness/workloads.hh"
+#include "sim/machine.hh"
 
 using namespace interp;
 using namespace interp::harness;
 
 namespace {
 
+constexpr uint32_t kIssueWidths[] = {1, 2, 4};
+constexpr size_t kNumWidths = 3;
+constexpr size_t kPaperWidth = 1; ///< index of the 2-issue machine
+
 void
-printRow(const Measurement &m, const char *tag)
+printRow(const sim::Machine &machine, const char *tag)
 {
-    const auto &bd = m.breakdown;
+    auto bd = machine.breakdown();
     std::printf("%-14s %5.1f ", tag, bd.busyPct);
     for (int c = 0; c < sim::kNumStallCauses; ++c)
         std::printf("%6.1f", bd.stallPct[c]);
-    std::printf("\n");
+    std::printf(" %6.1f\n", bd.total());
 }
 
 } // namespace
@@ -45,12 +61,12 @@ main(int argc, char **argv)
     std::printf("%-14s %5s ", "benchmark", "busy");
     for (int c = 0; c < sim::kNumStallCauses; ++c)
         std::printf("%6s", sim::stallCauseName((sim::StallCause)c));
-    std::printf("\n");
-    std::printf("%-14s %5s %6s %6s %6s %6s %6s %6s %6s %6s  "
+    std::printf(" %6s\n", "total");
+    std::printf("%-14s %5s %6s %6s %6s %6s %6s %6s %6s %6s %6s  "
                 "(%% of issue slots)\n",
-                "", "", "", "", "(load)", "(mred)", "", "", "", "");
+                "", "", "", "", "(load)", "(mred)", "", "", "", "", "");
     std::printf("--------------------------------------------------"
-                "------------------------------\n");
+                "-------------------------------------\n");
 
     // SPEC-like compiled programs run natively (the C- rows) plus the
     // interpreter suite, as one flat parallel job list.
@@ -76,10 +92,26 @@ main(int argc, char **argv)
         if (spec.lang != Lang::C) // C-des is already covered above
             specs.push_back(std::move(spec));
 
-    SuiteOptions opt;
-    opt.jobs = jobs;
-    opt.io = tio;
-    std::vector<Measurement> results = runSuite(specs, opt);
+    // Three machines per benchmark, riding the same pass as extra
+    // sinks (with_machine = false disables the harness's internal
+    // 2-issue machine, which would duplicate machines[1]). Under
+    // --replay each benchmark's tape is decoded once here, not once
+    // per configuration.
+    using MachineSet =
+        std::array<std::unique_ptr<sim::Machine>, kNumWidths>;
+    std::vector<MachineSet> machines(specs.size());
+    std::vector<Measurement> results = runSuiteWith(
+        specs, jobs,
+        [&](const BenchSpec &spec, size_t i) {
+            std::vector<trace::Sink *> sinks;
+            for (size_t w = 0; w < kNumWidths; ++w) {
+                sim::MachineConfig cfg;
+                cfg.issueWidth = kIssueWidths[w];
+                machines[i][w] = std::make_unique<sim::Machine>(cfg);
+                sinks.push_back(machines[i][w].get());
+            }
+            return runOrReplay(spec, tio, sinks, nullptr, false);
+        });
 
     Lang last = Lang::C;
     for (size_t i = 0; i < results.size(); ++i) {
@@ -97,7 +129,21 @@ main(int argc, char **argv)
                         m.error.c_str());
             continue;
         }
-        printRow(m, tag.c_str());
+        printRow(*machines[i][kPaperWidth], tag.c_str());
+    }
+
+    std::printf("\nIssue-width sensitivity: %% of issue slots busy at "
+                "width 1 / 2 / 4\n");
+    std::printf("%-14s %6s %6s %6s\n", "benchmark", "w=1", "w=2", "w=4");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const Measurement &m = results[i];
+        if (m.failed)
+            continue;
+        std::string tag = std::string(langName(m.lang)) + "-" + m.name;
+        std::printf("%-14s", tag.c_str());
+        for (size_t w = 0; w < kNumWidths; ++w)
+            std::printf(" %6.1f", machines[i][w]->breakdown().busyPct);
+        std::printf("\n");
     }
 
     std::printf("\nPaper reference: each interpreter's profile is "

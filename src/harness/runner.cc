@@ -169,6 +169,10 @@ run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
       }
     }
 
+    // The interpreters flush on every run() exit (FlushOnExit); this
+    // covers hypothetical future paths that emit outside run().
+    exec.flush();
+
     m.cycles = machine.cycles();
     m.breakdown = machine.breakdown();
     m.imissPer100 = machine.imissPer100Insts();

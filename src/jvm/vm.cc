@@ -191,6 +191,7 @@ Vm::run(uint64_t max_commands)
     RunResult result;
     if (!module)
         panic("Vm::run before load()");
+    trace::FlushOnExit flush_guard(exec);
 
     while (!frames.empty() && result.commands < max_commands) {
         Frame &frame = frames.back();

@@ -40,6 +40,7 @@ DirectCpu::run(uint64_t max_insts)
     RunResult result;
     if (!syscalls)
         panic("DirectCpu::run before load()");
+    trace::FlushOnExit flush_guard(exec);
 
     while (result.instructions < max_insts) {
         uint32_t pc = state.pc;

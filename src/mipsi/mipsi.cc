@@ -197,6 +197,7 @@ Mipsi::run(uint64_t max_commands)
     RunResult result;
     if (!syscalls)
         panic("Mipsi::run before load()");
+    trace::FlushOnExit flush_guard(exec);
 
     while (result.commands < max_commands) {
         uint32_t pc = state.pc;

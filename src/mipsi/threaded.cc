@@ -87,6 +87,8 @@ ThreadedMipsi::run(uint64_t max_commands)
     RunResult result;
     if (!syscalls)
         panic("ThreadedMipsi::run before load()");
+    // Covers every exit, including the computed-goto returns below.
+    trace::FlushOnExit flush_guard(exec);
 
 #if defined(__GNUC__) || defined(__clang__)
     // Real direct threading: each handler tail ends in a computed

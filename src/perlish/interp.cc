@@ -95,6 +95,7 @@ Interp::run(uint64_t max_commands)
     RunResult result;
     if (!script_.main)
         panic("Interp::run before load()");
+    trace::FlushOnExit flush_guard(exec);
     commandBudget = max_commands;
     (void)eval(*script_.main);
     result.commands = commandsRun;

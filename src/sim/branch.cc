@@ -33,60 +33,6 @@ BranchPredictor::BranchPredictor(const BranchConfig &config) : cfg(config)
     ras.assign(cfg.returnStack, 0);
 }
 
-bool
-BranchPredictor::predictConditional(uint32_t pc, bool taken)
-{
-    ++lookupCount;
-    uint32_t idx = (pc >> 2) & (cfg.bhtEntries - 1);
-    bool predicted = bht[idx] != 0;
-    bht[idx] = taken ? 1 : 0;
-    if (predicted != taken) {
-        ++mispredictCount;
-        return false;
-    }
-    return true;
-}
-
-bool
-BranchPredictor::predictIndirect(uint32_t pc, uint32_t target)
-{
-    ++lookupCount;
-    uint32_t idx = (pc >> 2) & (cfg.btcEntries - 1);
-    bool correct = btcTags[idx] == pc && btcTargets[idx] == target;
-    btcTags[idx] = pc;
-    btcTargets[idx] = target;
-    if (!correct)
-        ++mispredictCount;
-    return correct;
-}
-
-void
-BranchPredictor::call(uint32_t return_pc)
-{
-    rasTop = (rasTop + 1) % cfg.returnStack;
-    ras[rasTop] = return_pc;
-    if (rasDepth < cfg.returnStack)
-        ++rasDepth;
-}
-
-bool
-BranchPredictor::predictReturn(uint32_t target)
-{
-    ++lookupCount;
-    if (rasDepth == 0) {
-        ++mispredictCount;
-        return false;
-    }
-    uint32_t predicted = ras[rasTop];
-    rasTop = (rasTop + cfg.returnStack - 1) % cfg.returnStack;
-    --rasDepth;
-    if (predicted != target) {
-        ++mispredictCount;
-        return false;
-    }
-    return true;
-}
-
 void
 BranchPredictor::reset()
 {

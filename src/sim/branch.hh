@@ -27,23 +27,73 @@ struct BranchConfig
     uint32_t btcEntries = 32;    ///< branch target cache entries (pow2)
 };
 
-/** Combined predictor; each predict* method returns true if correct. */
+/**
+ * Combined predictor; each predict* method returns true if correct.
+ * The predict/call bodies are defined here so Machine's batched hot
+ * loop inlines them.
+ */
 class BranchPredictor
 {
   public:
     explicit BranchPredictor(const BranchConfig &config);
 
     /** Conditional branch at @p pc resolving to @p taken. */
-    bool predictConditional(uint32_t pc, bool taken);
+    bool
+    predictConditional(uint32_t pc, bool taken)
+    {
+        ++lookupCount;
+        uint32_t idx = (pc >> 2) & (cfg.bhtEntries - 1);
+        bool predicted = bht[idx] != 0;
+        bht[idx] = taken ? 1 : 0;
+        if (predicted != taken) {
+            ++mispredictCount;
+            return false;
+        }
+        return true;
+    }
 
     /** Computed jump at @p pc resolving to @p target. */
-    bool predictIndirect(uint32_t pc, uint32_t target);
+    bool
+    predictIndirect(uint32_t pc, uint32_t target)
+    {
+        ++lookupCount;
+        uint32_t idx = (pc >> 2) & (cfg.btcEntries - 1);
+        bool correct = btcTags[idx] == pc && btcTargets[idx] == target;
+        btcTags[idx] = pc;
+        btcTargets[idx] = target;
+        if (!correct)
+            ++mispredictCount;
+        return correct;
+    }
 
     /** Call at @p pc; pushes @p return_pc onto the return stack. */
-    void call(uint32_t return_pc);
+    void
+    call(uint32_t return_pc)
+    {
+        rasTop = (rasTop + 1) % cfg.returnStack;
+        ras[rasTop] = return_pc;
+        if (rasDepth < cfg.returnStack)
+            ++rasDepth;
+    }
 
     /** Return resolving to @p target; pops the return stack. */
-    bool predictReturn(uint32_t target);
+    bool
+    predictReturn(uint32_t target)
+    {
+        ++lookupCount;
+        if (rasDepth == 0) {
+            ++mispredictCount;
+            return false;
+        }
+        uint32_t predicted = ras[rasTop];
+        rasTop = (rasTop + cfg.returnStack - 1) % cfg.returnStack;
+        --rasDepth;
+        if (predicted != target) {
+            ++mispredictCount;
+            return false;
+        }
+        return true;
+    }
 
     void reset();
 

@@ -27,36 +27,6 @@ Cache::Cache(const CacheConfig &config) : cfg(config)
     ways.resize((size_t)sets * cfg.assoc);
 }
 
-bool
-Cache::access(uint32_t addr)
-{
-    ++tick;
-    uint32_t line = lineAddr(addr);
-    uint32_t set = line & (sets - 1);
-    uint32_t tag = line >> 0; // full line address as tag: simple, exact
-    Way *base = &ways[(size_t)set * cfg.assoc];
-    Way *victim = base;
-    for (uint32_t w = 0; w < cfg.assoc; ++w) {
-        Way &way = base[w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = tick;
-            ++hitCount;
-            return true;
-        }
-        if (!way.valid) {
-            if (victim->valid)
-                victim = &way; // first free way, as in Tlb::access
-        } else if (victim->valid && way.lastUse < victim->lastUse) {
-            victim = &way;
-        }
-    }
-    victim->valid = true;
-    victim->tag = tag;
-    victim->lastUse = tick;
-    ++missCount;
-    return false;
-}
-
 void
 Cache::reset()
 {

@@ -35,8 +35,38 @@ class Cache
     /**
      * Look up @p addr, allocating on miss.
      * @return true on hit.
+     *
+     * Defined here so Machine's batched hot loop inlines it.
      */
-    bool access(uint32_t addr);
+    bool
+    access(uint32_t addr)
+    {
+        ++tick;
+        uint32_t line = lineAddr(addr);
+        uint32_t set = line & (sets - 1);
+        uint32_t tag = line >> 0; // full line address as tag: simple, exact
+        Way *base = &ways[(size_t)set * cfg.assoc];
+        Way *victim = base;
+        for (uint32_t w = 0; w < cfg.assoc; ++w) {
+            Way &way = base[w];
+            if (way.valid && way.tag == tag) {
+                way.lastUse = tick;
+                ++hitCount;
+                return true;
+            }
+            if (!way.valid) {
+                if (victim->valid)
+                    victim = &way; // first free way, as in Tlb::access
+            } else if (victim->valid && way.lastUse < victim->lastUse) {
+                victim = &way;
+            }
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lastUse = tick;
+        ++missCount;
+        return false;
+    }
 
     /** Invalidate all lines and reset statistics. */
     void reset();

@@ -22,6 +22,20 @@ CacheSweep::CacheSweep(const std::vector<uint32_t> &sizes_kb,
 void
 CacheSweep::onBundle(const trace::Bundle &bundle)
 {
+    account(bundle);
+}
+
+void
+CacheSweep::onBatch(const trace::BundleBatch &batch)
+{
+    // One virtual call per batch; the per-bundle work is non-virtual.
+    for (const trace::Bundle &bundle : batch)
+        account(bundle);
+}
+
+void
+CacheSweep::account(const trace::Bundle &bundle)
+{
     // An empty bundle touches no lines; without this guard the
     // (count - 1) below underflows and walks ~2^32 cache lines.
     if (bundle.count == 0)

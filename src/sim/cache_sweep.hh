@@ -42,6 +42,7 @@ class CacheSweep : public trace::Sink
                uint32_t line_bytes = 32);
 
     void onBundle(const trace::Bundle &bundle) override;
+    void onBatch(const trace::BundleBatch &batch) override;
 
     /** Results, ordered assoc-major then size. */
     std::vector<SweepPoint> results() const;
@@ -49,6 +50,9 @@ class CacheSweep : public trace::Sink
     uint64_t instructions() const { return insts; }
 
   private:
+    /** Shared accounting for onBundle and the onBatch loop. */
+    void account(const trace::Bundle &bundle);
+
     std::vector<Cache> caches;
     std::vector<uint64_t> lastLine;
     uint64_t insts = 0;

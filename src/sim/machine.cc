@@ -27,17 +27,28 @@ Machine::Machine(const MachineConfig &config)
 {
     if (cfg.issueWidth == 0)
         panic("issue width must be nonzero");
+    if (cfg.shadowCheck) {
+        MachineConfig shadow_cfg = cfg;
+        shadow_cfg.shadowCheck = false; // one level of shadowing
+        shadow = std::make_unique<Machine>(shadow_cfg);
+    }
 }
 
 void
-Machine::addStall(StallCause cause, uint32_t cycles_)
+Machine::addStall(StallCause cause, uint64_t cycles_)
 {
-    stalls[(int)cause] += cycles_;
+    // The ledger is slot-denominated: a stall cycle idles the whole
+    // issue width.
+    stallSlots[(int)cause] += cycles_ * cfg.issueWidth;
 }
 
 void
 Machine::fetch(uint32_t pc, uint32_t count)
 {
+    // An empty bundle fetches nothing; without this guard the
+    // (count - 1) below underflows and walks ~2^30 i-cache lines.
+    if (count == 0)
+        return;
     uint32_t line_bytes = cfg.icache.lineBytes;
     uint32_t first = pc / line_bytes;
     uint32_t last = (pc + (count - 1) * 4) / line_bytes;
@@ -73,7 +84,38 @@ Machine::dataAccess(uint32_t addr)
 }
 
 void
-Machine::onBundle(const trace::Bundle &bundle)
+Machine::execLoad(const trace::Bundle &bundle)
+{
+    dataAccess(bundle.memAddr);
+    if (++loadTick >= cfg.loadUsePeriod) {
+        loadTick = 0;
+        addStall(StallCause::LoadDelay, cfg.loadDelayCycles);
+    }
+}
+
+void
+Machine::execCondBranch(const trace::Bundle &bundle)
+{
+    if (!bp.predictConditional(bundle.pc, bundle.taken))
+        addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+}
+
+void
+Machine::execIndirectJump(const trace::Bundle &bundle)
+{
+    if (!bp.predictIndirect(bundle.pc, bundle.target))
+        addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+}
+
+void
+Machine::execReturn(const trace::Bundle &bundle)
+{
+    if (!bp.predictReturn(bundle.target))
+        addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+}
+
+void
+Machine::simulateOne(const trace::Bundle &bundle)
 {
     using trace::InstClass;
 
@@ -101,56 +143,201 @@ Machine::onBundle(const trace::Bundle &bundle)
         }
         break;
       case InstClass::Load:
-        dataAccess(bundle.memAddr);
-        if (++loadTick >= cfg.loadUsePeriod) {
-            loadTick = 0;
-            addStall(StallCause::LoadDelay, cfg.loadDelayCycles);
-        }
+        execLoad(bundle);
         break;
       case InstClass::Store:
         dataAccess(bundle.memAddr);
         break;
       case InstClass::CondBranch:
-        if (!bp.predictConditional(bundle.pc, bundle.taken))
-            addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+        execCondBranch(bundle);
         break;
       case InstClass::Jump:
         break;
       case InstClass::IndirectJump:
-        if (!bp.predictIndirect(bundle.pc, bundle.target))
-            addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+        execIndirectJump(bundle);
         break;
       case InstClass::Call:
         bp.call(bundle.pc + 4);
         break;
       case InstClass::Return:
-        if (!bp.predictReturn(bundle.target))
-            addStall(StallCause::Mispredict, cfg.mispredictPenalty);
+        execReturn(bundle);
         break;
     }
+}
+
+void
+Machine::simulateBatch(const trace::Bundle *p, const trace::Bundle *end)
+{
+    using trace::Bundle;
+    using trace::InstClass;
+
+    while (p != end) {
+        // Hoist the class switch out of runs of same-class bundles:
+        // interpreter traces are dominated by long alternations of a
+        // few classes, so the per-bundle work below is branch-light.
+        const InstClass cls = p->cls;
+        const Bundle *run = p + 1;
+        while (run != end && run->cls == cls)
+            ++run;
+
+        switch (cls) {
+          case InstClass::IntAlu:
+          case InstClass::Nop:
+          case InstClass::Jump:
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+            }
+            break;
+          case InstClass::ShortInt: {
+            uint64_t n = 0;
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                n += p->count;
+            }
+            // Closed form of the every-Nth-instance charge: the tick
+            // wraps at shortIntUsePeriod, charging once per wrap.
+            uint64_t wraps = (shortTick + n) / cfg.shortIntUsePeriod;
+            shortTick = (uint32_t)((shortTick + n) % cfg.shortIntUsePeriod);
+            addStall(StallCause::ShortInt, wraps * cfg.shortIntCycles);
+            break;
+          }
+          case InstClass::FloatOp: {
+            uint64_t n = 0;
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                n += p->count;
+            }
+            uint64_t wraps = (floatTick + n) / cfg.floatUsePeriod;
+            floatTick = (uint32_t)((floatTick + n) % cfg.floatUsePeriod);
+            addStall(StallCause::Other, wraps * cfg.floatOpCycles);
+            break;
+          }
+          case InstClass::Load:
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                execLoad(*p);
+            }
+            break;
+          case InstClass::Store:
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                dataAccess(p->memAddr);
+            }
+            break;
+          case InstClass::CondBranch:
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                execCondBranch(*p);
+            }
+            break;
+          case InstClass::IndirectJump:
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                execIndirectJump(*p);
+            }
+            break;
+          case InstClass::Call:
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                bp.call(p->pc + 4);
+            }
+            break;
+          case InstClass::Return:
+            for (; p != run; ++p) {
+                fetch(p->pc, p->count);
+                insts += p->count;
+                execReturn(*p);
+            }
+            break;
+        }
+        p = run;
+    }
+}
+
+void
+Machine::crossCheck(const trace::Bundle *p, const trace::Bundle *end)
+{
+    for (; p != end; ++p)
+        shadow->simulateOne(*p);
+
+    auto mismatch = [this](const char *what, uint64_t batched,
+                           uint64_t reference) {
+        if (batched != reference)
+            fatal("INTERP_SIM_CHECK: batched machine diverged from "
+                  "bundle-at-a-time shadow: %s = %llu, shadow has %llu",
+                  what, (unsigned long long)batched,
+                  (unsigned long long)reference);
+    };
+    mismatch("instructions", insts, shadow->insts);
+    for (int c = 0; c < kNumStallCauses; ++c)
+        mismatch(stallCauseName((StallCause)c), stallSlots[c],
+                 shadow->stallSlots[c]);
+    mismatch("imisses", imisses, shadow->imisses);
+    mismatch("icache accesses", il1.accesses(), shadow->il1.accesses());
+    mismatch("icache misses", il1.misses(), shadow->il1.misses());
+    mismatch("dcache accesses", dl1.accesses(), shadow->dl1.accesses());
+    mismatch("dcache misses", dl1.misses(), shadow->dl1.misses());
+    mismatch("l2 accesses", l2.accesses(), shadow->l2.accesses());
+    mismatch("l2 misses", l2.misses(), shadow->l2.misses());
+    mismatch("itlb misses", itlb_.misses(), shadow->itlb_.misses());
+    mismatch("dtlb misses", dtlb_.misses(), shadow->dtlb_.misses());
+    mismatch("branch lookups", bp.lookups(), shadow->bp.lookups());
+    mismatch("branch mispredicts", bp.mispredicts(),
+             shadow->bp.mispredicts());
+}
+
+void
+Machine::onBundle(const trace::Bundle &bundle)
+{
+    simulateOne(bundle);
+    if (shadow)
+        crossCheck(&bundle, &bundle + 1);
+}
+
+void
+Machine::onBatch(const trace::BundleBatch &batch)
+{
+    simulateBatch(batch.begin(), batch.end());
+    if (shadow)
+        crossCheck(batch.begin(), batch.end());
+}
+
+uint64_t
+Machine::totalSlots() const
+{
+    uint64_t total = insts;
+    for (uint64_t s : stallSlots)
+        total += s;
+    return total;
 }
 
 uint64_t
 Machine::cycles() const
 {
-    uint64_t busy = (insts + cfg.issueWidth - 1) / cfg.issueWidth;
-    uint64_t total = busy;
-    for (uint64_t s : stalls)
-        total += s;
-    return total;
+    // Ceil: a final partially-filled issue group still takes a cycle.
+    return (totalSlots() + cfg.issueWidth - 1) / cfg.issueWidth;
 }
 
 SlotBreakdown
 Machine::breakdown() const
 {
     SlotBreakdown out;
-    uint64_t total_cycles = cycles();
-    if (total_cycles == 0)
+    uint64_t slots = totalSlots();
+    if (slots == 0)
         return out;
-    uint64_t slots = total_cycles * cfg.issueWidth;
+    // One denominator for every column: percentages sum to 100 by
+    // construction (the ledger covers each slot exactly once).
     out.busyPct = 100.0 * (double)insts / (double)slots;
     for (int c = 0; c < kNumStallCauses; ++c)
-        out.stallPct[c] = 100.0 * (double)stalls[c] / (double)total_cycles;
+        out.stallPct[c] = 100.0 * (double)stallSlots[c] / (double)slots;
     return out;
 }
 
@@ -171,11 +358,13 @@ Machine::reset()
     bp.reset();
     insts = 0;
     imisses = 0;
-    for (auto &s : stalls)
+    for (auto &s : stallSlots)
         s = 0;
     loadTick = shortTick = floatTick = 0;
     lastFetchLine = ~0ull;
     lastFetchPage = ~0ull;
+    if (shadow)
+        shadow->reset();
 }
 
 } // namespace interp::sim

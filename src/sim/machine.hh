@@ -21,6 +21,24 @@
  * model charges them for a fixed fraction of the instructions of the
  * class, applied deterministically (every Nth instance). The fractions
  * are configuration parameters documented in MachineConfig.
+ *
+ * Accounting is kept as a single issue-slot ledger: a retired
+ * instruction fills one slot (busy) and a stall of k cycles wastes
+ * k * issueWidth slots, charged to its cause. Every slot the machine
+ * ever issued is therefore in exactly one ledger column, so the
+ * Figure 3 breakdown sums to 100% by construction — the paper's bars
+ * are slot fractions, and mixing cycle- and slot-denominated terms
+ * (as an earlier version of breakdown() did) cannot reproduce them.
+ *
+ * The hot path is batched: trace producers deliver BundleBatches and
+ * onBatch() drains each batch in a single non-virtual loop with the
+ * per-class switch hoisted out of runs of same-class bundles and the
+ * cache/TLB/predictor lookups inlined (their access methods live in
+ * the headers). With MachineConfig::shadowCheck (default-on under
+ * -DINTERP_SIM_CHECK, which the sanitizer preset sets) a shadow
+ * machine re-simulates every batch bundle-at-a-time through the
+ * straightforward reference switch and fatal()s on the first counter
+ * divergence between the two paths.
  */
 
 #ifndef INTERP_SIM_MACHINE_HH
@@ -28,6 +46,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "sim/branch.hh"
@@ -87,13 +106,40 @@ struct MachineConfig
     uint32_t loadUsePeriod = 3;
     uint32_t shortIntUsePeriod = 4;
     uint32_t floatUsePeriod = 2;
+
+    /**
+     * Re-simulate every delivered bundle through a bundle-at-a-time
+     * shadow machine and fatal() on any counter divergence from the
+     * batched hot loop. Defaults on when built with
+     * -DINTERP_SIM_CHECK (the ASan+UBSan preset does this), off
+     * otherwise; tests flip it per-instance in any build.
+     */
+#ifdef INTERP_SIM_CHECK
+    bool shadowCheck = true;
+#else
+    bool shadowCheck = false;
+#endif
 };
 
-/** Issue-slot breakdown for reporting Figure 3. */
+/**
+ * Issue-slot breakdown for reporting Figure 3. All nine columns are
+ * percentages of the same denominator (total issue slots), so
+ * busyPct + Σ stallPct == 100 up to floating-point rounding.
+ */
 struct SlotBreakdown
 {
     double busyPct = 0;
     std::array<double, kNumStallCauses> stallPct{};
+
+    /** busyPct + every stallPct; 100.0 ± ε on any non-empty run. */
+    double
+    total() const
+    {
+        double sum = busyPct;
+        for (double pct : stallPct)
+            sum += pct;
+        return sum;
+    }
 };
 
 /** The trace-driven machine model. */
@@ -103,6 +149,7 @@ class Machine : public trace::Sink
     explicit Machine(const MachineConfig &config = MachineConfig());
 
     void onBundle(const trace::Bundle &bundle) override;
+    void onBatch(const trace::BundleBatch &batch) override;
 
     /** Total simulated cycles so far. */
     uint64_t cycles() const;
@@ -111,8 +158,15 @@ class Machine : public trace::Sink
     /** Stall cycles attributed to @p cause. */
     uint64_t stallCycles(StallCause cause) const
     {
-        return stalls[(int)cause];
+        return stallSlots[(int)cause] / cfg.issueWidth;
     }
+    /** Issue slots wasted by @p cause (stall cycles × issue width). */
+    uint64_t slotsLostTo(StallCause cause) const
+    {
+        return stallSlots[(int)cause];
+    }
+    /** Every slot accounted so far: busy (== instructions) + stalls. */
+    uint64_t totalSlots() const;
 
     /** Issue-slot percentages (Figure 3 bar contents). */
     SlotBreakdown breakdown() const;
@@ -130,9 +184,20 @@ class Machine : public trace::Sink
     void reset();
 
   private:
+    /** Batched hot loop: switch hoisted per run of same-class bundles. */
+    void simulateBatch(const trace::Bundle *p, const trace::Bundle *end);
+    /** Reference path: one bundle through the per-bundle switch. */
+    void simulateOne(const trace::Bundle &bundle);
+    /** Feed the shadow machine and compare every counter. */
+    void crossCheck(const trace::Bundle *p, const trace::Bundle *end);
+
     void fetch(uint32_t pc, uint32_t count);
     void dataAccess(uint32_t addr);
-    void addStall(StallCause cause, uint32_t cycles_);
+    void addStall(StallCause cause, uint64_t cycles_);
+    void execLoad(const trace::Bundle &bundle);
+    void execCondBranch(const trace::Bundle &bundle);
+    void execIndirectJump(const trace::Bundle &bundle);
+    void execReturn(const trace::Bundle &bundle);
 
     MachineConfig cfg;
     Cache il1;
@@ -142,8 +207,8 @@ class Machine : public trace::Sink
     Tlb dtlb_;
     BranchPredictor bp;
 
-    uint64_t insts = 0;
-    uint64_t stalls[kNumStallCauses] = {};
+    uint64_t insts = 0; ///< busy slots: one per retired instruction
+    uint64_t stallSlots[kNumStallCauses] = {};
     uint64_t imisses = 0;
 
     // Deterministic accumulators for the use-delay fractions.
@@ -153,6 +218,9 @@ class Machine : public trace::Sink
     // Last fetched line/page, to skip redundant lookups.
     uint64_t lastFetchLine = ~0ull;
     uint64_t lastFetchPage = ~0ull;
+
+    /** Bundle-at-a-time re-simulation (MachineConfig::shadowCheck). */
+    std::unique_ptr<Machine> shadow;
 };
 
 } // namespace interp::sim

@@ -11,32 +11,6 @@ Tlb::Tlb(uint32_t entries, uint32_t page_bits) : bits(page_bits)
     entries_.resize(entries);
 }
 
-bool
-Tlb::access(uint32_t addr)
-{
-    ++tick;
-    uint32_t page = addr >> bits;
-    Entry *victim = &entries_[0];
-    for (Entry &e : entries_) {
-        if (e.valid && e.page == page) {
-            e.lastUse = tick;
-            ++hitCount;
-            return true;
-        }
-        if (!e.valid) {
-            if (victim->valid)
-                victim = &e;
-        } else if (victim->valid && e.lastUse < victim->lastUse) {
-            victim = &e;
-        }
-    }
-    victim->valid = true;
-    victim->page = page;
-    victim->lastUse = tick;
-    ++missCount;
-    return false;
-}
-
 void
 Tlb::reset()
 {

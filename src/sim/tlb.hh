@@ -24,8 +24,35 @@ class Tlb
      */
     explicit Tlb(uint32_t entries, uint32_t page_bits = 13);
 
-    /** Look up the page of @p addr, allocating on miss; true on hit. */
-    bool access(uint32_t addr);
+    /**
+     * Look up the page of @p addr, allocating on miss; true on hit.
+     * Defined here so Machine's batched hot loop inlines it.
+     */
+    bool
+    access(uint32_t addr)
+    {
+        ++tick;
+        uint32_t page = addr >> bits;
+        Entry *victim = &entries_[0];
+        for (Entry &e : entries_) {
+            if (e.valid && e.page == page) {
+                e.lastUse = tick;
+                ++hitCount;
+                return true;
+            }
+            if (!e.valid) {
+                if (victim->valid)
+                    victim = &e;
+            } else if (victim->valid && e.lastUse < victim->lastUse) {
+                victim = &e;
+            }
+        }
+        victim->valid = true;
+        victim->page = page;
+        victim->lastUse = tick;
+        ++missCount;
+        return false;
+    }
 
     void reset();
 

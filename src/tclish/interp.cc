@@ -858,6 +858,7 @@ TclInterp::evalExpr(const std::string &text, int line)
 TclInterp::RunResult
 TclInterp::run(const std::string &script, uint64_t max_commands)
 {
+    trace::FlushOnExit flush_guard(exec);
     commandBudget = max_commands;
     commandsRun = 0;
     exited = false;

@@ -17,6 +17,7 @@
 #ifndef INTERP_TRACE_EVENTS_HH
 #define INTERP_TRACE_EVENTS_HH
 
+#include <array>
 #include <cstdint>
 
 namespace interp::trace {
@@ -68,6 +69,45 @@ struct Bundle
     uint32_t target = 0;   ///< branch/jump/call target PC
 };
 
+/**
+ * A fixed-capacity run of consecutive Bundles, delivered to sinks in
+ * one virtual call.
+ *
+ * Producers (trace::Execution, tracefile::TraceReader) accumulate
+ * bundles here and flush a full batch — or a partial one whenever a
+ * non-bundle event (command retirement, memory-model access) must be
+ * delivered — so the relative order of all events is preserved
+ * exactly. Consumers see the same stream they would have seen
+ * bundle-at-a-time; the batch only amortizes the per-event dispatch
+ * cost that dominated the trace→simulator hot path.
+ */
+class BundleBatch
+{
+  public:
+    /** 256 bundles ≈ 6 KB: resident in L1d while being drained. */
+    static constexpr uint32_t kCapacity = 256;
+
+    bool full() const { return count_ == kCapacity; }
+    bool empty() const { return count_ == 0; }
+    uint32_t size() const { return count_; }
+    void clear() { count_ = 0; }
+
+    /** Append one bundle; the batch must not be full. */
+    void
+    push(const Bundle &bundle)
+    {
+        bundles_[count_++] = bundle;
+    }
+
+    const Bundle &operator[](uint32_t i) const { return bundles_[i]; }
+    const Bundle *begin() const { return bundles_.data(); }
+    const Bundle *end() const { return bundles_.data() + count_; }
+
+  private:
+    uint32_t count_ = 0;
+    std::array<Bundle, kCapacity> bundles_;
+};
+
 /** Consumer of the instruction stream. */
 class Sink
 {
@@ -76,6 +116,20 @@ class Sink
 
     /** Observe one bundle of instructions. */
     virtual void onBundle(const Bundle &bundle) = 0;
+
+    /**
+     * Observe a batch of bundles (one virtual call instead of
+     * size() of them). The default forwards bundle-at-a-time, so a
+     * sink only implementing onBundle() sees an unchanged stream;
+     * hot consumers (sim::Machine, trace::Profile, sim::CacheSweep)
+     * override this and loop without further virtual dispatch.
+     */
+    virtual void
+    onBatch(const BundleBatch &batch)
+    {
+        for (const Bundle &bundle : batch)
+            onBundle(bundle);
+    }
 
     /** Observe the retirement of one virtual command. */
     virtual void onCommand(CommandId command) { (void)command; }

@@ -42,8 +42,20 @@ Execution::addSink(Sink *sink)
 void
 Execution::removeSink(Sink *sink)
 {
+    // Deliver anything the departing sink is still owed.
+    flush();
     sinks.erase(std::remove(sinks.begin(), sinks.end(), sink),
                 sinks.end());
+}
+
+void
+Execution::flush()
+{
+    if (batch.empty())
+        return;
+    for (Sink *sink : sinks)
+        sink->onBatch(batch);
+    batch.clear();
 }
 
 uint32_t
@@ -61,8 +73,9 @@ Execution::deliver(Bundle &bundle)
     bundle.native = native;
     bundle.system = system;
     totalInsts += bundle.count;
-    for (Sink *sink : sinks)
-        sink->onBundle(bundle);
+    batch.push(bundle);
+    if (batch.full())
+        flush();
 }
 
 uint32_t
@@ -279,6 +292,8 @@ Execution::emitAt(uint32_t pc, InstClass cls, uint32_t count,
 void
 Execution::noteMemModelAccess()
 {
+    // Keep the access event in stream order behind buffered bundles.
+    flush();
     for (Sink *sink : sinks)
         sink->onMemModelAccess();
 }
@@ -286,6 +301,9 @@ Execution::noteMemModelAccess()
 void
 Execution::beginCommand(CommandId id)
 {
+    // Keep the retirement event in stream order behind buffered
+    // bundles (a recorded trace must replay in emission order).
+    flush();
     command = id;
     ++totalCommands;
     for (Sink *sink : sinks)

@@ -8,12 +8,22 @@
  * calls the emission primitives (alu(), load(), branch(), ...) as it
  * performs the corresponding real work; each call turns into Bundle
  * events delivered to every sink.
+ *
+ * Delivery is batched: bundles accumulate in a fixed BundleBatch and
+ * reach the sinks through one Sink::onBatch call when the batch fills
+ * or when a non-bundle event (command retirement, memory-model
+ * access) must keep its place in the stream — so every sink still
+ * observes events in exact emission order. Whoever finishes emitting
+ * must call flush() before reading any sink's counters; the
+ * interpreters do this on every exit from their run() loops (see
+ * FlushOnExit), so harness users never see a stale sink.
  */
 
 #ifndef INTERP_TRACE_EXECUTION_HH
 #define INTERP_TRACE_EXECUTION_HH
 
 #include <cstdint>
+#include <exception>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -106,6 +116,14 @@ class Execution
      */
     void addSink(Sink *sink);
     void removeSink(Sink *sink);
+
+    /**
+     * Deliver the buffered bundle batch to every sink. Idempotent and
+     * cheap when nothing is pending. Must run after the last emission
+     * before sink counters are read; every interpreter run() flushes
+     * on exit, and harness::run() flushes again defensively.
+     */
+    void flush();
 
     // --- routine control -------------------------------------------------
     /** Emit a call instruction and enter @p routine. */
@@ -204,6 +222,7 @@ class Execution
     CodeRegistry registry;
     AddressMapper addrMapper;
     std::vector<Sink *> sinks;
+    BundleBatch batch;
     std::vector<Frame> frames;
     RoutineId topRoutine; ///< implicit outermost routine ("main")
     uint32_t topPc;
@@ -219,6 +238,37 @@ class Execution
 };
 
 // --- RAII helpers ----------------------------------------------------------
+
+/**
+ * Flushes the pending bundle batch on scope exit, so a completed
+ * interpreter run leaves no buffered events behind. Every VM's run()
+ * declares one at the top; all return paths (including the computed-
+ * goto exits of the threaded MIPSI core) then deliver the tail batch
+ * before any caller reads a sink. Skipped while an exception is
+ * unwinding: a fatal()ed run's Measurement is discarded anyway, and
+ * delivering into sinks mid-unwind could turn a contained FatalError
+ * into std::terminate.
+ */
+class FlushOnExit
+{
+  public:
+    explicit FlushOnExit(Execution &exec)
+        : exec_(exec), entryDepth(std::uncaught_exceptions())
+    {
+    }
+    ~FlushOnExit()
+    {
+        if (std::uncaught_exceptions() == entryDepth)
+            exec_.flush();
+    }
+
+    FlushOnExit(const FlushOnExit &) = delete;
+    FlushOnExit &operator=(const FlushOnExit &) = delete;
+
+  private:
+    Execution &exec_;
+    int entryDepth;
+};
 
 /** Enters a routine on construction, returns on destruction. */
 class RoutineScope

@@ -7,6 +7,20 @@ namespace interp::trace {
 void
 Profile::onBundle(const Bundle &bundle)
 {
+    account(bundle);
+}
+
+void
+Profile::onBatch(const BundleBatch &batch)
+{
+    // One virtual call per batch; the per-bundle work is non-virtual.
+    for (const Bundle &bundle : batch)
+        account(bundle);
+}
+
+void
+Profile::account(const Bundle &bundle)
+{
     totalInsts += bundle.count;
     if (bundle.system) {
         // OS work is timed but kept out of the software-level counts,

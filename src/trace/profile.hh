@@ -37,6 +37,7 @@ class Profile : public Sink
 {
   public:
     void onBundle(const Bundle &bundle) override;
+    void onBatch(const BundleBatch &batch) override;
     void onCommand(CommandId command) override;
     void onMemModelAccess() override;
 
@@ -80,6 +81,9 @@ class Profile : public Sink
     void reset();
 
   private:
+    /** Shared accounting for onBundle and the onBatch loop. */
+    void account(const Bundle &bundle);
+
     uint64_t totalCommands = 0;
     uint64_t totalInsts = 0;
     uint64_t catInsts[3] = {0, 0, 0};

@@ -161,6 +161,19 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
     CodecState st;
     uint64_t events = 0;
     uint64_t insts = 0;
+    // Decoded bundles accumulate here and reach the sinks through one
+    // onBatch call per full batch — the same batched delivery (and
+    // therefore the same sink-visible event order) as a live
+    // Execution. Non-bundle events flush first to keep their place in
+    // the stream.
+    trace::BundleBatch batch;
+    auto flush = [&] {
+        if (batch.empty())
+            return;
+        for (trace::Sink *sink : sinks)
+            sink->onBatch(batch);
+        batch.clear();
+    };
     while (p < end) {
         uint8_t tag = *p++;
         if (tag & kTagBundleBit) {
@@ -210,8 +223,9 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
             insts += b.count;
             ++events;
             ++totals.bundles;
-            for (trace::Sink *sink : sinks)
-                sink->onBundle(b);
+            batch.push(b);
+            if (batch.full())
+                flush();
         } else if (tag == kTagCommand) {
             uint64_t id;
             if (!getVarint(p, end, id))
@@ -221,11 +235,13 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
             st.command = (trace::CommandId)id;
             ++events;
             ++totals.commandEvents;
+            flush();
             for (trace::Sink *sink : sinks)
                 sink->onCommand((trace::CommandId)id);
         } else if (tag == kTagMemAccess) {
             ++events;
             ++totals.memAccesses;
+            flush();
             for (trace::Sink *sink : sinks)
                 sink->onMemModelAccess();
         } else if (tag == kTagState) {
@@ -251,6 +267,7 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
             corrupt("unknown event tag");
         }
     }
+    flush();
     if (events != info.eventCount)
         corrupt("chunk event count does not match payload");
     if (insts != info.instCount)

@@ -77,9 +77,12 @@ class TraceReader
 
     /**
      * Decode the whole file, delivering every event to every sink in
-     * order. May be called repeatedly (each call re-reads from the
-     * first chunk). Verifies per-chunk CRCs and counts and the file
-     * totals; fatal() on any mismatch.
+     * order. Bundles are delivered in BundleBatches (one Sink::onBatch
+     * per full batch, flushed before any command or memory-model
+     * event), mirroring a live Execution's batched delivery. May be
+     * called repeatedly (each call re-reads from the first chunk).
+     * Verifies per-chunk CRCs and counts and the file totals; fatal()
+     * on any mismatch.
      */
     void replay(const std::vector<trace::Sink *> &sinks);
 

@@ -215,6 +215,40 @@ TEST(Replay, TraceFileNamesAreSanitized)
     EXPECT_EQ(traceFileName(spec), "c-scaling-10.itr");
 }
 
+TEST(Replay, ReaderDeliversBundlesInBatches)
+{
+    // The reader uses the same batched delivery as a live Execution:
+    // bundles arrive through onBatch (many per virtual call), and
+    // non-bundle events interleave in exact stream order.
+    BenchSpec spec = microBench(Lang::Perl, "a=b+c", 40);
+    std::string dir = traceDir();
+    TraceIo record;
+    record.recordDir = dir;
+    runOrReplay(spec, record);
+
+    class BatchCounter : public trace::Sink
+    {
+      public:
+        void
+        onBatch(const trace::BundleBatch &batch) override
+        {
+            ++batches;
+            bundles += batch.size();
+        }
+        void onBundle(const trace::Bundle &) override { ++singles; }
+        uint64_t batches = 0, bundles = 0, singles = 0;
+    };
+
+    tracefile::TraceReader reader(traceFilePath(dir, spec));
+    BatchCounter counter;
+    reader.replay({&counter});
+    EXPECT_EQ(counter.singles, 0u)
+        << "bundles must arrive through onBatch, not one at a time";
+    EXPECT_EQ(counter.bundles, reader.meta().totalBundles);
+    EXPECT_LT(counter.batches, counter.bundles / 8)
+        << "batches should amortize many bundles per virtual call";
+}
+
 TEST(Replay, RecordedMetaDescribesTheRun)
 {
     BenchSpec spec = microBench(Lang::Java, "if", 25);

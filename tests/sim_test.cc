@@ -373,25 +373,100 @@ TEST(Machine, L2HitCheaperThanL2Miss)
     EXPECT_LT(small_per, large_per);
 }
 
-TEST(Machine, BreakdownSumsToRoughly100)
+/**
+ * Mixed workload exercising every stall cause: loads (dmiss/dtlb/load
+ * delay), alternating branches (mispredict), short-int and float runs
+ * (use delays), scattered PCs (imiss/itlb), calls and returns.
+ */
+std::vector<trace::Bundle>
+mixedWorkload(int n, uint64_t seed)
 {
-    Machine machine;
-    Rng rng(7);
-    trace::Bundle b;
-    for (int i = 0; i < 5000; ++i) {
+    Rng rng(seed);
+    std::vector<trace::Bundle> out;
+    out.reserve((size_t)n);
+    for (int i = 0; i < n; ++i) {
+        trace::Bundle b;
         b.pc = 0x1000 + (uint32_t)rng.below(64 * 1024) / 4 * 4;
         b.count = 1 + (uint32_t)rng.below(4);
-        b.cls = (i % 5 == 0) ? trace::InstClass::Load
-                             : trace::InstClass::IntAlu;
-        b.memAddr = 0x40000000 + (uint32_t)rng.below(1 << 20);
-        machine.onBundle(b);
+        switch (rng.below(10)) {
+          case 0:
+          case 1:
+            b.cls = trace::InstClass::Load;
+            b.count = 1;
+            b.memAddr = 0x40000000 + (uint32_t)rng.below(1 << 20);
+            break;
+          case 2:
+            b.cls = trace::InstClass::Store;
+            b.count = 1;
+            b.memAddr = 0x40000000 + (uint32_t)rng.below(1 << 20);
+            break;
+          case 3:
+            b.cls = trace::InstClass::CondBranch;
+            b.count = 1;
+            b.taken = rng.below(2) != 0;
+            b.target = b.pc + 16;
+            break;
+          case 4:
+            b.cls = trace::InstClass::ShortInt;
+            break;
+          case 5:
+            b.cls = trace::InstClass::FloatOp;
+            break;
+          case 6:
+            b.cls = trace::InstClass::Call;
+            b.count = 1;
+            b.target = 0x8000;
+            break;
+          case 7:
+            b.cls = trace::InstClass::Return;
+            b.count = 1;
+            b.target = 0x2000 + (uint32_t)rng.below(64) * 4;
+            break;
+          case 8:
+            b.cls = trace::InstClass::IndirectJump;
+            b.count = 1;
+            b.target = 0x9000 + (uint32_t)rng.below(8) * 64;
+            break;
+          default:
+            b.cls = trace::InstClass::IntAlu;
+            break;
+        }
+        out.push_back(b);
     }
-    auto bd = machine.breakdown();
-    double total = bd.busyPct;
-    for (double pct : bd.stallPct)
-        total += pct;
-    EXPECT_NEAR(total, 100.0, 1.0);
+    return out;
 }
+
+/**
+ * The Figure 3 invariant: busy% and every stall% share one slot
+ * denominator, so the columns sum to 100 up to fp rounding — at any
+ * issue width (the old accounting mixed slot- and cycle-denominated
+ * terms, and only came close at width 1).
+ */
+class MachineBreakdownSum : public testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(MachineBreakdownSum, SumsTo100AtEveryIssueWidth)
+{
+    MachineConfig cfg;
+    cfg.issueWidth = GetParam();
+    Machine machine(cfg);
+    for (const auto &b : mixedWorkload(5000, 7))
+        machine.onBundle(b);
+    ASSERT_GT(machine.totalSlots(), 0u);
+    EXPECT_NEAR(machine.breakdown().total(), 100.0, 0.01);
+
+    // The ledger leaves total cycles exactly where the pre-ledger
+    // accounting had them: ceil(insts / W) + total stall cycles.
+    uint64_t stall_cycles = 0;
+    for (int c = 0; c < kNumStallCauses; ++c)
+        stall_cycles += machine.stallCycles((StallCause)c);
+    uint64_t w = cfg.issueWidth;
+    EXPECT_EQ(machine.cycles(),
+              (machine.instructions() + w - 1) / w + stall_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(IssueWidth, MachineBreakdownSum,
+                         testing::Values(1u, 2u, 4u));
 
 TEST(Machine, ResetRestoresInitialState)
 {
@@ -400,6 +475,145 @@ TEST(Machine, ResetRestoresInitialState)
     machine.reset();
     EXPECT_EQ(machine.instructions(), 0u);
     EXPECT_EQ(machine.cycles(), 0u);
+}
+
+TEST(Machine, ZeroCountBundleFetchesNothing)
+{
+    // Regression: fetch() computed pc + (count - 1) * 4 with a
+    // uint32_t count, so count == 0 underflowed and walked ~2^30
+    // i-cache lines. An empty bundle must be a no-op.
+    Machine machine;
+    trace::Bundle b;
+    b.pc = 0x1000;
+    b.count = 0;
+    b.cls = trace::InstClass::IntAlu;
+    machine.onBundle(b);
+    EXPECT_EQ(machine.instructions(), 0u);
+    EXPECT_EQ(machine.icache().accesses(), 0u);
+    EXPECT_EQ(machine.itlb().misses(), 0u);
+    EXPECT_EQ(machine.cycles(), 0u);
+
+    // And a normal bundle afterwards behaves as if it came first.
+    b.count = 4;
+    machine.onBundle(b);
+    EXPECT_EQ(machine.instructions(), 4u);
+    EXPECT_EQ(machine.icache().accesses(), 1u);
+}
+
+TEST(Machine, LineCrossingFetchChargesPerLine)
+{
+    // Four instructions starting 8 bytes before a 32-byte line
+    // boundary span exactly two lines on the same 8 KB page: two
+    // i-cache accesses, one iTLB access.
+    Machine machine;
+    trace::Bundle b;
+    b.pc = 0x1000 - 8;
+    b.count = 4;
+    b.cls = trace::InstClass::IntAlu;
+    machine.onBundle(b);
+    EXPECT_EQ(machine.icache().accesses(), 2u);
+    EXPECT_EQ(machine.icache().misses(), 2u);
+    EXPECT_EQ(machine.itlb().hits() + machine.itlb().misses(), 1u);
+}
+
+TEST(Machine, PageCrossingFetchChargesOneItlbPerPage)
+{
+    // Two instructions straddling the 8 KB page boundary: two lines,
+    // two pages, so two iTLB accesses (both cold misses).
+    Machine machine;
+    trace::Bundle b;
+    b.pc = 0x2000 - 4;
+    b.count = 2;
+    b.cls = trace::InstClass::IntAlu;
+    machine.onBundle(b);
+    EXPECT_EQ(machine.icache().accesses(), 2u);
+    EXPECT_EQ(machine.itlb().hits() + machine.itlb().misses(), 2u);
+    EXPECT_EQ(machine.itlb().misses(), 2u);
+}
+
+TEST(Machine, SameLineRefetchIsDeduplicatedUntilReset)
+{
+    // Consecutive fetches of the same line collapse into one lookup
+    // (the paper's per-line charging), but reset() must forget the
+    // last-line latch so a genuine re-fetch is charged again.
+    Machine machine;
+    machine.onBundle(aluBundle(0x1000, 1));
+    EXPECT_EQ(machine.icache().accesses(), 1u);
+    machine.onBundle(aluBundle(0x1004, 1)); // same 32-byte line
+    EXPECT_EQ(machine.icache().accesses(), 1u);
+
+    machine.reset();
+    machine.onBundle(aluBundle(0x1000, 1));
+    EXPECT_EQ(machine.icache().accesses(), 1u)
+        << "reset() must not suppress the first fetch after it";
+}
+
+TEST(Machine, BatchedPathMatchesBundlePathExactly)
+{
+    // The run-hoisted batch loop (closed-form use-delay ticks, hoisted
+    // switch) must be observationally identical to the per-bundle
+    // reference path on every counter.
+    auto work = mixedWorkload(4000, 99);
+
+    Machine byBundle, byBatch;
+    for (const auto &b : work)
+        byBundle.onBundle(b);
+
+    trace::BundleBatch batch;
+    for (const auto &b : work) {
+        batch.push(b);
+        if (batch.full()) {
+            byBatch.onBatch(batch);
+            batch.clear();
+        }
+    }
+    if (!batch.empty())
+        byBatch.onBatch(batch);
+
+    EXPECT_EQ(byBatch.instructions(), byBundle.instructions());
+    EXPECT_EQ(byBatch.cycles(), byBundle.cycles());
+    EXPECT_EQ(byBatch.totalSlots(), byBundle.totalSlots());
+    for (int c = 0; c < kNumStallCauses; ++c)
+        EXPECT_EQ(byBatch.slotsLostTo((StallCause)c),
+                  byBundle.slotsLostTo((StallCause)c))
+            << stallCauseName((StallCause)c);
+    EXPECT_EQ(byBatch.icache().accesses(), byBundle.icache().accesses());
+    EXPECT_EQ(byBatch.icache().misses(), byBundle.icache().misses());
+    EXPECT_EQ(byBatch.dcache().accesses(), byBundle.dcache().accesses());
+    EXPECT_EQ(byBatch.dcache().misses(), byBundle.dcache().misses());
+    EXPECT_EQ(byBatch.l2cache().misses(), byBundle.l2cache().misses());
+    EXPECT_EQ(byBatch.itlb().misses(), byBundle.itlb().misses());
+    EXPECT_EQ(byBatch.dtlb().misses(), byBundle.dtlb().misses());
+    EXPECT_EQ(byBatch.predictor().lookups(),
+              byBundle.predictor().lookups());
+    EXPECT_EQ(byBatch.predictor().mispredicts(),
+              byBundle.predictor().mispredicts());
+    EXPECT_EQ(byBatch.imissPer100Insts(), byBundle.imissPer100Insts());
+}
+
+TEST(Machine, ShadowCheckAcceptsBatchedSimulation)
+{
+    // With shadowCheck on, every batch is re-simulated bundle-at-a-
+    // time and any counter divergence is fatal. A clean run over a
+    // stressful workload must therefore complete without throwing.
+    MachineConfig cfg;
+    cfg.shadowCheck = true;
+    Machine machine(cfg);
+    ScopedFatalThrow contain;
+    auto work = mixedWorkload(4000, 1234);
+    trace::BundleBatch batch;
+    EXPECT_NO_THROW({
+        for (const auto &b : work) {
+            batch.push(b);
+            if (batch.full()) {
+                machine.onBatch(batch);
+                batch.clear();
+            }
+        }
+        if (!batch.empty())
+            machine.onBatch(batch);
+    });
+    EXPECT_NEAR(machine.breakdown().total(), 100.0, 0.01);
 }
 
 TEST(CacheSweep, GridShapeAndMonotonicity)

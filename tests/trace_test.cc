@@ -25,6 +25,31 @@ class Collector : public Sink
     std::vector<Bundle> bundles;
 };
 
+/**
+ * Sink that records the full event stream (bundles, batch boundaries,
+ * commands, memory-model accesses) to check delivery order.
+ */
+class StreamCollector : public Sink
+{
+  public:
+    void
+    onBatch(const BundleBatch &batch) override
+    {
+        ++batches;
+        for (const Bundle &b : batch)
+            events.push_back({'b', b.count});
+    }
+    void onBundle(const Bundle &b) override
+    {
+        events.push_back({'b', b.count});
+    }
+    void onCommand(CommandId id) override { events.push_back({'c', id}); }
+    void onMemModelAccess() override { events.push_back({'m', 0}); }
+
+    std::vector<std::pair<char, uint32_t>> events;
+    int batches = 0;
+};
+
 TEST(CodeRegistry, RoutinesDoNotOverlap)
 {
     CodeRegistry reg;
@@ -114,6 +139,7 @@ TEST(Execution, AluEmitsSequentialPcs)
         RoutineScope scope(exec, r);
         exec.alu(5);
     }
+    exec.flush();
     // call, alu-bundle, return
     ASSERT_EQ(sink.bundles.size(), 3u);
     EXPECT_EQ(sink.bundles[0].cls, InstClass::Call);
@@ -133,6 +159,7 @@ TEST(Execution, WrapEmitsTakenBranch)
         RoutineScope scope(exec, r);
         exec.alu(10); // must wrap inside a 4-instruction routine
     }
+    exec.flush();
     int branches = 0;
     uint32_t insts = 0;
     for (const auto &b : sink.bundles) {
@@ -167,6 +194,7 @@ TEST(Execution, CategoriesAndFlagsPropagate)
         exec.alu(1);
     }
     exec.alu(1);
+    exec.flush();
     ASSERT_EQ(sink.bundles.size(), 3u);
     EXPECT_EQ(sink.bundles[0].cat, Category::FetchDecode);
     EXPECT_FALSE(sink.bundles[0].memModel);
@@ -185,6 +213,7 @@ TEST(Execution, DispatchAndEndDispatch)
     exec.dispatch(h);
     exec.alu(2);
     exec.endDispatch();
+    exec.flush();
     ASSERT_EQ(sink.bundles.size(), 3u);
     EXPECT_EQ(sink.bundles[0].cls, InstClass::IndirectJump);
     EXPECT_EQ(sink.bundles[0].target, exec.code().routine(h).base);
@@ -199,6 +228,7 @@ TEST(Execution, LoadsCarryMappedAddresses)
     int value = 0;
     exec.load(&value);
     exec.store(&value);
+    exec.flush();
     ASSERT_EQ(sink.bundles.size(), 2u);
     EXPECT_EQ(sink.bundles[0].cls, InstClass::Load);
     EXPECT_EQ(sink.bundles[0].memAddr, sink.bundles[1].memAddr);
@@ -223,6 +253,7 @@ TEST(Execution, CommandAttribution)
     exec.beginCommand(mul);
     exec.setCategory(Category::Execute);
     exec.alu(7);
+    exec.flush();
 
     EXPECT_EQ(profile.commands(), 2u);
     EXPECT_EQ(profile.perCommand()[add].retired, 1u);
@@ -247,6 +278,7 @@ TEST(Profile, ByExecuteSortsDescending)
     exec.alu(5);
     exec.beginCommand(big);
     exec.alu(50);
+    exec.flush();
     auto sorted = profile.byExecuteInsts();
     ASSERT_EQ(sorted.size(), 2u);
     EXPECT_EQ(sorted[0].first, big);
@@ -264,6 +296,7 @@ TEST(Profile, SystemWorkExcludedFromUserCounts)
         SystemScope sys(exec);
         exec.alu(90);
     }
+    exec.flush();
     EXPECT_EQ(profile.instructions(), 100u);
     EXPECT_EQ(profile.systemInsts(), 90u);
     EXPECT_EQ(profile.userInstructions(), 10u);
@@ -281,6 +314,7 @@ TEST(Profile, MemModelAccounting)
         exec.alu(30);
     }
     exec.alu(80);
+    exec.flush();
     EXPECT_EQ(profile.memModelAccesses(), 4u);
     EXPECT_DOUBLE_EQ(profile.memModelCostPerAccess(), 30.0);
     EXPECT_DOUBLE_EQ(profile.memModelFraction(), 120.0 / 200.0);
@@ -302,6 +336,7 @@ TEST(Execution, NestedRoutinesReturnToCaller)
         }
         exec.alu(1);
     }
+    exec.flush();
     // The post-call alu must continue inside `outer`.
     const auto &routine = exec.code().routine(outer);
     const Bundle &after = sink.bundles[sink.bundles.size() - 2];
@@ -332,6 +367,85 @@ TEST(Execution, LateSinkAttachAfterCommandIsFatal)
     Profile late;
     interp::ScopedFatalThrow contain;
     EXPECT_THROW(exec.addSink(&late), interp::FatalError);
+}
+
+TEST(Batch, FullBatchDeliversWithoutFlush)
+{
+    // The batch drains to the sinks on its own once kCapacity bundles
+    // accumulate; only the tail needs an explicit flush.
+    Execution exec;
+    StreamCollector sink;
+    exec.addSink(&sink);
+    for (uint32_t i = 0; i < BundleBatch::kCapacity; ++i)
+        exec.load(&sink);
+    EXPECT_EQ(sink.batches, 1);
+    EXPECT_EQ(sink.events.size(), (size_t)BundleBatch::kCapacity);
+    exec.load(&sink);
+    EXPECT_EQ(sink.batches, 1) << "one pending bundle must not deliver";
+    exec.flush();
+    EXPECT_EQ(sink.batches, 2);
+    EXPECT_EQ(sink.events.size(), (size_t)BundleBatch::kCapacity + 1);
+}
+
+TEST(Batch, NonBundleEventsKeepStreamOrder)
+{
+    // Commands and memory-model accesses flush the pending batch
+    // first, so every sink observes the exact emission order — the
+    // property that keeps recorded traces byte-identical.
+    Execution exec;
+    CommandSet set;
+    StreamCollector sink;
+    exec.addSink(&sink);
+    auto add = set.intern("add");
+    exec.alu(2);
+    exec.beginCommand(add);
+    exec.alu(3);
+    exec.noteMemModelAccess();
+    exec.alu(4);
+    exec.flush();
+    std::vector<std::pair<char, uint32_t>> expected = {
+        {'b', 2}, {'c', add}, {'b', 3}, {'m', 0}, {'b', 4}};
+    EXPECT_EQ(sink.events, expected);
+}
+
+TEST(Batch, DefaultOnBatchForwardsToOnBundle)
+{
+    // A sink that only implements onBundle still sees every bundle,
+    // in order, through Sink::onBatch's default forwarding loop.
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    exec.alu(1);
+    exec.shortInt(2);
+    exec.floatOp(3);
+    exec.flush();
+    ASSERT_EQ(sink.bundles.size(), 3u);
+    EXPECT_EQ(sink.bundles[0].cls, InstClass::IntAlu);
+    EXPECT_EQ(sink.bundles[1].cls, InstClass::ShortInt);
+    EXPECT_EQ(sink.bundles[2].cls, InstClass::FloatOp);
+}
+
+TEST(Batch, RemoveSinkDeliversPendingFirst)
+{
+    Execution exec;
+    Collector sink;
+    exec.addSink(&sink);
+    exec.alu(7);
+    exec.removeSink(&sink);
+    ASSERT_EQ(sink.bundles.size(), 1u);
+    EXPECT_EQ(sink.bundles[0].count, 7u);
+}
+
+TEST(Batch, FlushIsIdempotent)
+{
+    Execution exec;
+    StreamCollector sink;
+    exec.addSink(&sink);
+    exec.alu(1);
+    exec.flush();
+    exec.flush();
+    EXPECT_EQ(sink.batches, 1);
+    EXPECT_EQ(sink.events.size(), 1u);
 }
 
 } // namespace
