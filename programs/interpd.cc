@@ -1,0 +1,121 @@
+/**
+ * @file
+ * interpd: the interpreter-as-a-service daemon (see src/server/).
+ *
+ * Listens on a Unix-domain socket and/or loopback TCP, executes EVAL
+ * requests on a worker pool with same-mode batching, sheds load when
+ * the admission queue is full, enforces per-request deadlines, and
+ * serves its counters over the STATS verb. Drive it with `loadgen`.
+ *
+ * Usage: interpd [options]
+ *   --socket PATH    unix socket path (default /tmp/interpd.sock)
+ *   --tcp PORT       also listen on 127.0.0.1:PORT (0 = ephemeral)
+ *   --workers N      execution threads (default 2)
+ *   --queue N        admission queue bound before SHED (default 64)
+ *   --batch N        max same-mode requests per drain (default 8)
+ *   --record DIR     honor the record-trace flag, tapes into DIR
+ *   --max-commands N default command budget per request
+ *   --timestamps     prefix logs with monotonic time + thread id
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "server/server.hh"
+#include "support/logging.hh"
+
+using namespace interp;
+using namespace interp::server;
+
+namespace {
+
+Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server)
+        g_server->stop(); // an atomic store and a pipe write
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: interpd [--socket PATH] [--tcp PORT] [--workers N]\n"
+        "               [--queue N] [--batch N] [--record DIR]\n"
+        "               [--max-commands N] [--timestamps]\n");
+    std::exit(2);
+}
+
+const char *
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return argv[++i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig cfg;
+    cfg.unixPath = "/tmp/interpd.sock";
+    bool timestamps = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--socket"))
+            cfg.unixPath = argValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--tcp"))
+            cfg.tcpPort = std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--workers"))
+            cfg.workers =
+                (unsigned)std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--queue"))
+            cfg.maxQueue = (size_t)std::atol(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--batch"))
+            cfg.maxBatch =
+                (uint32_t)std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--record"))
+            cfg.recordDir = argValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--max-commands"))
+            cfg.defaultMaxCommands =
+                (uint64_t)std::atoll(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--timestamps"))
+            timestamps = true;
+        else
+            usage();
+    }
+
+    setLogTimestamps(timestamps);
+
+    Server server(cfg);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    if (!cfg.unixPath.empty())
+        inform("interpd: listening on %s", cfg.unixPath.c_str());
+    if (server.tcpPort() >= 0)
+        inform("interpd: listening on 127.0.0.1:%d", server.tcpPort());
+    inform("interpd: %u workers, queue bound %zu, batch %u",
+           cfg.workers, cfg.maxQueue, cfg.maxBatch);
+
+    server.run();
+
+    ModeCounters totals = server.stats().totals();
+    inform("interpd: exiting (accepted %llu, served %llu, shed %llu, "
+           "deadline %llu, failed %llu)",
+           (unsigned long long)totals.accepted,
+           (unsigned long long)totals.served,
+           (unsigned long long)totals.shed,
+           (unsigned long long)totals.deadline,
+           (unsigned long long)totals.failed);
+    return 0;
+}

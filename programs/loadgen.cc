@@ -1,0 +1,158 @@
+/**
+ * @file
+ * loadgen: closed- and open-loop load generator for interpd.
+ *
+ * Spawns N client connections replaying a request mix against a
+ * running daemon and prints a per-mode table of outcome counts with
+ * client-observed p50/p95/p99 latency — the shed/miss table of the
+ * serving experiments (see EXPERIMENTS.md). Closed loop (default)
+ * keeps one request in flight per client; --rate switches to open
+ * loop, offering a fixed aggregate arrival rate so queueing delay and
+ * SHED behavior become visible.
+ *
+ * Usage: loadgen [options]
+ *   --socket PATH     connect to a unix socket (default
+ *                     /tmp/interpd.sock unless --tcp is given)
+ *   --tcp PORT        connect to 127.0.0.1:PORT instead
+ *   --clients N       concurrent connections (default 1)
+ *   --requests N      requests per client (default 8)
+ *   --rate R          open loop at R requests/second total
+ *   --mode M[,M...]   execution modes, cycled (default mipsi)
+ *   --program NAME    catalog program (default micro:a=b+c)
+ *   --iterations N    iteration count for micro programs
+ *   --deadline MS     per-request deadline (0 = already expired)
+ *   --max-commands N  per-request command budget
+ *   --machine         also simulate timing (slower)
+ *   --stats           print the server's STATS JSON afterwards
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/client.hh"
+#include "support/logging.hh"
+
+using namespace interp;
+using namespace interp::server;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: loadgen [--socket PATH | --tcp PORT] [--clients N]\n"
+        "               [--requests N] [--rate R] [--mode M[,M...]]\n"
+        "               [--program NAME] [--iterations N]\n"
+        "               [--deadline MS] [--max-commands N]\n"
+        "               [--machine] [--stats]\n");
+    std::exit(2);
+}
+
+const char *
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return argv[++i];
+}
+
+std::vector<harness::Lang>
+parseModes(const std::string &list)
+{
+    std::vector<harness::Lang> modes;
+    size_t start = 0;
+    while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        size_t end = comma == std::string::npos ? list.size() : comma;
+        std::string name = list.substr(start, end - start);
+        harness::Lang lang;
+        if (!langFromName(name, lang))
+            fatal("loadgen: unknown mode \"%s\"", name.c_str());
+        modes.push_back(lang);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (modes.empty())
+        usage();
+    return modes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LoadgenOptions opt;
+    std::string modeList = "mipsi";
+    std::string program = "micro:a=b+c";
+    uint32_t iterations = 0;
+    uint32_t deadlineMs = kNoDeadline;
+    uint64_t maxCommands = 0;
+    uint8_t flags = 0;
+    bool wantStats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--socket"))
+            opt.unixPath = argValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--tcp"))
+            opt.tcpPort = std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--clients"))
+            opt.clients =
+                (unsigned)std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--requests"))
+            opt.requestsPerClient =
+                (unsigned)std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--rate"))
+            opt.openRatePerSec = std::atof(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--mode"))
+            modeList = argValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--program"))
+            program = argValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--iterations"))
+            iterations =
+                (uint32_t)std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--deadline"))
+            deadlineMs =
+                (uint32_t)std::atol(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--max-commands"))
+            maxCommands =
+                (uint64_t)std::atoll(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--machine"))
+            flags |= kFlagWithMachine;
+        else if (!std::strcmp(argv[i], "--stats"))
+            wantStats = true;
+        else
+            usage();
+    }
+    if (opt.unixPath.empty() && opt.tcpPort < 0)
+        opt.unixPath = "/tmp/interpd.sock";
+
+    for (harness::Lang mode : parseModes(modeList)) {
+        EvalRequest req;
+        req.mode = mode;
+        req.flags = flags;
+        req.deadlineMs = deadlineMs;
+        req.maxCommands = maxCommands;
+        req.iterations = iterations;
+        req.kind = ProgramKind::Named;
+        req.program = program;
+        opt.mix.push_back(std::move(req));
+    }
+
+    LoadgenReport report = runLoadgen(opt);
+    std::fputs(report.table().c_str(), stdout);
+
+    if (wantStats) {
+        Client conn = opt.unixPath.empty()
+                          ? Client::connectTcp(opt.tcpPort)
+                          : Client::connectUnix(opt.unixPath);
+        std::printf("%s\n", conn.stats().c_str());
+    }
+    return 0;
+}

@@ -33,6 +33,20 @@ ThreadPool::submit(std::function<void()> job)
     workCv.notify_one();
 }
 
+size_t
+ThreadPool::queuedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return queue.size();
+}
+
+unsigned
+ThreadPool::idleWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return (unsigned)workers.size() - (unsigned)running;
+}
+
 void
 ThreadPool::wait()
 {

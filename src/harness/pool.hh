@@ -48,12 +48,23 @@ class ThreadPool
 
     unsigned threadCount() const { return (unsigned)workers.size(); }
 
+    /**
+     * Jobs sitting in the queue, not yet picked up by a worker.
+     * A point-in-time gauge for admission control (interpd sheds on
+     * it) and stats; with concurrent submitters the value is stale the
+     * moment it returns.
+     */
+    size_t queuedCount() const;
+
+    /** Workers not currently executing a job (same staleness caveat). */
+    unsigned idleWorkers() const;
+
   private:
     void workerLoop();
 
     std::vector<std::thread> workers;
     std::deque<std::function<void()>> queue;
-    std::mutex mu;
+    mutable std::mutex mu;
     std::condition_variable workCv; ///< workers: queue non-empty or stop
     std::condition_variable idleCv; ///< wait(): queue empty and none running
     size_t running = 0;             ///< jobs currently executing

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Client side of the interpd protocol, plus the load-generator core.
+ *
+ * Client is a thin blocking connection: it frames requests, reads
+ * framed responses, and lets callers pipeline (send several EVALs,
+ * then collect responses and match them up by echoed id).
+ *
+ * runLoadgen() is the measurement loop both the `loadgen` program and
+ * the end-to-end server test drive: N client threads, each with its
+ * own connection, replaying a request mix either closed-loop (send,
+ * wait, repeat — measures service latency under concurrency) or
+ * open-loop (send on a fixed schedule regardless of completions — the
+ * arrival process that actually exposes queueing delay and shedding).
+ * Latency is client-observed: from send (closed) or from the
+ * scheduled send instant (open) to response receipt.
+ */
+
+#ifndef INTERP_SERVER_CLIENT_HH
+#define INTERP_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hh"
+
+namespace interp::server {
+
+/** One blocking connection to an interpd daemon. */
+class Client
+{
+  public:
+    /** Connect to a Unix-domain socket; fatal() on failure. */
+    static Client connectUnix(const std::string &path);
+    /** Connect to 127.0.0.1:port; fatal() on failure. */
+    static Client connectTcp(int port);
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Send one EVAL frame (does not wait for the response). */
+    void sendEval(const EvalRequest &req);
+    /** Send one STATS frame. */
+    void sendStats(uint32_t id);
+
+    /** Block until one response arrives; fatal() on EOF/garbage. */
+    EvalResponse recv();
+
+    /** Non-blocking: true and fills @p resp if a complete response
+     *  was available. */
+    bool tryRecv(EvalResponse &resp);
+
+    /** Send one EVAL and wait for its response (no pipelining). */
+    EvalResponse eval(const EvalRequest &req);
+
+    /** Fetch the server's STATS JSON. */
+    std::string stats();
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    void sendAll(const std::string &bytes);
+    bool parseOne(EvalResponse &resp);
+
+    int fd_ = -1;
+    std::string in_;
+    uint32_t nextId_ = 1;
+};
+
+// --- load generator --------------------------------------------------------
+
+struct LoadgenOptions
+{
+    /** Connect target: unix path wins if both are set. */
+    std::string unixPath;
+    int tcpPort = -1;
+
+    unsigned clients = 1;         ///< concurrent connections
+    unsigned requestsPerClient = 8;
+    /**
+     * Total offered load in requests/second across all clients;
+     * 0 = closed loop (each client waits for its response before
+     * sending the next request).
+     */
+    double openRatePerSec = 0;
+
+    /** Request templates, cycled per client; ids are rewritten. */
+    std::vector<EvalRequest> mix;
+
+    /**
+     * Optional per-response hook, called once per completed request
+     * under the tally lock (so it may touch shared state without its
+     * own synchronization). The end-to-end test uses it to compare
+     * every response against the batch harness.
+     */
+    std::function<void(const EvalRequest &, const EvalResponse &)>
+        onResponse;
+};
+
+/** Tallies for one mode (or the whole run). */
+struct LoadgenTotals
+{
+    uint64_t sent = 0;
+    uint64_t ok = 0;
+    uint64_t shed = 0;
+    uint64_t deadline = 0;
+    uint64_t error = 0;
+    /** Client-observed latency of each OK response, microseconds. */
+    std::vector<uint64_t> latencyUs;
+
+    uint64_t percentile(double q) const;
+};
+
+struct LoadgenReport
+{
+    std::map<std::string, LoadgenTotals> byMode; ///< key: langName
+    LoadgenTotals all;
+
+    /** p50/p95/p99 + shed/miss table, one row per mode plus ALL. */
+    std::string table() const;
+};
+
+/** Run the load; fatal() on connection failure. */
+LoadgenReport runLoadgen(const LoadgenOptions &opt);
+
+/**
+ * Parse an execution-mode name: langName() spellings,
+ * case-insensitively, plus the aliases jvm, jvm-quick and threaded.
+ * False on no match.
+ */
+bool langFromName(const std::string &name, harness::Lang &out);
+
+} // namespace interp::server
+
+#endif // INTERP_SERVER_CLIENT_HH

@@ -1,0 +1,644 @@
+#include "server/server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+
+#include "harness/record_replay.hh"
+#include "minic/compile.hh"
+#include "support/logging.hh"
+#include "tracefile/writer.hh"
+
+namespace interp::server {
+
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+namespace {
+
+/**
+ * Thrown by DeadlineSink at a safepoint. Deliberately not a
+ * std::exception: executeOne() must tell "the deadline fired" apart
+ * from "the program failed" (FatalError and friends), and catching it
+ * first by distinct type is the cheapest way to keep the two paths
+ * separate.
+ */
+struct DeadlineExpired
+{
+};
+
+/**
+ * Safepoint deadline enforcement: a passive sink that probes the
+ * monotonic clock whenever the execution delivers events (every full
+ * BundleBatch and every partial flush) and aborts the run by
+ * exception once the deadline has passed. FlushOnExit skips the
+ * tail flush during this unwind, so no sink sees events mid-abort.
+ */
+class DeadlineSink : public trace::Sink
+{
+  public:
+    explicit DeadlineSink(steady_clock::time_point deadline)
+        : deadline_(deadline)
+    {
+    }
+
+    void onBundle(const trace::Bundle &) override { check(); }
+    void onBatch(const trace::BundleBatch &) override { check(); }
+
+  private:
+    void
+    check()
+    {
+        if (steady_clock::now() >= deadline_)
+            throw DeadlineExpired{};
+    }
+
+    steady_clock::time_point deadline_;
+};
+
+uint64_t
+elapsedMicros(steady_clock::time_point from, steady_clock::time_point to)
+{
+    return (uint64_t)duration_cast<microseconds>(to - from).count();
+}
+
+std::string
+catalogKey(harness::Lang base, const std::string &name)
+{
+    return std::string(harness::langName(base)) + "/" + name;
+}
+
+} // namespace
+
+// --- ProgramCatalog --------------------------------------------------------
+
+void
+ProgramCatalog::ensureLoaded()
+{
+    if (loaded)
+        return;
+    for (harness::BenchSpec &spec : harness::macroSuite()) {
+        std::string key = catalogKey(spec.lang, spec.name);
+        macro.emplace(std::move(key), std::move(spec));
+    }
+    loaded = true;
+}
+
+harness::BenchSpec
+ProgramCatalog::resolve(harness::Lang mode, const std::string &name,
+                        uint32_t iterations)
+{
+    using harness::Lang;
+    Lang base = harness::baselineOf(mode);
+    std::lock_guard<std::mutex> lock(mu);
+
+    if (name.rfind("micro:", 0) == 0) {
+        std::string op = name.substr(6);
+        int iters = iterations ? (int)iterations
+                               : harness::microIterations(base);
+        std::string key =
+            catalogKey(base, op) + "/" + std::to_string(iters);
+        auto it = micro.find(key);
+        if (it == micro.end())
+            // microBench fatal()s on an unknown op; the caller's
+            // ScopedFatalThrow turns that into an ERROR response.
+            it = micro
+                     .emplace(std::move(key),
+                              harness::microBench(base, op, iters))
+                     .first;
+        harness::BenchSpec spec = it->second;
+        spec.lang = mode;
+        return spec;
+    }
+
+    ensureLoaded();
+    auto it = macro.find(catalogKey(base, name));
+    // The C column of the macro suite only has des; the other MiniC
+    // programs are shared with MIPSI, so fall through to those specs.
+    if (it == macro.end() && base == Lang::C)
+        it = macro.find(catalogKey(Lang::Mipsi, name));
+    if (it == macro.end())
+        fatal("interpd: unknown %s benchmark \"%s\"",
+              harness::langName(base), name.c_str());
+
+    harness::BenchSpec &cached = it->second;
+    Lang cached_base = harness::baselineOf(cached.lang);
+    if ((cached_base == Lang::C || cached_base == Lang::Mipsi) &&
+        !cached.image)
+        // Warm instance: assemble the guest image once and share it
+        // across every later request for this program.
+        cached.image = std::make_shared<mips::Image>(
+            minic::compileMips(cached.source, cached.name));
+    harness::BenchSpec spec = cached;
+    spec.lang = mode;
+    return spec;
+}
+
+// --- Server lifecycle ------------------------------------------------------
+
+Server::Server(const ServerConfig &config) : cfg(config)
+{
+}
+
+Server::~Server()
+{
+    {
+        // Unexecuted admissions die with the daemon; queued drainer
+        // jobs then find nothing and return, so the pool joins fast.
+        std::lock_guard<std::mutex> lock(pendingMu);
+        pending.clear();
+    }
+    pool.reset();
+    for (auto &entry : conns)
+        ::close(entry.second.fd);
+    if (unixFd >= 0)
+        ::close(unixFd);
+    if (tcpFd >= 0)
+        ::close(tcpFd);
+    if (wakeRead >= 0)
+        ::close(wakeRead);
+    if (wakeWrite >= 0)
+        ::close(wakeWrite);
+    if (!cfg.unixPath.empty())
+        ::unlink(cfg.unixPath.c_str());
+}
+
+void
+Server::start()
+{
+    if (cfg.unixPath.empty() && cfg.tcpPort < 0)
+        fatal("interpd: no listener configured "
+              "(need a unix path or a tcp port)");
+
+    int pipefd[2];
+    if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0)
+        fatal("interpd: pipe2: %s", std::strerror(errno));
+    wakeRead = pipefd[0];
+    wakeWrite = pipefd[1];
+
+    if (!cfg.unixPath.empty()) {
+        sockaddr_un sun{};
+        if (cfg.unixPath.size() >= sizeof(sun.sun_path))
+            fatal("interpd: socket path too long: %s",
+                  cfg.unixPath.c_str());
+        unixFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK |
+                                       SOCK_CLOEXEC,
+                          0);
+        if (unixFd < 0)
+            fatal("interpd: socket(AF_UNIX): %s", std::strerror(errno));
+        sun.sun_family = AF_UNIX;
+        std::memcpy(sun.sun_path, cfg.unixPath.c_str(),
+                    cfg.unixPath.size() + 1);
+        ::unlink(cfg.unixPath.c_str());
+        if (::bind(unixFd, (const sockaddr *)&sun, sizeof(sun)) != 0)
+            fatal("interpd: bind %s: %s", cfg.unixPath.c_str(),
+                  std::strerror(errno));
+        if (::listen(unixFd, 128) != 0)
+            fatal("interpd: listen %s: %s", cfg.unixPath.c_str(),
+                  std::strerror(errno));
+    }
+
+    if (cfg.tcpPort >= 0) {
+        tcpFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                      SOCK_CLOEXEC,
+                         0);
+        if (tcpFd < 0)
+            fatal("interpd: socket(AF_INET): %s", std::strerror(errno));
+        int one = 1;
+        ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in sin{};
+        sin.sin_family = AF_INET;
+        sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        sin.sin_port = htons((uint16_t)cfg.tcpPort);
+        if (::bind(tcpFd, (const sockaddr *)&sin, sizeof(sin)) != 0)
+            fatal("interpd: bind 127.0.0.1:%d: %s", cfg.tcpPort,
+                  std::strerror(errno));
+        if (::listen(tcpFd, 128) != 0)
+            fatal("interpd: listen tcp: %s", std::strerror(errno));
+        socklen_t len = sizeof(sin);
+        if (::getsockname(tcpFd, (sockaddr *)&sin, &len) != 0)
+            fatal("interpd: getsockname: %s", std::strerror(errno));
+        boundTcpPort_ = ntohs(sin.sin_port);
+    }
+
+    pool = std::make_unique<harness::ThreadPool>(cfg.workers);
+}
+
+void
+Server::stop()
+{
+    stopping.store(true, std::memory_order_release);
+    wake();
+}
+
+void
+Server::wake()
+{
+    char byte = 1;
+    // EAGAIN means a wake byte is already pending — good enough.
+    (void)!::write(wakeWrite, &byte, 1);
+}
+
+// --- event loop ------------------------------------------------------------
+
+void
+Server::run()
+{
+    std::vector<pollfd> fds;
+    std::vector<uint64_t> ids;
+    while (!stopping.load(std::memory_order_acquire)) {
+        fds.clear();
+        ids.clear();
+        fds.push_back({wakeRead, POLLIN, 0});
+        ids.push_back(0);
+        if (unixFd >= 0) {
+            fds.push_back({unixFd, POLLIN, 0});
+            ids.push_back(0);
+        }
+        if (tcpFd >= 0) {
+            fds.push_back({tcpFd, POLLIN, 0});
+            ids.push_back(0);
+        }
+        for (auto &entry : conns) {
+            short events = POLLIN;
+            if (!entry.second.out.empty())
+                events |= POLLOUT;
+            fds.push_back({entry.second.fd, events, 0});
+            ids.push_back(entry.first);
+        }
+
+        int n = ::poll(fds.data(), (nfds_t)fds.size(), -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("interpd: poll: %s", std::strerror(errno));
+        }
+        if (stopping.load(std::memory_order_acquire))
+            break;
+
+        if (fds[0].revents & POLLIN) {
+            char drain[256];
+            while (::read(wakeRead, drain, sizeof(drain)) > 0) {
+            }
+        }
+        drainCompletions();
+
+        size_t i = 1;
+        if (unixFd >= 0) {
+            if (fds[i].revents & POLLIN)
+                acceptAll(unixFd);
+            ++i;
+        }
+        if (tcpFd >= 0) {
+            if (fds[i].revents & POLLIN)
+                acceptAll(tcpFd);
+            ++i;
+        }
+        for (; i < fds.size(); ++i) {
+            uint64_t id = ids[i];
+            if (fds[i].revents &
+                (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+                readConn(id);
+            if (conns.count(id) && (fds[i].revents & POLLOUT))
+                writeConn(id);
+        }
+    }
+}
+
+void
+Server::acceptAll(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept4(listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN, or a transient per-connection error
+        }
+        Conn conn;
+        conn.fd = fd;
+        conns.emplace(nextConnId++, std::move(conn));
+    }
+}
+
+void
+Server::closeConn(uint64_t conn_id)
+{
+    auto it = conns.find(conn_id);
+    if (it == conns.end())
+        return;
+    ::close(it->second.fd);
+    conns.erase(it);
+}
+
+void
+Server::readConn(uint64_t conn_id)
+{
+    auto it = conns.find(conn_id);
+    if (it == conns.end())
+        return;
+    char buf[64 * 1024];
+    for (;;) {
+        ssize_t n = ::recv(it->second.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            it->second.in.append(buf, (size_t)n);
+            continue;
+        }
+        if (n == 0) {
+            closeConn(conn_id);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        closeConn(conn_id);
+        return;
+    }
+
+    std::string payload;
+    for (;;) {
+        auto conn = conns.find(conn_id);
+        if (conn == conns.end())
+            return; // a handled frame closed the connection
+        FrameResult r =
+            takeFrame(conn->second.in, payload, kMaxRequestBytes);
+        if (r == FrameResult::Incomplete)
+            return;
+        if (r == FrameResult::Malformed) {
+            closeConn(conn_id);
+            return;
+        }
+        handleFrame(conn_id, payload);
+    }
+}
+
+void
+Server::writeConn(uint64_t conn_id)
+{
+    auto it = conns.find(conn_id);
+    if (it == conns.end())
+        return;
+    Conn &c = it->second;
+    while (!c.out.empty()) {
+        ssize_t n =
+            ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            c.out.erase(0, (size_t)n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        if (errno == EINTR)
+            continue;
+        closeConn(conn_id);
+        return;
+    }
+}
+
+void
+Server::queueResponse(uint64_t conn_id, const EvalResponse &resp)
+{
+    auto it = conns.find(conn_id);
+    if (it == conns.end())
+        return; // client went away; drop the response
+    encodeResponse(it->second.out, resp);
+}
+
+void
+Server::drainCompletions()
+{
+    std::vector<Completion> done;
+    {
+        std::lock_guard<std::mutex> lock(completionMu);
+        done.swap(completions);
+    }
+    for (Completion &c : done)
+        queueResponse(c.connId, c.resp);
+}
+
+void
+Server::handleFrame(uint64_t conn_id, const std::string &payload)
+{
+    switch (requestVerb(payload)) {
+      case (uint8_t)Verb::Eval: {
+        EvalRequest req;
+        if (!decodeEvalRequest(payload, req)) {
+            closeConn(conn_id);
+            return;
+        }
+        stats_.noteAccepted(req.mode);
+        uint32_t req_id = req.id;
+        harness::Lang mode = req.mode;
+        bool admitted = false;
+        {
+            std::lock_guard<std::mutex> lock(pendingMu);
+            if (pending.size() < cfg.maxQueue) {
+                Pending p;
+                p.connId = conn_id;
+                p.req = std::move(req);
+                p.arrival = steady_clock::now();
+                pending.push_back(std::move(p));
+                admitted = true;
+            }
+        }
+        if (admitted) {
+            pool->submit([this] { drainPending(); });
+        } else {
+            stats_.noteShed(mode);
+            EvalResponse resp;
+            resp.id = req_id;
+            resp.status = Status::Shed;
+            resp.result = "admission queue full";
+            queueResponse(conn_id, resp);
+        }
+        return;
+      }
+      case (uint8_t)Verb::Stats: {
+        StatsRequest req;
+        if (!decodeStatsRequest(payload, req)) {
+            closeConn(conn_id);
+            return;
+        }
+        EvalResponse resp;
+        resp.id = req.id;
+        resp.status = Status::Ok;
+        resp.result = stats_.renderJson(pool->queuedCount(),
+                                        pool->idleWorkers());
+        queueResponse(conn_id, resp);
+        return;
+      }
+      default:
+        closeConn(conn_id);
+    }
+}
+
+// --- execution (worker threads) --------------------------------------------
+
+void
+Server::postCompletion(uint64_t conn_id, EvalResponse resp)
+{
+    {
+        std::lock_guard<std::mutex> lock(completionMu);
+        completions.push_back({conn_id, std::move(resp)});
+    }
+    wake();
+}
+
+void
+Server::drainPending()
+{
+    // Take up to maxBatch requests for ONE mode (the oldest one),
+    // leaving other modes in place and in order: consecutive requests
+    // for the same interpreter run back-to-back on a warm catalog.
+    // Every admission submitted one drainer job, so even a drainer
+    // that batches several requests leaves enough later drainers to
+    // empty the queue.
+    std::vector<Pending> batch;
+    {
+        std::lock_guard<std::mutex> lock(pendingMu);
+        if (pending.empty())
+            return;
+        harness::Lang mode = pending.front().req.mode;
+        for (auto it = pending.begin();
+             it != pending.end() && batch.size() < cfg.maxBatch;) {
+            if (it->req.mode == mode) {
+                batch.push_back(std::move(*it));
+                it = pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    for (const Pending &p : batch) {
+        auto dequeue = steady_clock::now();
+        uint64_t queue_us = elapsedMicros(p.arrival, dequeue);
+        EvalResponse resp;
+        if (p.req.deadlineMs != kNoDeadline &&
+            dequeue - p.arrival >= milliseconds(p.req.deadlineMs)) {
+            // Expired while queued: answer without executing.
+            resp.id = p.req.id;
+            resp.status = Status::Deadline;
+            resp.queueMicros = queue_us;
+            resp.result = "deadline expired before execution";
+            stats_.noteDeadline(p.req.mode);
+        } else {
+            resp = executeOne(p, queue_us);
+            switch (resp.status) {
+              case Status::Ok:
+                stats_.noteServed(p.req.mode);
+                stats_.noteLatency(resp.queueMicros,
+                                   resp.serviceMicros);
+                break;
+              case Status::Deadline:
+                stats_.noteDeadline(p.req.mode);
+                break;
+              default:
+                stats_.noteFailed(p.req.mode);
+                stats_.noteLatency(resp.queueMicros,
+                                   resp.serviceMicros);
+                break;
+            }
+        }
+        postCompletion(p.connId, std::move(resp));
+    }
+}
+
+EvalResponse
+Server::executeOne(const Pending &p, uint64_t queue_us)
+{
+    const EvalRequest &req = p.req;
+    EvalResponse resp;
+    resp.id = req.id;
+    resp.queueMicros = queue_us;
+
+    auto service_start = steady_clock::now();
+    ScopedFatalThrow contain;
+    try {
+        harness::BenchSpec spec;
+        if (req.kind == ProgramKind::Named) {
+            spec = catalog.resolve(req.mode, req.program,
+                                   req.iterations);
+        } else {
+            spec.lang = req.mode;
+            spec.name = "inline";
+            spec.source = req.program;
+            spec.needsInputs = (req.flags & kFlagNeedsInputs) != 0;
+        }
+        spec.maxCommands = req.maxCommands ? req.maxCommands
+                                           : cfg.defaultMaxCommands;
+
+        std::vector<trace::Sink *> sinks;
+        DeadlineSink deadline(p.arrival +
+                              milliseconds(req.deadlineMs));
+        if (req.deadlineMs != kNoDeadline)
+            sinks.push_back(&deadline);
+
+        std::unique_ptr<tracefile::TraceWriter> writer;
+        if ((req.flags & kFlagRecordTrace) && !cfg.recordDir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(cfg.recordDir, ec);
+            if (ec)
+                fatal("interpd: cannot create trace dir %s: %s",
+                      cfg.recordDir.c_str(), ec.message().c_str());
+            // Suffix the request id so concurrent requests for the
+            // same program never race on one tape.
+            harness::BenchSpec named = spec;
+            named.name += "-r" + std::to_string(req.id);
+            writer = std::make_unique<tracefile::TraceWriter>(
+                harness::traceFilePath(cfg.recordDir, named),
+                harness::langName(spec.lang), spec.name);
+            sinks.push_back(writer.get());
+        }
+
+        bool with_machine = (req.flags & kFlagWithMachine) != 0;
+        harness::Measurement m =
+            harness::run(spec, sinks, nullptr, with_machine);
+        if (writer) {
+            writer->setRunResult(m.programBytes, m.commands,
+                                 m.finished);
+            writer->setCommandNames(m.commandNames);
+            writer->finish();
+        }
+
+        resp.status = Status::Ok;
+        resp.commands = m.commands;
+        resp.instructions = m.profile.instructions();
+        resp.cycles = m.cycles;
+        resp.result = std::move(m.stdoutText);
+        if (resp.result.size() > kMaxResponseBytes)
+            resp.result.resize(kMaxResponseBytes);
+    } catch (const DeadlineExpired &) {
+        resp.status = Status::Deadline;
+        resp.commands = 0;
+        resp.instructions = 0;
+        resp.cycles = 0;
+        resp.result = "deadline expired during execution";
+    } catch (const std::exception &e) {
+        // FatalError from a poisoned program, bad catalog name, ...
+        resp.status = Status::Error;
+        resp.commands = 0;
+        resp.instructions = 0;
+        resp.cycles = 0;
+        resp.result = e.what();
+    }
+    resp.serviceMicros =
+        elapsedMicros(service_start, steady_clock::now());
+    return resp;
+}
+
+} // namespace interp::server

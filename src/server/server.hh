@@ -1,0 +1,198 @@
+/**
+ * @file
+ * interpd: the interpreter-as-a-service daemon.
+ *
+ * One thread (the caller of run()) owns a poll() event loop that
+ * accepts connections on a Unix-domain socket and/or loopback TCP,
+ * frames requests (see protocol.hh) and writes responses; execution
+ * happens on a harness::ThreadPool. The structure is the classic
+ * single-threaded-accept / pooled-execute serving shape:
+ *
+ *   admission   EVAL frames enter a bounded queue; when it is full
+ *               the request is answered SHED immediately — explicit
+ *               backpressure instead of unbounded buffering.
+ *   batching    a worker draining the queue takes up to
+ *               ServerConfig::maxBatch *same-mode* requests in one
+ *               go, so consecutive requests for one interpreter run
+ *               back-to-back on a warm program catalog and the
+ *               trace::BundleBatch fast path stays hot end-to-end.
+ *   deadlines   each request may carry a relative deadline; it is
+ *               enforced at dequeue (expired requests are answered
+ *               DEADLINE without being executed) and at safepoints
+ *               during execution (a sink probes the clock as batches
+ *               flush and aborts the run).
+ *   containment every request executes under a ScopedFatalThrow: a
+ *               poisoned program (bad source, budget misuse, corrupt
+ *               trace) fails that one response as ERROR, never the
+ *               daemon.
+ *   stats       the STATS verb renders ServerStats (per-mode
+ *               counters, log2 latency histograms, pool gauges) as
+ *               JSON.
+ *
+ * Responses are appended to connection buffers only by the event-loop
+ * thread; workers hand finished responses over through a completion
+ * queue plus a wake pipe. Clients may pipeline; responses can
+ * overtake (a SHED answer arrives before earlier requests finish).
+ */
+
+#ifndef INTERP_SERVER_SERVER_HH
+#define INTERP_SERVER_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/pool.hh"
+#include "harness/runner.hh"
+#include "server/protocol.hh"
+#include "server/stats.hh"
+
+namespace interp::server {
+
+struct ServerConfig
+{
+    /** Unix-domain socket path ("" = no unix listener). A stale file
+     *  at the path is unlinked. */
+    std::string unixPath;
+    /** Loopback TCP port: -1 = no TCP listener, 0 = ephemeral (read
+     *  the bound port back via Server::tcpPort()). */
+    int tcpPort = -1;
+    /** Execution pool size. */
+    unsigned workers = 2;
+    /** Admission-queue bound; EVALs beyond it are answered SHED. */
+    size_t maxQueue = 64;
+    /** Max same-mode requests one worker drains in one batch. */
+    uint32_t maxBatch = 8;
+    /** Directory for kFlagRecordTrace tapes ("" = flag is ignored). */
+    std::string recordDir;
+    /** Command budget for requests that do not set one. */
+    uint64_t defaultMaxCommands = 400'000'000;
+};
+
+/**
+ * Compiled-program catalog: resolves EVAL program references to
+ * BenchSpecs and keeps what is expensive to rebuild — macro-suite
+ * sources read from disk, MIPS images assembled/compiled once — warm
+ * across requests. Thread-safe; shared by all workers.
+ */
+class ProgramCatalog
+{
+  public:
+    /**
+     * Spec for @p name under @p mode: a macro-suite benchmark name
+     * ("des", "txt2html", ...; the name must exist for the mode's
+     * baseline language) or "micro:<op>" from the Table 1 set.
+     * fatal() (contained by the caller) on an unknown name.
+     */
+    harness::BenchSpec resolve(harness::Lang mode,
+                               const std::string &name,
+                               uint32_t iterations);
+
+  private:
+    std::mutex mu;
+    bool loaded = false;
+    /** (baseline lang, benchmark name) -> spec with warm image. */
+    std::unordered_map<std::string, harness::BenchSpec> macro;
+    /** "micro:<op>:<iters>" per baseline lang -> spec. */
+    std::unordered_map<std::string, harness::BenchSpec> micro;
+
+    void ensureLoaded();
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerConfig &config);
+
+    /** Unlinks the unix socket and joins the pool. run() must have
+     *  returned (or never been called). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind/listen the configured sockets and start the worker pool.
+     *  fatal() on any setup error. */
+    void start();
+
+    /** Event loop; returns after stop(). Call from one thread only. */
+    void run();
+
+    /** Ask run() to return. Callable from any thread and from signal
+     *  handlers (one atomic store and one pipe write). */
+    void stop();
+
+    /** Actual TCP port after start() (ephemeral port resolution). */
+    int tcpPort() const { return boundTcpPort_; }
+
+    const ServerStats &stats() const { return stats_; }
+    const ServerConfig &config() const { return cfg; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::string in;  ///< unparsed request bytes
+        std::string out; ///< encoded, unsent response bytes
+    };
+
+    /** One admitted EVAL waiting for a worker. */
+    struct Pending
+    {
+        uint64_t connId = 0;
+        EvalRequest req;
+        std::chrono::steady_clock::time_point arrival;
+    };
+
+    struct Completion
+    {
+        uint64_t connId = 0;
+        EvalResponse resp;
+    };
+
+    // --- event-loop thread only ------------------------------------------
+    void acceptAll(int listen_fd);
+    void readConn(uint64_t conn_id);
+    void writeConn(uint64_t conn_id);
+    void closeConn(uint64_t conn_id);
+    void handleFrame(uint64_t conn_id, const std::string &payload);
+    void queueResponse(uint64_t conn_id, const EvalResponse &resp);
+    void drainCompletions();
+
+    // --- worker threads ---------------------------------------------------
+    void drainPending();
+    EvalResponse executeOne(const Pending &p, uint64_t queue_us);
+    void postCompletion(uint64_t conn_id, EvalResponse resp);
+    void wake();
+
+    ServerConfig cfg;
+    ProgramCatalog catalog;
+    ServerStats stats_;
+
+    int unixFd = -1;
+    int tcpFd = -1;
+    int boundTcpPort_ = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    std::atomic<bool> stopping{false};
+
+    uint64_t nextConnId = 1;
+    std::unordered_map<uint64_t, Conn> conns;
+
+    std::unique_ptr<harness::ThreadPool> pool;
+
+    std::mutex pendingMu;
+    std::deque<Pending> pending;
+
+    std::mutex completionMu;
+    std::vector<Completion> completions;
+};
+
+} // namespace interp::server
+
+#endif // INTERP_SERVER_SERVER_HH

@@ -1,0 +1,271 @@
+#include "server/stats.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace interp::server {
+
+// --- LatencyHistogram ------------------------------------------------------
+
+int
+LatencyHistogram::bucketOf(uint64_t micros)
+{
+    if (micros == 0)
+        return 0;
+    int bit = 63 - __builtin_clzll(micros);
+    return bit < kBuckets ? bit : kBuckets - 1;
+}
+
+uint64_t
+LatencyHistogram::bucketFloor(int i)
+{
+    return i == 0 ? 0 : 1ull << i;
+}
+
+void
+LatencyHistogram::add(uint64_t micros)
+{
+    ++buckets_[bucketOf(micros)];
+    ++total_;
+}
+
+uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    uint64_t rank = (uint64_t)(q * (double)(total_ - 1));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen > rank)
+            return bucketFloor(i);
+    }
+    return bucketFloor(kBuckets - 1);
+}
+
+// --- ServerStats -----------------------------------------------------------
+
+void
+ServerStats::noteAccepted(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].accepted;
+}
+
+void
+ServerStats::noteServed(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].served;
+}
+
+void
+ServerStats::noteShed(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].shed;
+}
+
+void
+ServerStats::noteDeadline(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].deadline;
+}
+
+void
+ServerStats::noteFailed(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].failed;
+}
+
+void
+ServerStats::noteLatency(uint64_t queue_us, uint64_t service_us)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    queueHisto_.add(queue_us);
+    serviceHisto_.add(service_us);
+    totalHisto_.add(queue_us + service_us);
+}
+
+ModeCounters
+ServerStats::mode(harness::Lang lang) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return modes_[(int)lang];
+}
+
+ModeCounters
+ServerStats::totals() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ModeCounters sum;
+    for (const ModeCounters &m : modes_) {
+        sum.accepted += m.accepted;
+        sum.served += m.served;
+        sum.shed += m.shed;
+        sum.deadline += m.deadline;
+        sum.failed += m.failed;
+    }
+    return sum;
+}
+
+namespace {
+
+void
+appendCounters(std::string &out, const ModeCounters &c)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "\"accepted\":%" PRIu64 ",\"served\":%" PRIu64
+                  ",\"shed\":%" PRIu64 ",\"deadline\":%" PRIu64
+                  ",\"failed\":%" PRIu64,
+                  c.accepted, c.served, c.shed, c.deadline, c.failed);
+    out += buf;
+}
+
+void
+appendHistogram(std::string &out, const char *name,
+                const LatencyHistogram &h)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%" PRIu64 ",\"p50\":%" PRIu64
+                  ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64
+                  ",\"buckets\":[",
+                  name, h.count(), h.quantile(0.50), h.quantile(0.95),
+                  h.quantile(0.99));
+    out += buf;
+    bool first = true;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+        if (!h.bucket(i))
+            continue;
+        std::snprintf(buf, sizeof(buf), "%s[%" PRIu64 ",%" PRIu64 "]",
+                      first ? "" : ",",
+                      LatencyHistogram::bucketFloor(i), h.bucket(i));
+        out += buf;
+        first = false;
+    }
+    out += "]}";
+}
+
+} // namespace
+
+std::string
+ServerStats::renderJson(size_t queued_jobs, unsigned idle_workers) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ModeCounters sum;
+    for (const ModeCounters &m : modes_) {
+        sum.accepted += m.accepted;
+        sum.served += m.served;
+        sum.shed += m.shed;
+        sum.deadline += m.deadline;
+        sum.failed += m.failed;
+    }
+
+    std::string out = "{";
+    appendCounters(out, sum);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"queued_jobs\":%zu,\"idle_workers\":%u",
+                  queued_jobs, idle_workers);
+    out += buf;
+
+    out += ",\"modes\":{";
+    bool first = true;
+    for (int i = 0; i < kModes; ++i) {
+        const ModeCounters &m = modes_[i];
+        if (!m.accepted)
+            continue;
+        if (!first)
+            out += ',';
+        out += '"';
+        out += harness::langName((harness::Lang)i);
+        out += "\":{";
+        appendCounters(out, m);
+        out += '}';
+        first = false;
+    }
+    out += '}';
+
+    out += ",\"histograms\":{";
+    appendHistogram(out, "queue_us", queueHisto_);
+    out += ',';
+    appendHistogram(out, "service_us", serviceHisto_);
+    out += ',';
+    appendHistogram(out, "total_us", totalHisto_);
+    out += "}}";
+    return out;
+}
+
+// --- statsJsonUint ---------------------------------------------------------
+
+namespace {
+
+/** [begin,end) window of @p json holding the value of @p key, or
+ *  false. The window for an object value spans its braces. */
+bool
+valueWindow(const std::string &json, size_t begin, size_t end,
+            const std::string &key, size_t &vbegin, size_t &vend)
+{
+    std::string needle = "\"" + key + "\":";
+    size_t at = json.find(needle, begin);
+    if (at == std::string::npos || at >= end)
+        return false;
+    size_t v = at + needle.size();
+    if (v >= end)
+        return false;
+    if (json[v] != '{') {
+        vbegin = v;
+        vend = end;
+        return true;
+    }
+    int depth = 0;
+    for (size_t i = v; i < end; ++i) {
+        if (json[i] == '{')
+            ++depth;
+        else if (json[i] == '}' && --depth == 0) {
+            vbegin = v;
+            vend = i + 1;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+statsJsonUint(const std::string &json, const std::string &path,
+              uint64_t &out)
+{
+    size_t begin = 0, end = json.size();
+    size_t seg_start = 0;
+    for (;;) {
+        size_t dot = path.find('.', seg_start);
+        std::string key = path.substr(seg_start, dot == std::string::npos
+                                                     ? std::string::npos
+                                                     : dot - seg_start);
+        size_t vbegin = 0, vend = 0;
+        if (!valueWindow(json, begin, end, key, vbegin, vend))
+            return false;
+        if (dot == std::string::npos) {
+            uint64_t value = 0;
+            size_t i = vbegin;
+            if (i >= vend || json[i] < '0' || json[i] > '9')
+                return false;
+            while (i < vend && json[i] >= '0' && json[i] <= '9')
+                value = value * 10 + (uint64_t)(json[i++] - '0');
+            out = value;
+            return true;
+        }
+        begin = vbegin;
+        end = vend;
+        seg_start = dot + 1;
+    }
+}
+
+} // namespace interp::server

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * interpd observability: monotonic counters and latency histograms.
+ *
+ * The STATS verb renders one ServerStats snapshot as JSON. Counters
+ * are per mode (accepted / served / shed / deadline-missed / failed)
+ * and reconcile exactly: accepted == served + shed + deadline +
+ * failed once the queue has drained, which the end-to-end test pins
+ * against client-observed totals. Latencies go into log2-bucketed
+ * histograms (queue wait, service, total), the classic shape for
+ * tail-latency reporting: bucket i counts values in [2^i, 2^(i+1))
+ * microseconds, with bucket 0 covering [0, 2).
+ */
+
+#ifndef INTERP_SERVER_STATS_HH
+#define INTERP_SERVER_STATS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "harness/runner.hh"
+
+namespace interp::server {
+
+/** Log2-bucketed latency histogram (microseconds). */
+class LatencyHistogram
+{
+  public:
+    /** Buckets 0..kBuckets-1; the last bucket absorbs the tail. */
+    static constexpr int kBuckets = 40;
+
+    void add(uint64_t micros);
+
+    /** Bucket index a value lands in: floor(log2(us)), clamped. */
+    static int bucketOf(uint64_t micros);
+    /** Inclusive lower bound of bucket @p i in microseconds. */
+    static uint64_t bucketFloor(int i);
+
+    uint64_t count() const { return total_; }
+    uint64_t bucket(int i) const { return buckets_[i]; }
+
+    /**
+     * Value at quantile @p q in [0,1], resolved to its bucket's lower
+     * bound — coarse (log2) but monotone and allocation-free.
+     */
+    uint64_t quantile(double q) const;
+
+  private:
+    uint64_t buckets_[kBuckets] = {};
+    uint64_t total_ = 0;
+};
+
+/** Counters for one execution mode. */
+struct ModeCounters
+{
+    uint64_t accepted = 0; ///< EVAL frames admitted (incl. shed)
+    uint64_t served = 0;   ///< answered OK
+    uint64_t shed = 0;     ///< refused at admission (queue full)
+    uint64_t deadline = 0; ///< expired before/while executing
+    uint64_t failed = 0;   ///< contained error (bad program, ...)
+};
+
+/** All counters of one daemon, behind one mutex (STATS is rare and
+ *  per-request updates are a handful of increments). */
+class ServerStats
+{
+  public:
+    static constexpr int kModes = (int)harness::Lang::TclBytecode + 1;
+
+    void noteAccepted(harness::Lang mode);
+    void noteServed(harness::Lang mode);
+    void noteShed(harness::Lang mode);
+    void noteDeadline(harness::Lang mode);
+    void noteFailed(harness::Lang mode);
+
+    /** Record one completed (OK/ERROR) request's latencies. */
+    void noteLatency(uint64_t queue_us, uint64_t service_us);
+
+    ModeCounters mode(harness::Lang lang) const;
+    ModeCounters totals() const;
+
+    /**
+     * Render everything as one JSON object (fixed key order, so the
+     * output is deterministic given the counters): per-mode counter
+     * objects under "modes" for modes with traffic, summed totals at
+     * the top level, the three histograms as bucket arrays plus
+     * coarse p50/p95/p99, and the pool gauges passed in by the
+     * caller.
+     */
+    std::string renderJson(size_t queued_jobs,
+                           unsigned idle_workers) const;
+
+  private:
+    mutable std::mutex mu;
+    ModeCounters modes_[kModes];
+    LatencyHistogram queueHisto_;
+    LatencyHistogram serviceHisto_;
+    LatencyHistogram totalHisto_;
+};
+
+/**
+ * Pull one unsigned counter out of a renderJson() document:
+ * @p path is dot-separated ("shed", "modes.Tcl.served",
+ * "histograms.total_us.p99"). Returns false if absent. A
+ * string-scanning parser for exactly the JSON this module emits —
+ * loadgen and the tests use it to reconcile counters.
+ */
+bool statsJsonUint(const std::string &json, const std::string &path,
+                   uint64_t &out);
+
+} // namespace interp::server
+
+#endif // INTERP_SERVER_STATS_HH

@@ -1,5 +1,7 @@
 #include "support/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -24,10 +26,34 @@ std::mutex report_mutex;
 // Per-thread: fatal() throws instead of exiting (see ScopedFatalThrow).
 thread_local bool fatal_throws = false;
 
+// Log-line prefixing (setLogTimestamps). The epoch is captured at
+// first use so "seconds since start" reads near zero in early lines.
+std::atomic<bool> log_timestamps{false};
+
+std::chrono::steady_clock::time_point
+logEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+// Dense per-thread ids: readable in interleaved output, unlike the
+// 15-digit values std::this_thread::get_id() prints on glibc.
+int
+shortThreadId()
+{
+    static std::atomic<int> next{0};
+    thread_local int id = next++;
+    return id;
+}
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    std::string prefix = logLinePrefix();
     std::lock_guard<std::mutex> lock(report_mutex);
+    if (!prefix.empty())
+        std::fputs(prefix.c_str(), stderr);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -48,6 +74,33 @@ vformat(const char *fmt, va_list ap)
 }
 
 } // namespace
+
+void
+setLogTimestamps(bool on)
+{
+    if (on)
+        logEpoch(); // pin the epoch no later than enablement
+    log_timestamps.store(on, std::memory_order_relaxed);
+}
+
+bool
+logTimestampsEnabled()
+{
+    return log_timestamps.load(std::memory_order_relaxed);
+}
+
+std::string
+logLinePrefix()
+{
+    if (!logTimestampsEnabled())
+        return "";
+    auto elapsed = std::chrono::steady_clock::now() - logEpoch();
+    double secs = std::chrono::duration<double>(elapsed).count();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[%012.6f t%02d] ", secs,
+                  shortThreadId());
+    return buf;
+}
 
 ScopedFatalThrow::ScopedFatalThrow() : saved(fatal_throws)
 {

@@ -50,6 +50,24 @@ class ScopedFatalThrow
     bool saved;
 };
 
+/**
+ * When enabled, every log line is prefixed with `[sssss.ssssss tNN] `:
+ * seconds since process start on the monotonic clock, plus a short
+ * dense per-thread id. Off by default so single-threaded tools (and
+ * the test expectations built on their output) are unchanged; the
+ * interpd daemon turns it on, because its worker logs interleave and
+ * are unattributable without it.
+ */
+void setLogTimestamps(bool on);
+bool logTimestampsEnabled();
+
+/**
+ * The prefix the current thread would put on a log line right now
+ * (empty when timestamps are disabled). Exposed so tests can pin the
+ * format without capturing stderr.
+ */
+std::string logLinePrefix();
+
 /** Print a formatted message to stderr and abort(). */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -11,7 +11,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -70,6 +72,45 @@ TEST(ThreadPool, ZeroThreadsClampsToOne)
 {
     ThreadPool pool(0);
     EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, QueueAndIdleGauges)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.queuedCount(), 0u);
+    EXPECT_EQ(pool.idleWorkers(), 2u);
+
+    // Park both workers on a gate, then pile up three more jobs: the
+    // gauges must read exactly 3 queued / 0 idle — the admission-
+    // control snapshot interpd sheds on.
+    std::mutex gate_mu;
+    std::condition_variable gate_cv;
+    bool gate_open = false;
+    std::atomic<int> parked{0};
+    for (int i = 0; i < 2; ++i)
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(gate_mu);
+            ++parked;
+            gate_cv.wait(lock, [&] { return gate_open; });
+        });
+    while (parked.load() < 2)
+        std::this_thread::yield();
+    EXPECT_EQ(pool.queuedCount(), 0u) << "both jobs picked up";
+    EXPECT_EQ(pool.idleWorkers(), 0u);
+
+    for (int i = 0; i < 3; ++i)
+        pool.submit([] {});
+    EXPECT_EQ(pool.queuedCount(), 3u);
+    EXPECT_EQ(pool.idleWorkers(), 0u);
+
+    {
+        std::lock_guard<std::mutex> lock(gate_mu);
+        gate_open = true;
+    }
+    gate_cv.notify_all();
+    pool.wait();
+    EXPECT_EQ(pool.queuedCount(), 0u);
+    EXPECT_EQ(pool.idleWorkers(), 2u);
 }
 
 // --- parallelFor -------------------------------------------------------

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * interpd end-to-end and unit tests.
+ *
+ * The end-to-end suite runs a real Server (event loop on its own
+ * thread, workers on the harness pool) against a Unix-domain socket
+ * and drives it through the same loadgen code path the CLI tool uses.
+ * It pins the acceptance contract of the serving mode:
+ *
+ *   identity   every OK response is byte-identical to what the batch
+ *              harness produces for the same spec (commands, native
+ *              instructions, stdout) — serving must not perturb the
+ *              measurement, even with several modes in flight;
+ *   shedding   an over-capacity burst yields SHED responses and zero
+ *              crashes, and every request id is answered exactly once;
+ *   deadlines  an already-expired deadline returns DEADLINE without
+ *              executing; a mid-run expiry aborts at a safepoint;
+ *   stats      STATS counters reconcile exactly with client-observed
+ *              totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+
+#include "harness/runner.hh"
+#include "server/client.hh"
+#include "server/server.hh"
+#include "server/stats.hh"
+#include "support/logging.hh"
+#include "tracefile/reader.hh"
+
+using namespace interp;
+using namespace interp::server;
+using harness::Lang;
+
+namespace {
+
+/** A running daemon on a private Unix socket, torn down on scope exit. */
+class TestServer
+{
+  public:
+    explicit TestServer(ServerConfig cfg)
+    {
+        static int counter = 0;
+        char path[96];
+        std::snprintf(path, sizeof(path), "/tmp/interpd_test_%d_%d.sock",
+                      (int)::getpid(), counter++);
+        cfg.unixPath = path;
+        server = std::make_unique<Server>(cfg);
+        server->start();
+        loop = std::thread([this] { server->run(); });
+    }
+
+    ~TestServer()
+    {
+        server->stop();
+        loop.join();
+        server.reset();
+    }
+
+    const std::string &path() const { return server->config().unixPath; }
+    Server &daemon() { return *server; }
+
+  private:
+    std::unique_ptr<Server> server;
+    std::thread loop;
+};
+
+/** What the batch harness measures for a micro spec under `mode`. */
+harness::Measurement
+batchMeasure(Lang mode, const std::string &op, int iterations)
+{
+    harness::BenchSpec spec =
+        harness::microBench(harness::baselineOf(mode), op, iterations);
+    spec.lang = mode;
+    return harness::run(spec, {}, nullptr, /*with_machine=*/false);
+}
+
+EvalRequest
+microRequest(Lang mode, uint32_t iterations)
+{
+    EvalRequest req;
+    req.mode = mode;
+    req.program = "micro:a=b+c";
+    req.iterations = iterations;
+    return req;
+}
+
+} // namespace
+
+// --- protocol unit tests ---------------------------------------------------
+
+TEST(Protocol, EvalRequestRoundTrip)
+{
+    EvalRequest req;
+    req.id = 7;
+    req.mode = Lang::JavaQuick;
+    req.flags = kFlagRecordTrace | kFlagWithMachine;
+    req.deadlineMs = 1500;
+    req.maxCommands = 123456789;
+    req.iterations = 42;
+    req.kind = ProgramKind::Inline;
+    req.program = "puts \"hi\"";
+
+    std::string wire;
+    encodeEvalRequest(wire, req);
+
+    std::string payload;
+    ASSERT_EQ(takeFrame(wire, payload, kMaxRequestBytes),
+              FrameResult::Frame);
+    EXPECT_TRUE(wire.empty());
+    EXPECT_EQ(requestVerb(payload), (uint8_t)Verb::Eval);
+
+    EvalRequest back;
+    ASSERT_TRUE(decodeEvalRequest(payload, back));
+    EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.mode, req.mode);
+    EXPECT_EQ(back.flags, req.flags);
+    EXPECT_EQ(back.deadlineMs, req.deadlineMs);
+    EXPECT_EQ(back.maxCommands, req.maxCommands);
+    EXPECT_EQ(back.iterations, req.iterations);
+    EXPECT_EQ(back.kind, req.kind);
+    EXPECT_EQ(back.program, req.program);
+}
+
+TEST(Protocol, ResponseRoundTripAndPartialFrames)
+{
+    EvalResponse resp;
+    resp.id = 99;
+    resp.status = Status::Deadline;
+    resp.commands = 1;
+    resp.instructions = 2;
+    resp.cycles = 3;
+    resp.queueMicros = 4;
+    resp.serviceMicros = 5;
+    resp.result = "late";
+
+    std::string wire;
+    encodeResponse(wire, resp);
+
+    // Feed the stream a byte at a time: Incomplete until the last one.
+    std::string buf, payload;
+    for (size_t i = 0; i + 1 < wire.size(); ++i) {
+        buf.push_back(wire[i]);
+        ASSERT_EQ(takeFrame(buf, payload, kMaxResponseBytes),
+                  FrameResult::Incomplete);
+    }
+    buf.push_back(wire.back());
+    ASSERT_EQ(takeFrame(buf, payload, kMaxResponseBytes),
+              FrameResult::Frame);
+
+    EvalResponse back;
+    ASSERT_TRUE(decodeResponse(payload, back));
+    EXPECT_EQ(back.id, resp.id);
+    EXPECT_EQ(back.status, resp.status);
+    EXPECT_EQ(back.result, resp.result);
+    EXPECT_EQ(back.queueMicros, resp.queueMicros);
+}
+
+TEST(Protocol, MalformationsAreRejected)
+{
+    // Oversized frame length.
+    std::string buf("\xff\xff\xff\xff", 4);
+    std::string payload;
+    EXPECT_EQ(takeFrame(buf, payload, kMaxRequestBytes),
+              FrameResult::Malformed);
+
+    // Unknown mode byte.
+    EvalRequest req;
+    req.program = "des";
+    std::string wire;
+    encodeEvalRequest(wire, req);
+    ASSERT_EQ(takeFrame(wire, payload, kMaxRequestBytes),
+              FrameResult::Frame);
+    std::string bad = payload;
+    bad[5] = (char)0x7f; // mode field (verb + u32 id precede it)
+    EvalRequest back;
+    EXPECT_FALSE(decodeEvalRequest(bad, back));
+
+    // Truncated payload.
+    bad = payload.substr(0, payload.size() - 1);
+    EXPECT_FALSE(decodeEvalRequest(bad, back));
+    // Trailing garbage.
+    bad = payload + "x";
+    EXPECT_FALSE(decodeEvalRequest(bad, back));
+
+    // STATS decoder rejects an EVAL payload and vice versa.
+    StatsRequest sback;
+    EXPECT_FALSE(decodeStatsRequest(payload, sback));
+}
+
+TEST(Protocol, StatsRequestRoundTrip)
+{
+    StatsRequest req;
+    req.id = 31337;
+    std::string wire;
+    encodeStatsRequest(wire, req);
+    std::string payload;
+    ASSERT_EQ(takeFrame(wire, payload, kMaxRequestBytes),
+              FrameResult::Frame);
+    EXPECT_EQ(requestVerb(payload), (uint8_t)Verb::Stats);
+    StatsRequest back;
+    ASSERT_TRUE(decodeStatsRequest(payload, back));
+    EXPECT_EQ(back.id, req.id);
+}
+
+// --- stats unit tests ------------------------------------------------------
+
+TEST(LatencyHistogram, BucketsAreLog2)
+{
+    EXPECT_EQ(LatencyHistogram::bucketOf(0), 0);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1), 0);
+    EXPECT_EQ(LatencyHistogram::bucketOf(2), 1);
+    EXPECT_EQ(LatencyHistogram::bucketOf(3), 1);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1023), 9);
+    EXPECT_EQ(LatencyHistogram::bucketOf(1024), 10);
+    EXPECT_EQ(LatencyHistogram::bucketFloor(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketFloor(10), 1024u);
+    // Every value lands in the bucket whose floor bounds it below.
+    for (uint64_t v :
+         {0ull, 1ull, 7ull, 100ull, 4095ull, 1ull << 20}) {
+        int b = LatencyHistogram::bucketOf(v);
+        EXPECT_LE(LatencyHistogram::bucketFloor(b), v);
+    }
+
+    LatencyHistogram h;
+    for (int i = 0; i < 99; ++i)
+        h.add(10); // bucket 3 (floor 8)
+    h.add(100000); // bucket 16 (floor 65536)
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.quantile(0.50), 8u);
+    EXPECT_EQ(h.quantile(0.99), 8u);
+    EXPECT_EQ(h.quantile(1.0), 65536u);
+}
+
+TEST(ServerStatsJson, RenderAndParse)
+{
+    ServerStats stats;
+    stats.noteAccepted(Lang::Tcl);
+    stats.noteServed(Lang::Tcl);
+    stats.noteAccepted(Lang::Mipsi);
+    stats.noteShed(Lang::Mipsi);
+    stats.noteLatency(10, 1000);
+
+    std::string json = stats.renderJson(3, 2);
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "accepted", v));
+    EXPECT_EQ(v, 2u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Tcl.served", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.MIPSI.shed", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "queued_jobs", v));
+    EXPECT_EQ(v, 3u);
+    ASSERT_TRUE(statsJsonUint(json, "idle_workers", v));
+    EXPECT_EQ(v, 2u);
+    ASSERT_TRUE(statsJsonUint(json, "histograms.total_us.count", v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_FALSE(statsJsonUint(json, "modes.Perl.served", v));
+    EXPECT_FALSE(statsJsonUint(json, "no.such.path", v));
+}
+
+// --- end-to-end: identity under concurrency --------------------------------
+
+TEST(ServerEndToEnd, LoadgenMatchesBatchHarnessAcrossModes)
+{
+    const uint32_t kIters = 300;
+    const std::vector<Lang> modes = {Lang::Mipsi, Lang::Java,
+                                     Lang::Tcl, Lang::MipsiThreaded};
+
+    // The serving path must reproduce the batch harness bit for bit.
+    std::map<Lang, harness::Measurement> expected;
+    for (Lang mode : modes)
+        expected.emplace(mode,
+                         batchMeasure(mode, "a=b+c", (int)kIters));
+
+    ServerConfig cfg;
+    cfg.workers = 2;
+    TestServer ts(cfg);
+
+    LoadgenOptions opt;
+    opt.unixPath = ts.path();
+    opt.clients = 4;
+    opt.requestsPerClient = 6;
+    for (Lang mode : modes)
+        opt.mix.push_back(microRequest(mode, kIters));
+    opt.onResponse = [&expected](const EvalRequest &req,
+                                 const EvalResponse &resp) {
+        ASSERT_EQ(resp.status, Status::Ok) << resp.result;
+        const harness::Measurement &m = expected.at(req.mode);
+        EXPECT_EQ(resp.commands, m.commands);
+        EXPECT_EQ(resp.instructions, m.profile.instructions());
+        EXPECT_EQ(resp.result, m.stdoutText);
+        EXPECT_EQ(resp.cycles, 0u); // no kFlagWithMachine
+    };
+
+    LoadgenReport report = runLoadgen(opt);
+    EXPECT_EQ(report.all.sent, 24u);
+    EXPECT_EQ(report.all.ok, 24u);
+
+    // STATS reconciles exactly with the client-observed totals.
+    Client conn = Client::connectUnix(ts.path());
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "accepted", v));
+    EXPECT_EQ(v, report.all.sent);
+    ASSERT_TRUE(statsJsonUint(json, "served", v));
+    EXPECT_EQ(v, report.all.ok);
+    ASSERT_TRUE(statsJsonUint(json, "shed", v));
+    EXPECT_EQ(v, 0u);
+    ASSERT_TRUE(statsJsonUint(json, "deadline", v));
+    EXPECT_EQ(v, 0u);
+    ASSERT_TRUE(statsJsonUint(json, "failed", v));
+    EXPECT_EQ(v, 0u);
+    ASSERT_TRUE(statsJsonUint(json, "histograms.total_us.count", v));
+    EXPECT_EQ(v, report.all.ok);
+    for (Lang mode : modes) {
+        std::string path = std::string("modes.") +
+                           harness::langName(mode) + ".served";
+        ASSERT_TRUE(statsJsonUint(json, path, v)) << path;
+        EXPECT_EQ(v, report.byMode.at(harness::langName(mode)).ok);
+    }
+}
+
+// --- end-to-end: backpressure ----------------------------------------------
+
+TEST(ServerEndToEnd, OverCapacityBurstShedsWithoutCrashing)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxQueue = 2;
+    cfg.maxBatch = 1;
+    TestServer ts(cfg);
+
+    // Pipeline a burst far beyond queue capacity; every id must come
+    // back exactly once, sheds must appear, nothing may crash.
+    const uint32_t kBurst = 12;
+    Client conn = Client::connectUnix(ts.path());
+    for (uint32_t i = 1; i <= kBurst; ++i) {
+        EvalRequest req = microRequest(Lang::Tcl, 20000);
+        req.id = i;
+        conn.sendEval(req);
+    }
+
+    std::map<uint32_t, Status> outcomes;
+    for (uint32_t i = 0; i < kBurst; ++i) {
+        EvalResponse resp = conn.recv();
+        EXPECT_TRUE(outcomes.emplace(resp.id, resp.status).second)
+            << "duplicate response for id " << resp.id;
+    }
+    ASSERT_EQ(outcomes.size(), kBurst);
+
+    uint64_t ok = 0, shed = 0;
+    for (const auto &entry : outcomes) {
+        ASSERT_TRUE(entry.second == Status::Ok ||
+                    entry.second == Status::Shed)
+            << "id " << entry.first << " -> "
+            << statusName(entry.second);
+        (entry.second == Status::Ok ? ok : shed)++;
+    }
+    EXPECT_GE(ok, 1u);   // at least the in-flight request ran
+    EXPECT_GE(shed, 1u); // the burst exceeded queue + in-flight
+    EXPECT_EQ(ok + shed, kBurst);
+
+    // And the daemon is still healthy afterwards.
+    EvalRequest again = microRequest(Lang::Tcl, 300);
+    again.id = 777;
+    EvalResponse resp = conn.eval(again);
+    EXPECT_EQ(resp.status, Status::Ok) << resp.result;
+
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "accepted", v));
+    EXPECT_EQ(v, (uint64_t)kBurst + 1);
+    ASSERT_TRUE(statsJsonUint(json, "shed", v));
+    EXPECT_EQ(v, shed);
+    ASSERT_TRUE(statsJsonUint(json, "served", v));
+    EXPECT_EQ(v, ok + 1);
+}
+
+// --- end-to-end: deadlines -------------------------------------------------
+
+TEST(ServerEndToEnd, ExpiredDeadlineReturnsWithoutExecuting)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    TestServer ts(cfg);
+
+    Client conn = Client::connectUnix(ts.path());
+
+    // A (no deadline) occupies the single worker; B (deadline 0 =
+    // already expired) must be answered DEADLINE at dequeue with zero
+    // work done. FIFO order makes this deterministic.
+    EvalRequest a = microRequest(Lang::Mipsi, 20000);
+    a.id = 1;
+    EvalRequest b = microRequest(Lang::Mipsi, 20000);
+    b.id = 2;
+    b.deadlineMs = 0;
+    conn.sendEval(a);
+    conn.sendEval(b);
+
+    std::map<uint32_t, EvalResponse> responses;
+    for (int i = 0; i < 2; ++i) {
+        EvalResponse resp = conn.recv();
+        responses[resp.id] = resp;
+    }
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[1].status, Status::Ok) << responses[1].result;
+    EXPECT_EQ(responses[2].status, Status::Deadline);
+    EXPECT_EQ(responses[2].commands, 0u);
+    EXPECT_EQ(responses[2].instructions, 0u);
+    EXPECT_EQ(responses[2].result, "deadline expired before execution");
+
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "deadline", v));
+    EXPECT_EQ(v, 1u);
+}
+
+TEST(ServerEndToEnd, MidRunDeadlineAbortsAtSafepoint)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    TestServer ts(cfg);
+
+    Client conn = Client::connectUnix(ts.path());
+    // Big enough to run well past the deadline; the safepoint sink
+    // must cut it off (or the dequeue check, if the queue was slow —
+    // either way: DEADLINE, never a full run).
+    EvalRequest req = microRequest(Lang::Tcl, 2'000'000);
+    req.id = 5;
+    req.deadlineMs = 1;
+    EvalResponse resp = conn.eval(req);
+    EXPECT_EQ(resp.status, Status::Deadline);
+    EXPECT_EQ(resp.commands, 0u);
+}
+
+// --- end-to-end: containment, inline programs, recording -------------------
+
+TEST(ServerEndToEnd, PoisonedProgramIsContainedAsError)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    TestServer ts(cfg);
+
+    Client conn = Client::connectUnix(ts.path());
+
+    // Inline tclish program that works.
+    EvalRequest good;
+    good.id = 1;
+    good.mode = Lang::Tcl;
+    good.kind = ProgramKind::Inline;
+    good.program = "puts \"served inline\"";
+    EvalResponse resp = conn.eval(good);
+    ASSERT_EQ(resp.status, Status::Ok) << resp.result;
+    EXPECT_EQ(resp.result, "served inline\n");
+    EXPECT_GT(resp.commands, 0u);
+
+    // A poisoned program fails its own request, not the daemon.
+    EvalRequest bad;
+    bad.id = 2;
+    bad.mode = Lang::Tcl;
+    bad.kind = ProgramKind::Inline;
+    bad.program = "no_such_command_at_all 1 2 3";
+    resp = conn.eval(bad);
+    EXPECT_EQ(resp.status, Status::Error);
+    EXPECT_FALSE(resp.result.empty());
+
+    // An unknown catalog name likewise.
+    EvalRequest unknown;
+    unknown.id = 3;
+    unknown.mode = Lang::Perl;
+    unknown.program = "no-such-benchmark";
+    resp = conn.eval(unknown);
+    EXPECT_EQ(resp.status, Status::Error);
+
+    // The daemon survived both and still serves.
+    resp = conn.eval(good);
+    EXPECT_EQ(resp.status, Status::Ok) << resp.result;
+
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "failed", v));
+    EXPECT_EQ(v, 2u);
+    ASSERT_TRUE(statsJsonUint(json, "served", v));
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(ServerEndToEnd, RecordFlagWritesReplayableTape)
+{
+    char dir[96];
+    std::snprintf(dir, sizeof(dir), "/tmp/interpd_test_tapes_%d",
+                  (int)::getpid());
+
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.recordDir = dir;
+    TestServer ts(cfg);
+
+    Client conn = Client::connectUnix(ts.path());
+    EvalRequest req = microRequest(Lang::Java, 300);
+    req.id = 44;
+    req.flags = kFlagRecordTrace;
+    EvalResponse resp = conn.eval(req);
+    ASSERT_EQ(resp.status, Status::Ok) << resp.result;
+
+    // The tape exists, is finalized, and records the same run.
+    // microBench names the spec after the op; -r44 is the request id.
+    std::string tape = std::string(dir) + "/java-a_b_c-r44.itr";
+    tracefile::TraceReader reader(tape);
+    EXPECT_EQ(reader.meta().commands, resp.commands);
+    EXPECT_TRUE(reader.meta().finished);
+    std::remove(tape.c_str());
+}
+
+// --- end-to-end: open loop -------------------------------------------------
+
+TEST(ServerEndToEnd, OpenLoopAccountsForEveryRequest)
+{
+    ServerConfig cfg;
+    cfg.workers = 2;
+    TestServer ts(cfg);
+
+    LoadgenOptions opt;
+    opt.unixPath = ts.path();
+    opt.clients = 2;
+    opt.requestsPerClient = 5;
+    opt.openRatePerSec = 200; // paced sends, pipelined receives
+    opt.mix.push_back(microRequest(Lang::Tcl, 300));
+    opt.mix.push_back(microRequest(Lang::Mipsi, 300));
+
+    LoadgenReport report = runLoadgen(opt);
+    EXPECT_EQ(report.all.sent, 10u);
+    EXPECT_EQ(report.all.ok + report.all.shed + report.all.deadline +
+                  report.all.error,
+              10u);
+    EXPECT_EQ(report.all.ok, report.all.latencyUs.size());
+    EXPECT_FALSE(report.table().empty());
+}

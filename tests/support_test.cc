@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
 
+#include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/strutil.hh"
 
@@ -129,6 +131,65 @@ TEST(Rng, RealInUnitInterval)
         EXPECT_GE(v, 0.0);
         EXPECT_LT(v, 1.0);
     }
+}
+
+// --- log-line prefixes (setLogTimestamps) -------------------------------
+
+/** Restores the global prefix option on scope exit. */
+struct TimestampGuard
+{
+    bool saved = logTimestampsEnabled();
+    ~TimestampGuard() { setLogTimestamps(saved); }
+};
+
+TEST(Logging, PrefixEmptyWhenDisabled)
+{
+    TimestampGuard guard;
+    setLogTimestamps(false);
+    EXPECT_EQ(logLinePrefix(), "");
+}
+
+TEST(Logging, PrefixFormatAndMonotonicity)
+{
+    TimestampGuard guard;
+    setLogTimestamps(true);
+    std::string p = logLinePrefix();
+    // "[sssss.ssssss tNN] " — fixed-width seconds, then a thread id.
+    ASSERT_GE(p.size(), 6u);
+    EXPECT_EQ(p.front(), '[');
+    size_t dot = p.find('.');
+    size_t tid = p.find(" t");
+    size_t close = p.find("] ");
+    ASSERT_NE(dot, std::string::npos);
+    ASSERT_NE(tid, std::string::npos);
+    ASSERT_NE(close, std::string::npos);
+    EXPECT_LT(dot, tid);
+    EXPECT_LT(tid, close);
+    EXPECT_EQ(close + 2, p.size()) << "prefix ends with \"] \"";
+    EXPECT_EQ(tid + 2 + 2, close) << "two-digit dense thread id";
+
+    auto seconds = [](const std::string &prefix) {
+        return std::stod(prefix.substr(1, prefix.find(' ') - 1));
+    };
+    double first = seconds(p);
+    EXPECT_GE(first, 0.0);
+    std::string q = logLinePrefix();
+    EXPECT_GE(seconds(q), first) << "monotonic clock never steps back";
+}
+
+TEST(Logging, ThreadsGetDistinctIds)
+{
+    TimestampGuard guard;
+    setLogTimestamps(true);
+    std::string here = logLinePrefix();
+    std::string there;
+    std::thread other([&there] { there = logLinePrefix(); });
+    other.join();
+    auto tid = [](const std::string &prefix) {
+        size_t t = prefix.find(" t");
+        return prefix.substr(t + 2, prefix.find("] ") - t - 2);
+    };
+    EXPECT_NE(tid(here), tid(there));
 }
 
 } // namespace

@@ -396,4 +396,40 @@ TEST(TraceCorruption, TrailingGarbageIsContained)
     EXPECT_THROW(openAndReplay(path), FatalError);
 }
 
+// --- degenerate-but-legal and degenerate-illegal edge files ----------------
+
+TEST(TraceCorruption, ZeroLengthFileIsContained)
+{
+    // A zero-byte file (e.g. a recording that died before the header
+    // write) must fail the header read, not index into an empty
+    // buffer.
+    std::string path = tmpPath("zero.itr");
+    { std::ofstream f(path, std::ios::binary | std::ios::trunc); }
+    ASSERT_EQ(fs::file_size(path), 0u);
+    ScopedFatalThrow contain;
+    EXPECT_THROW(openAndReplay(path), FatalError);
+}
+
+TEST(TraceRoundTrip, EmptyFinalizedTapeReplaysCleanly)
+{
+    // finish() with no events is legal (a run can retire zero virtual
+    // commands); the tape must open and replay to all-zero totals —
+    // clean EOF, not UB and not a spurious corruption report.
+    std::string path = tmpPath("empty.itr");
+    {
+        TraceWriter writer(path, "Tcl", "empty", 512);
+        writer.setRunResult(0, 0, true);
+        writer.setCommandNames({});
+        writer.finish();
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.meta().totalEvents, 0u);
+    EXPECT_EQ(reader.meta().totalInsts, 0u);
+    EXPECT_TRUE(reader.meta().finished);
+    EXPECT_TRUE(reader.meta().commandNames.empty());
+    Collector sink;
+    reader.replay({&sink});
+    EXPECT_TRUE(sink.events.empty());
+}
+
 } // namespace
