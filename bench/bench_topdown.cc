@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Top-down replay-throughput evidence harness.
+ *
+ * Replays recorded .itr tapes through the batched trace→simulator
+ * hot path (TraceReader decoding into a sim::Machine sink) and
+ * reports, per tape and in total: decoded bundles, wall time,
+ * bundles/second, and the host's own top-down basics over the replay
+ * — IPC, L1d and LLC read-miss rates, branch-miss rate — via
+ * support::HostPerf (perf_event_open, user-space-only counters).
+ * Where the kernel refuses a counter (no PMU, perf_event_paranoid=3)
+ * the column prints `n/a` and the run still completes: wall-clock
+ * throughput never degrades, only the attribution does.
+ *
+ * This is the before/after instrument for hot-path changes: record a
+ * tape set once (e.g. `bench_fig4 --record <dir>`), then run
+ * `bench_topdown --replay <dir>` on both revisions and append the
+ * two JSON outputs to bench/evidence_log.md. Simulated machine
+ * cycles are printed alongside as the identity check — a hot-path
+ * change that alters them is a bug, not a speedup.
+ *
+ * `--repeat N` (default 3) replays each tape N times and reports the
+ * fastest run (counters from that same run). `--json [file]` writes
+ * machine-readable BENCH_topdown.json (schema in EXPERIMENTS.md).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+#include "support/hostperf.hh"
+#include "support/logging.hh"
+#include "tracefile/reader.hh"
+
+using namespace interp;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** One tape's best-of-N replay measurement. */
+struct TapeResult
+{
+    std::string name;
+    uint64_t bundles = 0;
+    uint64_t insts = 0;
+    double bestMs = 0;
+    uint64_t simCycles = 0;
+    support::HostPerfSample host;
+};
+
+double
+bundlesPerSec(const TapeResult &r)
+{
+    return r.bestMs > 0 ? (double)r.bundles / (r.bestMs / 1e3) : 0;
+}
+
+/** Format a rate counter as a percentage, or n/a. */
+std::string
+ratePct(double rate)
+{
+    char buf[32];
+    if (rate < 0)
+        return "n/a";
+    std::snprintf(buf, sizeof(buf), "%.3f%%", rate * 100.0);
+    return buf;
+}
+
+TapeResult
+replayTape(const std::string &path, int repeat)
+{
+    tracefile::TraceReader reader(path);
+    TapeResult r;
+    r.name = fs::path(path).filename().string();
+    r.bundles = reader.meta().totalBundles;
+    r.insts = reader.meta().totalInsts;
+
+    support::HostPerf perf;
+    for (int run = 0; run < repeat; ++run) {
+        sim::Machine machine;
+        perf.start();
+        auto t0 = std::chrono::steady_clock::now();
+        reader.replay({&machine});
+        auto t1 = std::chrono::steady_clock::now();
+        support::HostPerfSample sample = perf.stop();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (run == 0 || ms < r.bestMs) {
+            r.bestMs = ms;
+            r.host = sample;
+        }
+        if (run == 0)
+            r.simCycles = machine.cycles();
+        else if (machine.cycles() != r.simCycles)
+            fatal("replay of %s is not deterministic: %llu vs %llu "
+                  "simulated cycles",
+                  path.c_str(), (unsigned long long)machine.cycles(),
+                  (unsigned long long)r.simCycles);
+    }
+    return r;
+}
+
+void
+appendCounterJson(std::string &out, const char *name,
+                  const support::HostCounter &c)
+{
+    char buf[96];
+    if (c.ok)
+        std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", name,
+                      (unsigned long long)c.value);
+    else
+        std::snprintf(buf, sizeof(buf), "\"%s\":null,", name);
+    out += buf;
+}
+
+std::string
+tapeJson(const TapeResult &r)
+{
+    char buf[256];
+    std::string out = "    {";
+    std::snprintf(buf, sizeof(buf),
+                  "\"tape\":\"%s\",\"bundles\":%llu,\"insts\":%llu,"
+                  "\"best_ms\":%.3f,\"bundles_per_sec\":%.0f,"
+                  "\"sim_cycles\":%llu,\"host\":{",
+                  r.name.c_str(), (unsigned long long)r.bundles,
+                  (unsigned long long)r.insts, r.bestMs,
+                  bundlesPerSec(r), (unsigned long long)r.simCycles);
+    out += buf;
+    appendCounterJson(out, "cycles", r.host.cycles);
+    appendCounterJson(out, "instructions", r.host.instructions);
+    appendCounterJson(out, "branches", r.host.branches);
+    appendCounterJson(out, "branch_misses", r.host.branchMisses);
+    appendCounterJson(out, "l1d_accesses", r.host.l1dAccesses);
+    appendCounterJson(out, "l1d_misses", r.host.l1dMisses);
+    appendCounterJson(out, "llc_accesses", r.host.llcAccesses);
+    appendCounterJson(out, "llc_misses", r.host.llcMisses);
+    std::snprintf(buf, sizeof(buf), "\"ipc\":%.3f}}", r.host.ipc());
+    out += buf;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> tapes;
+    std::string json_path;
+    int repeat = 3;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+            std::vector<std::string> found;
+            for (const auto &entry :
+                 fs::directory_iterator(argv[++i]))
+                if (entry.path().extension() == ".itr")
+                    found.push_back(entry.path().string());
+            std::sort(found.begin(), found.end());
+            tapes.insert(tapes.end(), found.begin(), found.end());
+        } else if (std::strcmp(argv[i], "--repeat") == 0 &&
+                   i + 1 < argc) {
+            repeat = std::max(1, std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                            ? argv[++i]
+                            : "BENCH_topdown.json";
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else if (argv[i][0] != '-') {
+            tapes.push_back(argv[i]);
+        } else {
+            fatal("unknown option %s (usage: bench_topdown "
+                  "[--replay <dir>] [tape.itr ...] [--repeat N] "
+                  "[--json [file]])",
+                  argv[i]);
+        }
+    }
+    if (tapes.empty())
+        fatal("no tapes: pass --replay <dir> or .itr paths "
+              "(record some with e.g. `bench_fig4 --record <dir>`)");
+
+    {
+        support::HostPerf probe;
+        if (!probe.anyAvailable())
+            std::printf("note: perf_event_open unavailable; host "
+                        "counter columns will read n/a\n\n");
+    }
+
+    std::printf("Top-down replay throughput (best of %d)\n\n", repeat);
+    std::printf("%-28s %11s %9s %8s %6s %9s %9s %8s\n", "tape",
+                "bundles", "ms", "Mbnd/s", "IPC", "L1d-miss",
+                "LLC-miss", "br-miss");
+    std::printf("--------------------------------------------------"
+                "---------------------------------------\n");
+
+    std::vector<TapeResult> results;
+    uint64_t total_bundles = 0;
+    double total_ms = 0;
+    for (const std::string &path : tapes) {
+        TapeResult r = replayTape(path, repeat);
+        std::printf("%-28s %11llu %9.1f %8.2f %6.2f %9s %9s %8s\n",
+                    r.name.c_str(), (unsigned long long)r.bundles,
+                    r.bestMs, bundlesPerSec(r) / 1e6, r.host.ipc(),
+                    ratePct(r.host.l1dMissRate()).c_str(),
+                    ratePct(r.host.llcMissRate()).c_str(),
+                    ratePct(r.host.branchMissRate()).c_str());
+        total_bundles += r.bundles;
+        total_ms += r.bestMs;
+        results.push_back(std::move(r));
+    }
+
+    double total_tput =
+        total_ms > 0 ? (double)total_bundles / (total_ms / 1e3) : 0;
+    std::printf("--------------------------------------------------"
+                "---------------------------------------\n");
+    std::printf("%-28s %11llu %9.1f %8.2f\n", "TOTAL",
+                (unsigned long long)total_bundles, total_ms,
+                total_tput / 1e6);
+
+    if (!json_path.empty()) {
+        std::string json = "{\n  \"schema\": \"interp-topdown-v1\",\n";
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  \"repeat\": %d,\n  \"total\": "
+                      "{\"bundles\":%llu,\"ms\":%.3f,"
+                      "\"bundles_per_sec\":%.0f},\n  \"tapes\": [\n",
+                      repeat, (unsigned long long)total_bundles,
+                      total_ms, total_tput);
+        json += buf;
+        for (size_t i = 0; i < results.size(); ++i) {
+            json += tapeJson(results[i]);
+            json += i + 1 < results.size() ? ",\n" : "\n";
+        }
+        json += "  ]\n}\n";
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f)
+            fatal("cannot write %s", json_path.c_str());
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -115,6 +115,12 @@ struct LoadgenTotals
     /** Client-observed latency of each OK response, microseconds. */
     std::vector<uint64_t> latencyUs;
 
+    /**
+     * Exact percentile over the sorted samples, rank q * (n-1) —
+     * the same rank formula LatencyHistogram::quantile uses, so a
+     * loadgen percentile is always <= the server histogram's
+     * (bucket-upper-bound) answer for the same latency population.
+     */
     uint64_t percentile(double q) const;
 };
 
@@ -123,7 +129,12 @@ struct LoadgenReport
     std::map<std::string, LoadgenTotals> byMode; ///< key: langName
     LoadgenTotals all;
 
-    /** p50/p95/p99 + shed/miss table, one row per mode plus ALL. */
+    /**
+     * p50/p95/p99 + shed/miss table, one row per mode plus ALL. The
+     * percentiles are exact (sorted client samples); the server's
+     * STATS histogram reports log2-bucket upper bounds, so its p50/
+     * p95/p99 bracket these from above.
+     */
     std::string table() const;
 };
 

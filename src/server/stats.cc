@@ -22,6 +22,15 @@ LatencyHistogram::bucketFloor(int i)
     return i == 0 ? 0 : 1ull << i;
 }
 
+uint64_t
+LatencyHistogram::bucketCeil(int i)
+{
+    // Inclusive upper bound: bucket i holds [2^i, 2^(i+1)), so the
+    // largest value that can land in it is 2^(i+1)-1; bucket 0 holds
+    // {0, 1}.
+    return (1ull << (i + 1)) - 1;
+}
+
 void
 LatencyHistogram::add(uint64_t micros)
 {
@@ -38,10 +47,16 @@ LatencyHistogram::quantile(double q) const
     uint64_t seen = 0;
     for (int i = 0; i < kBuckets; ++i) {
         seen += buckets_[i];
+        // Report the bucket's inclusive upper bound. The old floor
+        // answer systematically under-reported: a p99 landing in
+        // [2^k, 2^(k+1)) came back as exactly 2^k — up to 2x below
+        // the real tail. The ceiling is conservative the safe way
+        // for an SLO (exact_quantile <= quantile() always holds,
+        // since the true value lies inside the bucket).
         if (seen > rank)
-            return bucketFloor(i);
+            return bucketCeil(i);
     }
-    return bucketFloor(kBuckets - 1);
+    return bucketCeil(kBuckets - 1);
 }
 
 // --- ServerStats -----------------------------------------------------------

@@ -36,13 +36,17 @@ class LatencyHistogram
     static int bucketOf(uint64_t micros);
     /** Inclusive lower bound of bucket @p i in microseconds. */
     static uint64_t bucketFloor(int i);
+    /** Inclusive upper bound of bucket @p i (bucket 0 -> 1 us). */
+    static uint64_t bucketCeil(int i);
 
     uint64_t count() const { return total_; }
     uint64_t bucket(int i) const { return buckets_[i]; }
 
     /**
-     * Value at quantile @p q in [0,1], resolved to its bucket's lower
-     * bound — coarse (log2) but monotone and allocation-free.
+     * Value at quantile @p q in [0,1], resolved to its bucket's
+     * inclusive upper bound — coarse (log2) but monotone,
+     * allocation-free, and never below the exact quantile (the true
+     * value lies somewhere inside the chosen bucket).
      */
     uint64_t quantile(double q) const;
 

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Data-parallel pre-passes over BundleBatch columns.
+ *
+ * The simulator's per-bundle state updates (cache fills, TLB LRU,
+ * branch-history writes) are serially dependent and cannot be
+ * vectorized, but the address arithmetic feeding them — i-cache line
+ * spans, TLB page numbers, BHT/BTC indices, instruction-count
+ * reductions — is pure elementwise work over the batch's pc/count
+ * columns. These kernels hoist exactly that work into straight-line
+ * loops over `__restrict__` pointers so the compiler's auto-vectorizer
+ * turns them into SSE2/AVX2 (or NEON) code; the stateful consumers
+ * then walk the precomputed index arrays.
+ *
+ * This translation unit is compiled at -O3 with a vectorization
+ * report, and the `topdown`-labeled vectorization_report test fails
+ * the build loudly if any loop here stops vectorizing on x86-64
+ * (see src/sim/CMakeLists.txt). Keep every loop in batch_lanes.cc
+ * trivially vectorizable: no calls, no early exits, no stores to
+ * overlapping memory.
+ */
+
+#ifndef INTERP_SIM_BATCH_LANES_HH
+#define INTERP_SIM_BATCH_LANES_HH
+
+#include <cstdint>
+
+namespace interp::sim::lanes {
+
+/** Sum of counts[0..n): the batch's retired-instruction total. */
+uint64_t sumCounts(const uint32_t *counts, uint32_t n);
+
+/**
+ * Per-bundle i-cache line span: first_line[i] = pc[i] >> line_shift,
+ * last_line[i] = (pc[i] + (counts[i]-1)*4) >> line_shift. A zero
+ * count clamps to a single-line span (the consumer skips empty
+ * bundles before walking the span, matching the scalar guard).
+ */
+void lineSpans(const uint32_t *pc, const uint32_t *counts, uint32_t n,
+               uint32_t line_shift, uint32_t *first_line,
+               uint32_t *last_line);
+
+/**
+ * Branch-table indices: idx[i] = (pc[i] >> 2) & mask. Used for both
+ * the BHT (mask = bhtEntries-1) and the BTC (mask = btcEntries-1).
+ */
+void branchIndices(const uint32_t *pc, uint32_t n, uint32_t mask,
+                   uint32_t *idx);
+
+} // namespace interp::sim::lanes
+
+#endif // INTERP_SIM_BATCH_LANES_HH

@@ -37,12 +37,15 @@ class BranchPredictor
   public:
     explicit BranchPredictor(const BranchConfig &config);
 
-    /** Conditional branch at @p pc resolving to @p taken. */
+    /**
+     * Conditional branch whose BHT index was precomputed (the batched
+     * hot loop extracts indices for a whole batch in one vector pass,
+     * sim/batch_lanes.hh). @p idx must equal (pc >> 2) & (bhtEntries-1).
+     */
     bool
-    predictConditional(uint32_t pc, bool taken)
+    predictConditionalAt(uint32_t idx, bool taken)
     {
         ++lookupCount;
-        uint32_t idx = (pc >> 2) & (cfg.bhtEntries - 1);
         bool predicted = bht[idx] != 0;
         bht[idx] = taken ? 1 : 0;
         if (predicted != taken) {
@@ -52,18 +55,36 @@ class BranchPredictor
         return true;
     }
 
-    /** Computed jump at @p pc resolving to @p target. */
+    /** Conditional branch at @p pc resolving to @p taken. */
     bool
-    predictIndirect(uint32_t pc, uint32_t target)
+    predictConditional(uint32_t pc, bool taken)
+    {
+        return predictConditionalAt((pc >> 2) & (cfg.bhtEntries - 1),
+                                    taken);
+    }
+
+    /**
+     * Computed jump with a precomputed BTC index; @p idx must equal
+     * (pc >> 2) & (btcEntries - 1). The full pc still tags the entry.
+     */
+    bool
+    predictIndirectAt(uint32_t idx, uint32_t pc, uint32_t target)
     {
         ++lookupCount;
-        uint32_t idx = (pc >> 2) & (cfg.btcEntries - 1);
         bool correct = btcTags[idx] == pc && btcTargets[idx] == target;
         btcTags[idx] = pc;
         btcTargets[idx] = target;
         if (!correct)
             ++mispredictCount;
         return correct;
+    }
+
+    /** Computed jump at @p pc resolving to @p target. */
+    bool
+    predictIndirect(uint32_t pc, uint32_t target)
+    {
+        return predictIndirectAt((pc >> 2) & (cfg.btcEntries - 1), pc,
+                                 target);
     }
 
     /** Call at @p pc; pushes @p return_pc onto the return stack. */

@@ -49,17 +49,21 @@ class Cache
         Way *victim = base;
         for (uint32_t w = 0; w < cfg.assoc; ++w) {
             Way &way = base[w];
-            if (way.valid && way.tag == tag) {
+            if (!way.valid) {
+                // Ways fill front to back (the victim is always the
+                // first free way), so the valid ways of a set form a
+                // prefix: nothing past this point can hit, and a free
+                // way always wins victim selection. Stop scanning.
+                victim = &way;
+                break;
+            }
+            if (way.tag == tag) {
                 way.lastUse = tick;
                 ++hitCount;
                 return true;
             }
-            if (!way.valid) {
-                if (victim->valid)
-                    victim = &way; // first free way, as in Tlb::access
-            } else if (victim->valid && way.lastUse < victim->lastUse) {
+            if (way.lastUse < victim->lastUse)
                 victim = &way;
-            }
         }
         victim->valid = true;
         victim->tag = tag;

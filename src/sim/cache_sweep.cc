@@ -1,5 +1,8 @@
 #include "sim/cache_sweep.hh"
 
+#include "sim/batch_lanes.hh"
+#include "support/logging.hh"
+
 namespace interp::sim {
 
 CacheSweep::CacheSweep(const std::vector<uint32_t> &sizes_kb,
@@ -7,6 +10,9 @@ CacheSweep::CacheSweep(const std::vector<uint32_t> &sizes_kb,
                        uint32_t line_bytes)
     : lineBytes(line_bytes)
 {
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        panic("cache sweep line size %u not a power of two", line_bytes);
+    lineShift = (uint32_t)__builtin_ctz(line_bytes);
     for (uint32_t assoc : assocs) {
         for (uint32_t size_kb : sizes_kb) {
             CacheConfig cc;
@@ -14,7 +20,6 @@ CacheSweep::CacheSweep(const std::vector<uint32_t> &sizes_kb,
             cc.assoc = assoc;
             cc.lineBytes = line_bytes;
             caches.emplace_back(cc);
-            lastLine.push_back(~0ull);
         }
     }
 }
@@ -28,9 +33,20 @@ CacheSweep::onBundle(const trace::Bundle &bundle)
 void
 CacheSweep::onBatch(const trace::BundleBatch &batch)
 {
-    // One virtual call per batch; the per-bundle work is non-virtual.
-    for (const trace::Bundle &bundle : batch)
-        account(bundle);
+    // Column iteration: one vector pass computes every bundle's line
+    // span and the batch's instruction total, then the scalar loop
+    // only walks spans (and the dedup makes most of those walks a
+    // single compare).
+    const uint32_t n = batch.size();
+    const uint32_t *cnt = batch.countCol();
+    alignas(64) uint32_t first[trace::BundleBatch::kCapacity];
+    alignas(64) uint32_t last[trace::BundleBatch::kCapacity];
+    lanes::lineSpans(batch.pcCol(), cnt, n, lineShift, first, last);
+    insts += lanes::sumCounts(cnt, n);
+    for (uint32_t i = 0; i < n; ++i) {
+        if (cnt[i] != 0) [[likely]]
+            accountSpan(first[i], last[i]);
+    }
 }
 
 void
@@ -41,16 +57,21 @@ CacheSweep::account(const trace::Bundle &bundle)
     if (bundle.count == 0)
         return;
     insts += bundle.count;
-    uint32_t first = bundle.pc / lineBytes;
-    uint32_t last = (bundle.pc + (bundle.count - 1) * 4) / lineBytes;
+    uint32_t first = bundle.pc >> lineShift;
+    uint32_t last = (bundle.pc + (bundle.count - 1) * 4) >> lineShift;
+    accountSpan(first, last);
+}
+
+void
+CacheSweep::accountSpan(uint32_t first, uint32_t last)
+{
     for (uint32_t line = first; line <= last; ++line) {
-        uint32_t addr = line * lineBytes;
-        for (size_t i = 0; i < caches.size(); ++i) {
-            if (lastLine[i] == line)
-                continue;
-            lastLine[i] = line;
-            caches[i].access(addr);
-        }
+        if (lastLine == line)
+            continue;
+        lastLine = line;
+        uint32_t addr = line << lineShift;
+        for (Cache &cache : caches)
+            cache.access(addr);
     }
 }
 

@@ -50,13 +50,22 @@ class CacheSweep : public trace::Sink
     uint64_t instructions() const { return insts; }
 
   private:
-    /** Shared accounting for onBundle and the onBatch loop. */
+    /** One-bundle accounting (the onBundle path). */
     void account(const trace::Bundle &bundle);
+    /** Feed line [first, last] spans to every cache in the grid. */
+    void accountSpan(uint32_t first, uint32_t last);
 
     std::vector<Cache> caches;
-    std::vector<uint64_t> lastLine;
+    /**
+     * Line-number dedup, shared by the whole grid: every cache sees
+     * the same line sequence, so after any access all per-cache
+     * "last line seen" values are equal — one variable carries the
+     * invariant the old per-cache vector maintained redundantly.
+     */
+    uint64_t lastLine = ~0ull;
     uint64_t insts = 0;
     uint32_t lineBytes;
+    uint32_t lineShift; ///< log2(lineBytes); ctor rejects non-pow2
 };
 
 } // namespace interp::sim

@@ -1,5 +1,6 @@
 #include "sim/machine.hh"
 
+#include "sim/batch_lanes.hh"
 #include "support/logging.hh"
 
 namespace interp::sim {
@@ -27,6 +28,9 @@ Machine::Machine(const MachineConfig &config)
 {
     if (cfg.issueWidth == 0)
         panic("issue width must be nonzero");
+    // Cache's constructor has already rejected non-power-of-two line
+    // sizes, so the shift is exact.
+    ilineShift = (uint32_t)__builtin_ctz(cfg.icache.lineBytes);
     if (cfg.shadowCheck) {
         MachineConfig shadow_cfg = cfg;
         shadow_cfg.shadowCheck = false; // one level of shadowing
@@ -49,14 +53,19 @@ Machine::fetch(uint32_t pc, uint32_t count)
     // (count - 1) below underflows and walks ~2^30 i-cache lines.
     if (count == 0)
         return;
-    uint32_t line_bytes = cfg.icache.lineBytes;
-    uint32_t first = pc / line_bytes;
-    uint32_t last = (pc + (count - 1) * 4) / line_bytes;
+    uint32_t first = pc >> ilineShift;
+    uint32_t last = (pc + (count - 1) * 4) >> ilineShift;
+    fetchSpan(first, last);
+}
+
+void
+Machine::fetchSpan(uint32_t first, uint32_t last)
+{
     for (uint32_t line = first; line <= last; ++line) {
         if (line == lastFetchLine)
             continue;
         lastFetchLine = line;
-        uint32_t addr = line * line_bytes;
+        uint32_t addr = line << ilineShift;
         uint64_t page = addr >> cfg.pageBits;
         if (page != lastFetchPage) {
             lastFetchPage = page;
@@ -166,108 +175,143 @@ Machine::simulateOne(const trace::Bundle &bundle)
 }
 
 void
-Machine::simulateBatch(const trace::Bundle *p, const trace::Bundle *end)
+Machine::simulateBatch(const trace::BundleBatch &batch)
 {
-    using trace::Bundle;
+    using trace::BundleBatch;
     using trace::InstClass;
 
-    while (p != end) {
+    const uint32_t n = batch.size();
+    const uint32_t *pc = batch.pcCol();
+    const uint32_t *cnt = batch.countCol();
+    const uint32_t *memAddr = batch.memAddrCol();
+    const uint32_t *target = batch.targetCol();
+    const uint8_t *clsCat = batch.clsCatCol();
+    const uint8_t *flags = batch.flagsCol();
+
+    // Vector pre-passes over the pc/count columns: the whole batch's
+    // i-cache line spans, BHT/BTC indices, and instruction total come
+    // out of four SIMD loops before any stateful work starts. The
+    // instruction total joins the ledger up front — slot columns are
+    // independent sums, so accumulation order cannot change them.
+    alignas(64) uint32_t firstLine[BundleBatch::kCapacity];
+    alignas(64) uint32_t lastLine[BundleBatch::kCapacity];
+    alignas(64) uint32_t bhtIdx[BundleBatch::kCapacity];
+    alignas(64) uint32_t btcIdx[BundleBatch::kCapacity];
+    lanes::lineSpans(pc, cnt, n, ilineShift, firstLine, lastLine);
+    lanes::branchIndices(pc, n, cfg.branch.bhtEntries - 1, bhtIdx);
+    lanes::branchIndices(pc, n, cfg.branch.btcEntries - 1, btcIdx);
+    insts += lanes::sumCounts(cnt, n);
+
+    auto fetchAt = [&](uint32_t i) {
+        // Empty bundles fetch nothing (their precomputed span is a
+        // degenerate clamp, not a real line).
+        if (cnt[i] != 0) [[likely]]
+            fetchSpan(firstLine[i], lastLine[i]);
+    };
+
+    uint32_t i = 0;
+    while (i != n) {
         // Hoist the class switch out of runs of same-class bundles:
         // interpreter traces are dominated by long alternations of a
         // few classes, so the per-bundle work below is branch-light.
-        const InstClass cls = p->cls;
-        const Bundle *run = p + 1;
-        while (run != end && run->cls == cls)
+        const InstClass cls = BundleBatch::cls(clsCat[i]);
+        uint32_t run = i + 1;
+        while (run != n && BundleBatch::cls(clsCat[run]) == cls)
             ++run;
 
         switch (cls) {
           case InstClass::IntAlu:
           case InstClass::Nop:
           case InstClass::Jump:
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-            }
+            for (; i != run; ++i)
+                fetchAt(i);
             break;
           case InstClass::ShortInt: {
-            uint64_t n = 0;
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                n += p->count;
+            uint64_t m = 0;
+            for (; i != run; ++i) {
+                fetchAt(i);
+                m += cnt[i];
             }
             // Closed form of the every-Nth-instance charge: the tick
             // wraps at shortIntUsePeriod, charging once per wrap.
-            uint64_t wraps = (shortTick + n) / cfg.shortIntUsePeriod;
-            shortTick = (uint32_t)((shortTick + n) % cfg.shortIntUsePeriod);
+            uint64_t wraps = (shortTick + m) / cfg.shortIntUsePeriod;
+            shortTick = (uint32_t)((shortTick + m) % cfg.shortIntUsePeriod);
             addStall(StallCause::ShortInt, wraps * cfg.shortIntCycles);
             break;
           }
           case InstClass::FloatOp: {
-            uint64_t n = 0;
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                n += p->count;
+            uint64_t m = 0;
+            for (; i != run; ++i) {
+                fetchAt(i);
+                m += cnt[i];
             }
-            uint64_t wraps = (floatTick + n) / cfg.floatUsePeriod;
-            floatTick = (uint32_t)((floatTick + n) % cfg.floatUsePeriod);
+            uint64_t wraps = (floatTick + m) / cfg.floatUsePeriod;
+            floatTick = (uint32_t)((floatTick + m) % cfg.floatUsePeriod);
             addStall(StallCause::Other, wraps * cfg.floatOpCycles);
             break;
           }
           case InstClass::Load:
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                execLoad(*p);
+            for (; i != run; ++i) {
+                fetchAt(i);
+                dataAccess(memAddr[i]);
+                if (++loadTick >= cfg.loadUsePeriod) {
+                    loadTick = 0;
+                    addStall(StallCause::LoadDelay, cfg.loadDelayCycles);
+                }
             }
             break;
           case InstClass::Store:
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                dataAccess(p->memAddr);
+            for (; i != run; ++i) {
+                fetchAt(i);
+                dataAccess(memAddr[i]);
             }
             break;
           case InstClass::CondBranch:
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                execCondBranch(*p);
+            for (; i != run; ++i) {
+                fetchAt(i);
+                bool taken = (flags[i] & BundleBatch::kTakenBit) != 0;
+                if (!bp.predictConditionalAt(bhtIdx[i], taken))
+                    addStall(StallCause::Mispredict,
+                             cfg.mispredictPenalty);
             }
             break;
           case InstClass::IndirectJump:
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                execIndirectJump(*p);
+            for (; i != run; ++i) {
+                fetchAt(i);
+                if (!bp.predictIndirectAt(btcIdx[i], pc[i], target[i]))
+                    addStall(StallCause::Mispredict,
+                             cfg.mispredictPenalty);
             }
             break;
           case InstClass::Call:
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                bp.call(p->pc + 4);
+            for (; i != run; ++i) {
+                fetchAt(i);
+                bp.call(pc[i] + 4);
             }
             break;
           case InstClass::Return:
-            for (; p != run; ++p) {
-                fetch(p->pc, p->count);
-                insts += p->count;
-                execReturn(*p);
+            for (; i != run; ++i) {
+                fetchAt(i);
+                if (!bp.predictReturn(target[i]))
+                    addStall(StallCause::Mispredict,
+                             cfg.mispredictPenalty);
             }
             break;
         }
-        p = run;
     }
 }
 
 void
-Machine::crossCheck(const trace::Bundle *p, const trace::Bundle *end)
+Machine::crossCheck(const trace::BundleBatch &batch)
 {
-    for (; p != end; ++p)
-        shadow->simulateOne(*p);
+    for (uint32_t i = 0; i < batch.size(); ++i)
+        shadow->simulateOne(batch.get(i));
+    compareWithShadow();
+}
 
+void
+Machine::compareWithShadow()
+{
     auto mismatch = [this](const char *what, uint64_t batched,
                            uint64_t reference) {
         if (batched != reference)
@@ -298,16 +342,18 @@ void
 Machine::onBundle(const trace::Bundle &bundle)
 {
     simulateOne(bundle);
-    if (shadow)
-        crossCheck(&bundle, &bundle + 1);
+    if (shadow) {
+        shadow->simulateOne(bundle);
+        compareWithShadow();
+    }
 }
 
 void
 Machine::onBatch(const trace::BundleBatch &batch)
 {
-    simulateBatch(batch.begin(), batch.end());
+    simulateBatch(batch);
     if (shadow)
-        crossCheck(batch.begin(), batch.end());
+        crossCheck(batch);
 }
 
 uint64_t

@@ -184,14 +184,23 @@ class Machine : public trace::Sink
     void reset();
 
   private:
-    /** Batched hot loop: switch hoisted per run of same-class bundles. */
-    void simulateBatch(const trace::Bundle *p, const trace::Bundle *end);
+    /**
+     * Batched hot loop over the batch's SoA columns: vector pre-passes
+     * (sim/batch_lanes.hh) compute line spans and branch-table indices
+     * for the whole batch, then the class switch is hoisted per run of
+     * same-class bundles.
+     */
+    void simulateBatch(const trace::BundleBatch &batch);
     /** Reference path: one bundle through the per-bundle switch. */
     void simulateOne(const trace::Bundle &bundle);
     /** Feed the shadow machine and compare every counter. */
-    void crossCheck(const trace::Bundle *p, const trace::Bundle *end);
+    void crossCheck(const trace::BundleBatch &batch);
+    /** fatal() on the first counter divergence from the shadow. */
+    void compareWithShadow();
 
     void fetch(uint32_t pc, uint32_t count);
+    /** Walk i-cache lines [first, last] (precomputed span). */
+    void fetchSpan(uint32_t first, uint32_t last);
     void dataAccess(uint32_t addr);
     void addStall(StallCause cause, uint64_t cycles_);
     void execLoad(const trace::Bundle &bundle);
@@ -215,6 +224,8 @@ class Machine : public trace::Sink
     uint32_t loadTick = 0;
     uint32_t shortTick = 0;
     uint32_t floatTick = 0;
+    /// log2(icache line bytes); Cache's ctor guarantees a power of two.
+    uint32_t ilineShift = 5;
     // Last fetched line/page, to skip redundant lookups.
     uint64_t lastFetchLine = ~0ull;
     uint64_t lastFetchPage = ~0ull;

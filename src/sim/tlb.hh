@@ -35,17 +35,21 @@ class Tlb
         uint32_t page = addr >> bits;
         Entry *victim = &entries_[0];
         for (Entry &e : entries_) {
-            if (e.valid && e.page == page) {
+            if (!e.valid) {
+                // Entries fill front to back, so the valid entries
+                // form a prefix: nothing past a free entry can hit,
+                // and a free entry always wins victim selection
+                // (mirrors Cache::access).
+                victim = &e;
+                break;
+            }
+            if (e.page == page) {
                 e.lastUse = tick;
                 ++hitCount;
                 return true;
             }
-            if (!e.valid) {
-                if (victim->valid)
-                    victim = &e;
-            } else if (victim->valid && e.lastUse < victim->lastUse) {
+            if (e.lastUse < victim->lastUse)
                 victim = &e;
-            }
         }
         victim->valid = true;
         victim->page = page;

@@ -1,0 +1,161 @@
+#include "support/hostperf.hh"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace interp::support {
+
+double
+HostPerfSample::ipc() const
+{
+    if (!cycles.ok || !instructions.ok || cycles.value == 0)
+        return 0;
+    return (double)instructions.value / (double)cycles.value;
+}
+
+double
+HostPerfSample::l1dMissRate() const
+{
+    if (!l1dAccesses.ok || !l1dMisses.ok || l1dAccesses.value == 0)
+        return -1;
+    return (double)l1dMisses.value / (double)l1dAccesses.value;
+}
+
+double
+HostPerfSample::llcMissRate() const
+{
+    if (!llcAccesses.ok || !llcMisses.ok || llcAccesses.value == 0)
+        return -1;
+    return (double)llcMisses.value / (double)llcAccesses.value;
+}
+
+double
+HostPerfSample::branchMissRate() const
+{
+    if (!branches.ok || !branchMisses.ok || branches.value == 0)
+        return -1;
+    return (double)branchMisses.value / (double)branches.value;
+}
+
+#ifdef __linux__
+
+namespace {
+
+/** Open one self-process, user-space-only counter; -1 on refusal. */
+int
+openEvent(uint32_t type, uint64_t config)
+{
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = type;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.exclude_kernel = 1; // allowed under perf_event_paranoid=2
+    attr.exclude_hv = 1;
+    return (int)syscall(__NR_perf_event_open, &attr, 0 /* self */,
+                        -1 /* any cpu */, -1 /* no group */, 0);
+}
+
+uint64_t
+cacheConfig(uint64_t cache, uint64_t op, uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+} // namespace
+
+HostPerf::HostPerf()
+{
+    // Field order of HostPerfSample.
+    fds_[0] = openEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    fds_[1] = openEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    fds_[2] = openEvent(PERF_TYPE_HARDWARE,
+                        PERF_COUNT_HW_BRANCH_INSTRUCTIONS);
+    fds_[3] = openEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES);
+    fds_[4] = openEvent(PERF_TYPE_HW_CACHE,
+                        cacheConfig(PERF_COUNT_HW_CACHE_L1D,
+                                    PERF_COUNT_HW_CACHE_OP_READ,
+                                    PERF_COUNT_HW_CACHE_RESULT_ACCESS));
+    fds_[5] = openEvent(PERF_TYPE_HW_CACHE,
+                        cacheConfig(PERF_COUNT_HW_CACHE_L1D,
+                                    PERF_COUNT_HW_CACHE_OP_READ,
+                                    PERF_COUNT_HW_CACHE_RESULT_MISS));
+    fds_[6] = openEvent(PERF_TYPE_HW_CACHE,
+                        cacheConfig(PERF_COUNT_HW_CACHE_LL,
+                                    PERF_COUNT_HW_CACHE_OP_READ,
+                                    PERF_COUNT_HW_CACHE_RESULT_ACCESS));
+    fds_[7] = openEvent(PERF_TYPE_HW_CACHE,
+                        cacheConfig(PERF_COUNT_HW_CACHE_LL,
+                                    PERF_COUNT_HW_CACHE_OP_READ,
+                                    PERF_COUNT_HW_CACHE_RESULT_MISS));
+}
+
+HostPerf::~HostPerf()
+{
+    for (int fd : fds_)
+        if (fd >= 0)
+            close(fd);
+}
+
+bool
+HostPerf::anyAvailable() const
+{
+    for (int fd : fds_)
+        if (fd >= 0)
+            return true;
+    return false;
+}
+
+void
+HostPerf::start()
+{
+    for (int fd : fds_) {
+        if (fd < 0)
+            continue;
+        ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+        ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+}
+
+HostPerfSample
+HostPerf::stop()
+{
+    HostPerfSample sample;
+    HostCounter *fields[kEvents] = {
+        &sample.cycles,       &sample.instructions,
+        &sample.branches,     &sample.branchMisses,
+        &sample.l1dAccesses,  &sample.l1dMisses,
+        &sample.llcAccesses,  &sample.llcMisses,
+    };
+    for (int i = 0; i < kEvents; ++i) {
+        int fd = fds_[i];
+        if (fd < 0)
+            continue;
+        ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+        uint64_t value = 0;
+        if (read(fd, &value, sizeof(value)) == (ssize_t)sizeof(value)) {
+            fields[i]->ok = true;
+            fields[i]->value = value;
+        }
+    }
+    return sample;
+}
+
+#else // !__linux__
+
+HostPerf::HostPerf() { fds_.fill(-1); }
+HostPerf::~HostPerf() {}
+bool HostPerf::anyAvailable() const { return false; }
+void HostPerf::start() {}
+HostPerfSample HostPerf::stop() { return HostPerfSample(); }
+
+#endif
+
+} // namespace interp::support

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Self-process hardware counters via perf_event_open(2).
+ *
+ * The replay-throughput evidence harness (bench/bench_topdown.cc)
+ * wants the top-down basics for the process that just replayed a
+ * tape: cycles, instructions, L1d and LLC accesses/misses, branches
+ * and branch misses. This wrapper opens the counters user-space-only
+ * (exclude_kernel) so it works under perf_event_paranoid=2, the
+ * default in locked-down containers, with no perf(1) binary needed.
+ *
+ * Degradation contract: every counter is individually optional. A
+ * kernel that refuses an event (no PMU in the VM, paranoid=3, an
+ * unsupported cache event) simply leaves that counter absent —
+ * open() never fatal()s — and readers must check HostCounter::ok
+ * before using a value. A build without __linux__ compiles to a stub
+ * where nothing is ever available.
+ */
+
+#ifndef INTERP_SUPPORT_HOSTPERF_HH
+#define INTERP_SUPPORT_HOSTPERF_HH
+
+#include <array>
+#include <cstdint>
+
+namespace interp::support {
+
+/** One hardware counter reading; `ok` is false if the kernel refused
+ *  the event at open time or the read failed. */
+struct HostCounter
+{
+    bool ok = false;
+    uint64_t value = 0;
+};
+
+/** One start()/stop() window's readings. */
+struct HostPerfSample
+{
+    HostCounter cycles;
+    HostCounter instructions;
+    HostCounter branches;
+    HostCounter branchMisses;
+    HostCounter l1dAccesses;
+    HostCounter l1dMisses;
+    HostCounter llcAccesses;
+    HostCounter llcMisses;
+
+    /** Instructions per cycle; 0 if either counter is absent. */
+    double ipc() const;
+    /** L1d misses per access in [0,1]; -1 if absent. */
+    double l1dMissRate() const;
+    /** LLC misses per access in [0,1]; -1 if absent. */
+    double llcMissRate() const;
+    /** Branch misses per branch in [0,1]; -1 if absent. */
+    double branchMissRate() const;
+};
+
+/**
+ * A fixed set of self-process counters. Counters are opened disabled
+ * in the constructor; start() resets and enables them, stop()
+ * disables and reads. start()/stop() may be repeated.
+ */
+class HostPerf
+{
+  public:
+    HostPerf();
+    ~HostPerf();
+
+    HostPerf(const HostPerf &) = delete;
+    HostPerf &operator=(const HostPerf &) = delete;
+
+    /** True if at least one counter opened. */
+    bool anyAvailable() const;
+
+    void start();
+    HostPerfSample stop();
+
+  private:
+    static constexpr int kEvents = 8;
+    /** fds in HostPerfSample field order; -1 = unavailable. */
+    std::array<int, kEvents> fds_;
+};
+
+} // namespace interp::support
+
+#endif // INTERP_SUPPORT_HOSTPERF_HH

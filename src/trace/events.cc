@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Out-of-line cold path of BundleBatch.
+ */
+
+#include "trace/events.hh"
+
+#include "support/logging.hh"
+
+namespace interp::trace {
+
+void
+BundleBatch::overflow()
+{
+    fatal("BundleBatch overflow: push into a full batch of %u bundles "
+          "(producer missed a flush)",
+          kCapacity);
+}
+
+} // namespace interp::trace

@@ -13,36 +13,74 @@ Profile::onBundle(const Bundle &bundle)
 void
 Profile::onBatch(const BundleBatch &batch)
 {
-    // One virtual call per batch; the per-bundle work is non-virtual.
-    for (const Bundle &bundle : batch)
-        account(bundle);
+    // Iterate the SoA columns directly. Consecutive bundles almost
+    // always share their attribution (category, flags, command) — an
+    // interpreter emits long runs inside one command phase — so the
+    // loop collapses each run into one accountRun() call whose count
+    // is a simple vectorizable sum over the count column. The taken
+    // bit is branch outcome, not attribution, so it is masked out of
+    // the run key.
+    const uint32_t n = batch.size();
+    const uint32_t *cnt = batch.countCol();
+    const uint8_t *cls_cat = batch.clsCatCol();
+    const uint8_t *flags = batch.flagsCol();
+    const CommandId *cmd = batch.commandCol();
+    constexpr uint8_t attr_mask = (uint8_t)~BundleBatch::kTakenBit;
+
+    uint32_t i = 0;
+    while (i != n) {
+        uint8_t cat_bits = (uint8_t)(cls_cat[i] >> BundleBatch::kCatShift);
+        uint8_t f = (uint8_t)(flags[i] & attr_mask);
+        CommandId c = cmd[i];
+        uint64_t sum = cnt[i];
+        uint32_t run = i + 1;
+        while (run != n &&
+               (uint8_t)(cls_cat[run] >> BundleBatch::kCatShift) ==
+                   cat_bits &&
+               (uint8_t)(flags[run] & attr_mask) == f && cmd[run] == c) {
+            sum += cnt[run];
+            ++run;
+        }
+        accountRun((Category)cat_bits, f, c, sum);
+        i = run;
+    }
 }
 
 void
 Profile::account(const Bundle &bundle)
 {
-    totalInsts += bundle.count;
-    if (bundle.system) {
+    accountRun(bundle.cat,
+               BundleBatch::packFlags(bundle.memModel, bundle.native,
+                                      bundle.system, false),
+               bundle.command, bundle.count);
+}
+
+void
+Profile::accountRun(Category cat, uint8_t flags, CommandId command,
+                    uint64_t count)
+{
+    totalInsts += count;
+    if (flags & BundleBatch::kSystemBit) {
         // OS work is timed but kept out of the software-level counts,
         // as the paper's ATOM instrumentation excluded the kernel.
-        sysInsts += bundle.count;
+        sysInsts += count;
         return;
     }
-    catInsts[(int)bundle.cat] += bundle.count;
-    if (bundle.native)
-        nativeInsts += bundle.count;
-    if (bundle.memModel)
-        memInsts += bundle.count;
-    if (bundle.command != kNoCommand) {
-        if (bundle.command >= cmds.size())
-            cmds.resize(bundle.command + 1);
-        CommandStats &cs = cmds[bundle.command];
-        if (bundle.cat == Category::FetchDecode) {
-            cs.fetchDecode += bundle.count;
-        } else if (bundle.cat == Category::Execute) {
-            cs.execute += bundle.count;
-            if (bundle.native)
-                cs.nativeLib += bundle.count;
+    catInsts[(int)cat] += count;
+    if (flags & BundleBatch::kNativeBit)
+        nativeInsts += count;
+    if (flags & BundleBatch::kMemModelBit)
+        memInsts += count;
+    if (command != kNoCommand) {
+        if (command >= cmds.size())
+            cmds.resize(command + 1);
+        CommandStats &cs = cmds[command];
+        if (cat == Category::FetchDecode) {
+            cs.fetchDecode += count;
+        } else if (cat == Category::Execute) {
+            cs.execute += count;
+            if (flags & BundleBatch::kNativeBit)
+                cs.nativeLib += count;
         }
     }
 }

@@ -72,52 +72,37 @@ putVarint(std::string &out, uint64_t v)
     out.push_back((char)v);
 }
 
-bool
-getVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v)
-{
-    v = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-        if (p >= end)
-            return false;
-        uint8_t byte = *p++;
-        v |= (uint64_t)(byte & 0x7f) << shift;
-        if (!(byte & 0x80))
-            return true;
-    }
-    return false; // > 10 continuation bytes: malformed
-}
-
 void
 putSVarint(std::string &out, int64_t v)
 {
     putVarint(out, zigzag(v));
 }
 
-bool
-getSVarint(const uint8_t *&p, const uint8_t *end, int64_t &v)
-{
-    uint64_t raw;
-    if (!getVarint(p, end, raw))
-        return false;
-    v = unzigzag(raw);
-    return true;
-}
-
 // --- crc32 -----------------------------------------------------------------
 
 namespace {
 
-std::array<uint32_t, 256>
-makeCrcTable()
+/**
+ * Slice-by-8 tables: table[0] is the classic byte-at-a-time table;
+ * table[k][b] is the CRC of byte b followed by k zero bytes. Eight
+ * lookups then advance the CRC a full 8 input bytes per iteration —
+ * same polynomial, bit order and result as the bytewise loop, ~4x
+ * the throughput on the multi-hundred-MB tape files.
+ */
+std::array<std::array<uint32_t, 256>, 8>
+makeCrcTables()
 {
-    std::array<uint32_t, 256> table{};
+    std::array<std::array<uint32_t, 256>, 8> t{};
     for (uint32_t n = 0; n < 256; ++n) {
         uint32_t c = n;
         for (int k = 0; k < 8; ++k)
             c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-        table[n] = c;
+        t[0][n] = c;
     }
-    return table;
+    for (int k = 1; k < 8; ++k)
+        for (uint32_t n = 0; n < 256; ++n)
+            t[k][n] = t[0][t[k - 1][n] & 0xff] ^ (t[k - 1][n] >> 8);
+    return t;
 }
 
 } // namespace
@@ -125,11 +110,22 @@ makeCrcTable()
 uint32_t
 crc32(const void *data, size_t len)
 {
-    static const std::array<uint32_t, 256> table = makeCrcTable();
+    static const auto t = makeCrcTables();
     const uint8_t *p = (const uint8_t *)data;
     uint32_t crc = 0xffffffffu;
-    for (size_t i = 0; i < len; ++i)
-        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    while (len >= 8) {
+        // Byte-order-independent 8-byte step (no unaligned loads).
+        uint32_t lo = crc ^ ((uint32_t)p[0] | ((uint32_t)p[1] << 8) |
+                             ((uint32_t)p[2] << 16) |
+                             ((uint32_t)p[3] << 24));
+        crc = t[7][lo & 0xff] ^ t[6][(lo >> 8) & 0xff] ^
+              t[5][(lo >> 16) & 0xff] ^ t[4][lo >> 24] ^
+              t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+        p += 8;
+        len -= 8;
+    }
+    while (len--)
+        crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
     return crc ^ 0xffffffffu;
 }
 

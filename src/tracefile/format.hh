@@ -132,7 +132,30 @@ bool getU64(const uint8_t *&p, const uint8_t *end, uint64_t &v);
 
 /** LEB128 unsigned varint. */
 void putVarint(std::string &out, uint64_t v);
-bool getVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v);
+
+/**
+ * Defined inline (with a single-byte fast path) because the replay
+ * decoder calls this several times per bundle — out-of-line it was
+ * the hottest call in a tape replay profile.
+ */
+inline bool
+getVarint(const uint8_t *&p, const uint8_t *end, uint64_t &v)
+{
+    if (p < end && *p < 0x80) [[likely]] {
+        v = *p++;
+        return true;
+    }
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        if (p >= end)
+            return false;
+        uint8_t byte = *p++;
+        v |= (uint64_t)(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false; // > 10 continuation bytes: malformed
+}
 
 /** Zigzag mapping for signed deltas. */
 constexpr uint64_t
@@ -148,7 +171,16 @@ unzigzag(uint64_t v)
 }
 
 void putSVarint(std::string &out, int64_t v);
-bool getSVarint(const uint8_t *&p, const uint8_t *end, int64_t &v);
+
+inline bool
+getSVarint(const uint8_t *&p, const uint8_t *end, int64_t &v)
+{
+    uint64_t raw;
+    if (!getVarint(p, end, raw))
+        return false;
+    v = unzigzag(raw);
+    return true;
+}
 
 // --- integrity and compression --------------------------------------------
 

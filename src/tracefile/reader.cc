@@ -158,7 +158,21 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
                           const std::vector<trace::Sink *> &sinks,
                           EventTotals &totals)
 {
-    CodecState st;
+    using trace::BundleBatch;
+
+    // Codec state, held in the packed column representation so each
+    // decoded bundle goes straight into the batch's SoA columns
+    // (pushPacked) without materializing a Bundle struct. cat_bits is
+    // pre-shifted into clsCat position; attr_bits carries the
+    // memModel/native/system flag bits (taken is per-bundle, from the
+    // event tag).
+    uint32_t next_pc = 0;
+    uint32_t last_mem_addr = 0;
+    uint8_t cat_bits = (uint8_t)trace::Category::Execute
+                       << BundleBatch::kCatShift;
+    uint8_t attr_bits = 0;
+    trace::CommandId command = trace::kNoCommand;
+
     uint64_t events = 0;
     uint64_t insts = 0;
     // Decoded bundles accumulate here and reach the sinks through one
@@ -180,50 +194,50 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
             uint8_t cls = tag & kBundleClsMask;
             if (cls > kMaxInstClass)
                 corrupt("bundle with unknown instruction class");
-            trace::Bundle b;
-            b.cls = (trace::InstClass)cls;
-            b.taken = (tag & kBundleTakenBit) != 0;
+            uint32_t pc;
             if (tag & kBundleSeqPcBit) {
-                b.pc = st.nextPc;
+                pc = next_pc;
             } else {
                 int64_t delta;
                 if (!getSVarint(p, end, delta))
                     corrupt("truncated bundle PC delta");
-                b.pc = (uint32_t)((int64_t)st.nextPc + delta);
+                pc = (uint32_t)((int64_t)next_pc + delta);
             }
+            uint32_t bcount;
             if (tag & kBundleCountOneBit) {
-                b.count = 1;
+                bcount = 1;
             } else {
                 uint64_t count;
                 if (!getVarint(p, end, count))
                     corrupt("truncated bundle count");
                 if (count == 0 || count > 0xffffffffull)
                     corrupt("bundle with implausible count");
-                b.count = (uint32_t)count;
+                bcount = (uint32_t)count;
             }
-            if (classHasMemAddr(b.cls)) {
+            uint32_t mem_addr = 0;
+            if (classHasMemAddr((trace::InstClass)cls)) {
                 int64_t delta;
                 if (!getSVarint(p, end, delta))
                     corrupt("truncated data-address delta");
-                b.memAddr = (uint32_t)((int64_t)st.lastMemAddr + delta);
-                st.lastMemAddr = b.memAddr;
+                mem_addr = (uint32_t)((int64_t)last_mem_addr + delta);
+                last_mem_addr = mem_addr;
             }
-            if (classHasTarget(b.cls)) {
+            uint32_t target = 0;
+            if (classHasTarget((trace::InstClass)cls)) {
                 int64_t delta;
                 if (!getSVarint(p, end, delta))
                     corrupt("truncated branch target");
-                b.target = (uint32_t)((int64_t)b.pc + delta);
+                target = (uint32_t)((int64_t)pc + delta);
             }
-            b.cat = st.cat;
-            b.command = st.command;
-            b.memModel = st.memModel;
-            b.native = st.native;
-            b.system = st.system;
-            st.nextPc = b.pc + b.count * 4;
-            insts += b.count;
+            uint8_t flag_bits = attr_bits;
+            if (tag & kBundleTakenBit)
+                flag_bits |= BundleBatch::kTakenBit;
+            next_pc = pc + bcount * 4;
+            insts += bcount;
             ++events;
             ++totals.bundles;
-            batch.push(b);
+            batch.pushPacked(pc, bcount, (uint8_t)(cls | cat_bits),
+                             flag_bits, command, mem_addr, target);
             if (batch.full())
                 flush();
         } else if (tag == kTagCommand) {
@@ -232,7 +246,7 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
                 corrupt("truncated command event");
             if (id > 0xffff)
                 corrupt("command id out of range");
-            st.command = (trace::CommandId)id;
+            command = (trace::CommandId)id;
             ++events;
             ++totals.commandEvents;
             flush();
@@ -250,17 +264,22 @@ TraceReader::decodeEvents(const uint8_t *p, const uint8_t *end,
             uint8_t bits = *p++;
             if ((bits & kStateCatMask) > kMaxCategory)
                 corrupt("state event with unknown category");
-            st.cat = (trace::Category)(bits & kStateCatMask);
-            st.memModel = (bits & kStateMemModelBit) != 0;
-            st.native = (bits & kStateNativeBit) != 0;
-            st.system = (bits & kStateSystemBit) != 0;
+            cat_bits = (uint8_t)((bits & kStateCatMask)
+                                 << BundleBatch::kCatShift);
+            attr_bits = 0;
+            if (bits & kStateMemModelBit)
+                attr_bits |= BundleBatch::kMemModelBit;
+            if (bits & kStateNativeBit)
+                attr_bits |= BundleBatch::kNativeBit;
+            if (bits & kStateSystemBit)
+                attr_bits |= BundleBatch::kSystemBit;
             if (bits & kStateCommandBit) {
                 uint64_t id;
                 if (!getVarint(p, end, id))
                     corrupt("truncated state command id");
                 if (id > 0xffff)
                     corrupt("command id out of range");
-                st.command = (trace::CommandId)id;
+                command = (trace::CommandId)id;
             }
             ++events;
         } else {

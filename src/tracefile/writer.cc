@@ -73,67 +73,103 @@ TraceWriter::beginEvent()
 }
 
 void
-TraceWriter::emitStateChange(const trace::Bundle &b)
+TraceWriter::emitStateChange(trace::Category cat, bool mem_model,
+                             bool native, bool system,
+                             trace::CommandId command)
 {
-    uint8_t bits = (uint8_t)b.cat & kStateCatMask;
-    if (b.memModel)
+    uint8_t bits = (uint8_t)cat & kStateCatMask;
+    if (mem_model)
         bits |= kStateMemModelBit;
-    if (b.native)
+    if (native)
         bits |= kStateNativeBit;
-    if (b.system)
+    if (system)
         bits |= kStateSystemBit;
-    bool cmd_change = b.command != st_.command;
+    bool cmd_change = command != st_.command;
     if (cmd_change)
         bits |= kStateCommandBit;
     beginEvent();
     buf_.push_back((char)kTagState);
     buf_.push_back((char)bits);
     if (cmd_change)
-        putVarint(buf_, b.command);
-    st_.cat = b.cat;
-    st_.memModel = b.memModel;
-    st_.native = b.native;
-    st_.system = b.system;
-    st_.command = b.command;
+        putVarint(buf_, command);
+    st_.cat = cat;
+    st_.memModel = mem_model;
+    st_.native = native;
+    st_.system = system;
+    st_.command = command;
+}
+
+void
+TraceWriter::encodeBundle(uint32_t pc, uint32_t count,
+                          trace::InstClass cls, trace::Category cat,
+                          bool mem_model, bool native, bool system,
+                          bool taken, trace::CommandId command,
+                          uint32_t mem_addr, uint32_t target)
+{
+    if (cat != st_.cat || mem_model != st_.memModel ||
+        native != st_.native || system != st_.system ||
+        command != st_.command)
+        emitStateChange(cat, mem_model, native, system, command);
+
+    uint8_t tag = kTagBundleBit | ((uint8_t)cls & kBundleClsMask);
+    if (taken)
+        tag |= kBundleTakenBit;
+    bool seq = pc == st_.nextPc;
+    if (seq)
+        tag |= kBundleSeqPcBit;
+    if (count == 1)
+        tag |= kBundleCountOneBit;
+    beginEvent();
+    buf_.push_back((char)tag);
+    if (!seq)
+        putSVarint(buf_, (int64_t)pc - (int64_t)st_.nextPc);
+    if (count != 1)
+        putVarint(buf_, count);
+    if (classHasMemAddr(cls)) {
+        putSVarint(buf_, (int64_t)mem_addr - (int64_t)st_.lastMemAddr);
+        st_.lastMemAddr = mem_addr;
+    }
+    if (classHasTarget(cls))
+        putSVarint(buf_, (int64_t)target - (int64_t)pc);
+
+    st_.nextPc = pc + count * 4;
+    ++totalBundles_;
+    totalInsts_ += count;
+    bufInsts_ += count;
+
+    if (buf_.size() >= chunkBytes_)
+        flushEventChunk();
 }
 
 void
 TraceWriter::onBundle(const trace::Bundle &b)
 {
-    if (b.cat != st_.cat || b.memModel != st_.memModel ||
-        b.native != st_.native || b.system != st_.system ||
-        b.command != st_.command)
-        emitStateChange(b);
+    encodeBundle(b.pc, b.count, b.cls, b.cat, b.memModel, b.native,
+                 b.system, b.taken, b.command, b.memAddr, b.target);
+}
 
-    uint8_t tag = kTagBundleBit | ((uint8_t)b.cls & kBundleClsMask);
-    if (b.taken)
-        tag |= kBundleTakenBit;
-    bool seq = b.pc == st_.nextPc;
-    if (seq)
-        tag |= kBundleSeqPcBit;
-    if (b.count == 1)
-        tag |= kBundleCountOneBit;
-    beginEvent();
-    buf_.push_back((char)tag);
-    if (!seq)
-        putSVarint(buf_, (int64_t)b.pc - (int64_t)st_.nextPc);
-    if (b.count != 1)
-        putVarint(buf_, b.count);
-    if (classHasMemAddr(b.cls)) {
-        putSVarint(buf_,
-                   (int64_t)b.memAddr - (int64_t)st_.lastMemAddr);
-        st_.lastMemAddr = b.memAddr;
+void
+TraceWriter::onBatch(const trace::BundleBatch &batch)
+{
+    using trace::BundleBatch;
+    const uint32_t n = batch.size();
+    const uint32_t *pc = batch.pcCol();
+    const uint32_t *cnt = batch.countCol();
+    const uint32_t *mem_addr = batch.memAddrCol();
+    const uint32_t *target = batch.targetCol();
+    const uint8_t *cls_cat = batch.clsCatCol();
+    const uint8_t *flags = batch.flagsCol();
+    const trace::CommandId *cmd = batch.commandCol();
+    for (uint32_t i = 0; i < n; ++i) {
+        uint8_t f = flags[i];
+        encodeBundle(pc[i], cnt[i], BundleBatch::cls(cls_cat[i]),
+                     BundleBatch::cat(cls_cat[i]),
+                     (f & BundleBatch::kMemModelBit) != 0,
+                     (f & BundleBatch::kNativeBit) != 0,
+                     (f & BundleBatch::kSystemBit) != 0,
+                     (f & BundleBatch::kTakenBit) != 0, cmd[i],
+                     mem_addr[i], target[i]);
     }
-    if (classHasTarget(b.cls))
-        putSVarint(buf_, (int64_t)b.target - (int64_t)b.pc);
-
-    st_.nextPc = b.pc + b.count * 4;
-    ++totalBundles_;
-    totalInsts_ += b.count;
-    bufInsts_ += b.count;
-
-    if (buf_.size() >= chunkBytes_)
-        flushEventChunk();
 }
 
 void

@@ -84,6 +84,12 @@ class TraceWriter : public trace::Sink
 
     // --- trace::Sink ------------------------------------------------------
     void onBundle(const trace::Bundle &bundle) override;
+    /**
+     * Encode a batch straight from the SoA columns (no Bundle
+     * materialization). Byte-identical to encoding the same bundles
+     * one at a time: the codec state machine is shared.
+     */
+    void onBatch(const trace::BundleBatch &batch) override;
     void onCommand(trace::CommandId command) override;
     void onMemModelAccess() override;
 
@@ -104,7 +110,14 @@ class TraceWriter : public trace::Sink
 
   private:
     void beginEvent();
-    void emitStateChange(const trace::Bundle &bundle);
+    void emitStateChange(trace::Category cat, bool mem_model,
+                         bool native, bool system,
+                         trace::CommandId command);
+    /** The codec proper; onBundle and onBatch both land here. */
+    void encodeBundle(uint32_t pc, uint32_t count, trace::InstClass cls,
+                      trace::Category cat, bool mem_model, bool native,
+                      bool system, bool taken, trace::CommandId command,
+                      uint32_t mem_addr, uint32_t target);
     void flushEventChunk();
     void writeChunk(uint8_t type, const std::string &raw,
                     uint32_t event_count, uint64_t inst_count);

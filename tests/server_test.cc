@@ -221,21 +221,52 @@ TEST(LatencyHistogram, BucketsAreLog2)
     EXPECT_EQ(LatencyHistogram::bucketOf(1024), 10);
     EXPECT_EQ(LatencyHistogram::bucketFloor(0), 0u);
     EXPECT_EQ(LatencyHistogram::bucketFloor(10), 1024u);
-    // Every value lands in the bucket whose floor bounds it below.
+    EXPECT_EQ(LatencyHistogram::bucketCeil(0), 1u);
+    EXPECT_EQ(LatencyHistogram::bucketCeil(10), 2047u);
+    // Every value lands in the bucket that brackets it:
+    // floor <= v <= ceil.
     for (uint64_t v :
          {0ull, 1ull, 7ull, 100ull, 4095ull, 1ull << 20}) {
         int b = LatencyHistogram::bucketOf(v);
         EXPECT_LE(LatencyHistogram::bucketFloor(b), v);
+        EXPECT_GE(LatencyHistogram::bucketCeil(b), v);
     }
 
     LatencyHistogram h;
     for (int i = 0; i < 99; ++i)
-        h.add(10); // bucket 3 (floor 8)
-    h.add(100000); // bucket 16 (floor 65536)
+        h.add(10); // bucket 3: [8, 16)
+    h.add(100000); // bucket 16: [65536, 131072)
     EXPECT_EQ(h.count(), 100u);
-    EXPECT_EQ(h.quantile(0.50), 8u);
-    EXPECT_EQ(h.quantile(0.99), 8u);
-    EXPECT_EQ(h.quantile(1.0), 65536u);
+    // Quantiles resolve to the bucket's inclusive upper bound, so
+    // they never under-report the tail (the old floor answer turned
+    // a p99 of 10us into "8us").
+    EXPECT_EQ(h.quantile(0.50), 15u);
+    EXPECT_EQ(h.quantile(0.99), 15u);
+    EXPECT_EQ(h.quantile(1.0), 131071u);
+    EXPECT_LE(10u, h.quantile(0.50));
+    EXPECT_LE(100000u, h.quantile(1.0));
+}
+
+TEST(LatencyHistogram, QuantileNeverBelowExactQuantile)
+{
+    // The histogram quantile and LoadgenTotals::percentile use the
+    // same rank formula (q * (n-1) over the sorted samples); with
+    // ceiling resolution the coarse answer must bound the exact one
+    // from above at every probed quantile.
+    std::vector<uint64_t> samples;
+    LatencyHistogram h;
+    uint64_t v = 1;
+    for (int i = 0; i < 500; ++i) {
+        v = (v * 2862933555777941757ull + 3037000493ull) % 200000;
+        samples.push_back(v);
+        h.add(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        uint64_t exact =
+            samples[(size_t)(q * (double)(samples.size() - 1))];
+        EXPECT_LE(exact, h.quantile(q)) << "q=" << q;
+    }
 }
 
 TEST(ServerStatsJson, RenderAndParse)

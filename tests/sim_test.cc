@@ -92,7 +92,43 @@ TEST_P(CacheLruOrder, FillThenEvictFollowsRecency)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Assoc, CacheLruOrder, testing::Values(2u, 4u));
+INSTANTIATE_TEST_SUITE_P(Assoc, CacheLruOrder,
+                         testing::Values(1u, 2u, 4u));
+
+/**
+ * Same fill-then-evict recency contract for the fully-associative
+ * TLB, parameterized on entry count. Mirrors CacheLruOrder so the
+ * shared victim-selection idiom (first free way wins, valid entries
+ * form a prefix) is pinned in both structures.
+ */
+class TlbLruOrder : public testing::TestWithParam<uint32_t>
+{};
+
+TEST_P(TlbLruOrder, FillThenEvictFollowsRecency)
+{
+    const uint32_t entries = GetParam();
+    Tlb tlb(entries);
+    const uint32_t page = 8192;
+
+    // Fill: every new page is a cold miss and must land in a free
+    // entry, never evicting a resident page while free entries remain.
+    for (uint32_t i = 0; i < entries; ++i) {
+        EXPECT_FALSE(tlb.access(i * page)) << "cold page " << i;
+        for (uint32_t j = 0; j <= i; ++j)
+            EXPECT_TRUE(tlb.access(j * page))
+                << "page " << j << " evicted during fill at " << i;
+    }
+    // Recency order is now 0,1,...,entries-1 (oldest first); overflow
+    // pages must evict in exactly that order.
+    for (uint32_t i = 0; i < entries; ++i) {
+        EXPECT_FALSE(tlb.access((entries + i) * page));
+        EXPECT_FALSE(tlb.access(i * page))
+            << "page " << i << " should have been the LRU victim";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Entries, TlbLruOrder,
+                         testing::Values(1u, 2u, 4u));
 
 TEST(Cache, WorkingSetFitsAfterWarmup)
 {

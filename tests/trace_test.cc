@@ -387,6 +387,57 @@ TEST(Batch, FullBatchDeliversWithoutFlush)
     EXPECT_EQ(sink.events.size(), (size_t)BundleBatch::kCapacity + 1);
 }
 
+TEST(Batch, PushIntoFullBatchIsFatal)
+{
+    // Regression: push used to write past the 256-bundle capacity
+    // silently (clobbering a neighbouring column in the SoA layout);
+    // the 257th push must now die in fatal() instead.
+    BundleBatch batch;
+    Bundle b;
+    b.pc = 4;
+    b.count = 1;
+    for (uint32_t i = 0; i < BundleBatch::kCapacity; ++i)
+        batch.push(b);
+    EXPECT_EQ(batch.size(), BundleBatch::kCapacity);
+    interp::ScopedFatalThrow contain;
+    EXPECT_THROW(batch.push(b), interp::FatalError);
+    EXPECT_THROW(batch.pushPacked(4, 1, 0, 0, kNoCommand, 0, 0),
+                 interp::FatalError);
+}
+
+TEST(Batch, SoaRoundTripPreservesBundleFields)
+{
+    // push() packs into columns; get()/iteration reconstructs. Every
+    // field must survive the round trip, including the packed
+    // class/category and flag bits.
+    BundleBatch batch;
+    Bundle b;
+    b.pc = 0x1234;
+    b.count = 7;
+    b.cls = InstClass::CondBranch;
+    b.cat = Category::FetchDecode;
+    b.memModel = true;
+    b.native = false;
+    b.system = true;
+    b.taken = true;
+    b.command = 42;
+    b.memAddr = 0xdeadbeef;
+    b.target = 0x4321;
+    batch.push(b);
+    Bundle r = batch[0];
+    EXPECT_EQ(r.pc, b.pc);
+    EXPECT_EQ(r.count, b.count);
+    EXPECT_EQ(r.cls, b.cls);
+    EXPECT_EQ(r.cat, b.cat);
+    EXPECT_EQ(r.memModel, b.memModel);
+    EXPECT_EQ(r.native, b.native);
+    EXPECT_EQ(r.system, b.system);
+    EXPECT_EQ(r.taken, b.taken);
+    EXPECT_EQ(r.command, b.command);
+    EXPECT_EQ(r.memAddr, b.memAddr);
+    EXPECT_EQ(r.target, b.target);
+}
+
 TEST(Batch, NonBundleEventsKeepStreamOrder)
 {
     // Commands and memory-model accesses flush the pending batch
