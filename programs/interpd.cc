@@ -15,6 +15,10 @@
  *   --batch N        max same-mode requests per drain (default 8)
  *   --record DIR     honor the record-trace flag, tapes into DIR
  *   --max-commands N default command budget per request
+ *   --shard-id NAME  identity reported as "shard_id" in STATS
+ *   --reuseport      SO_REUSEPORT on the TCP listener, so several
+ *                    interpd shards can share one port (the kernel
+ *                    spreads accepts across them)
  *   --timestamps     prefix logs with monotonic time + thread id
  */
 
@@ -47,7 +51,8 @@ usage()
         stderr,
         "usage: interpd [--socket PATH] [--tcp PORT] [--workers N]\n"
         "               [--queue N] [--batch N] [--record DIR]\n"
-        "               [--max-commands N] [--timestamps]\n");
+        "               [--max-commands N] [--shard-id NAME]\n"
+        "               [--reuseport] [--timestamps]\n");
     std::exit(2);
 }
 
@@ -86,6 +91,10 @@ main(int argc, char **argv)
         else if (!std::strcmp(argv[i], "--max-commands"))
             cfg.defaultMaxCommands =
                 (uint64_t)std::atoll(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--shard-id"))
+            cfg.shardId = argValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--reuseport"))
+            cfg.reusePort = true;
         else if (!std::strcmp(argv[i], "--timestamps"))
             timestamps = true;
         else

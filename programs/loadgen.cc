@@ -14,6 +14,12 @@
  *   --socket PATH     connect to a unix socket (default
  *                     /tmp/interpd.sock unless --tcp is given)
  *   --tcp PORT        connect to 127.0.0.1:PORT instead
+ *   --endpoints A,B   cluster mode: comma-separated endpoints
+ *                     (unix:PATH, tcp:PORT, a path, or a port),
+ *                     clients assigned round-robin; connect failures
+ *                     and reconnects are tallied per endpoint,
+ *                     distinct from SHED
+ *   --connect-attempts N  connect retries per endpoint (default 3)
  *   --clients N       concurrent connections (default 1)
  *   --requests N      requests per client (default 8)
  *   --rate R          open loop at R requests/second total
@@ -45,8 +51,10 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: loadgen [--socket PATH | --tcp PORT] [--clients N]\n"
-        "               [--requests N] [--rate R] [--mode M[,M...]]\n"
+        "usage: loadgen [--socket PATH | --tcp PORT |\n"
+        "                --endpoints A,B,...] [--clients N]\n"
+        "               [--connect-attempts N] [--requests N]\n"
+        "               [--rate R] [--mode M[,M...]]\n"
         "               [--program NAME] [--iterations N]\n"
         "               [--deadline MS] [--max-commands N]\n"
         "               [--machine] [--stats]\n");
@@ -59,6 +67,23 @@ argValue(int argc, char **argv, int &i)
     if (i + 1 >= argc)
         usage();
     return argv[++i];
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start)
+            out.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
 }
 
 std::vector<harness::Lang>
@@ -102,6 +127,11 @@ main(int argc, char **argv)
             opt.unixPath = argValue(argc, argv, i);
         else if (!std::strcmp(argv[i], "--tcp"))
             opt.tcpPort = std::atoi(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--endpoints"))
+            opt.endpoints = splitCommas(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--connect-attempts"))
+            opt.connectAttempts =
+                (unsigned)std::atoi(argValue(argc, argv, i));
         else if (!std::strcmp(argv[i], "--clients"))
             opt.clients =
                 (unsigned)std::atoi(argValue(argc, argv, i));
@@ -130,7 +160,8 @@ main(int argc, char **argv)
         else
             usage();
     }
-    if (opt.unixPath.empty() && opt.tcpPort < 0)
+    if (opt.unixPath.empty() && opt.tcpPort < 0 &&
+        opt.endpoints.empty())
         opt.unixPath = "/tmp/interpd.sock";
 
     for (harness::Lang mode : parseModes(modeList)) {
@@ -149,9 +180,25 @@ main(int argc, char **argv)
     std::fputs(report.table().c_str(), stdout);
 
     if (wantStats) {
-        Client conn = opt.unixPath.empty()
-                          ? Client::connectTcp(opt.tcpPort)
-                          : Client::connectUnix(opt.unixPath);
+        // In cluster mode, ask the first endpoint (the proxy when
+        // pointed at one; otherwise the first shard).
+        std::string spec = !opt.endpoints.empty()
+                               ? opt.endpoints.front()
+                               : std::string();
+        Client conn = [&] {
+            if (spec.empty())
+                return opt.unixPath.empty()
+                           ? Client::connectTcp(opt.tcpPort)
+                           : Client::connectUnix(opt.unixPath);
+            if (spec.rfind("unix:", 0) == 0)
+                return Client::connectUnix(spec.substr(5));
+            if (spec.rfind("tcp:", 0) == 0)
+                return Client::connectTcp(
+                    std::atoi(spec.c_str() + 4));
+            if (spec.find('/') != std::string::npos)
+                return Client::connectUnix(spec);
+            return Client::connectTcp(std::atoi(spec.c_str()));
+        }();
         std::printf("%s\n", conn.stats().c_str());
     }
     return 0;

@@ -1,0 +1,1025 @@
+#include "cluster/proxy.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace interp::cluster {
+
+using server::EvalRequest;
+using server::EvalResponse;
+using server::Status;
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+namespace {
+
+uint64_t
+elapsedMicros(std::chrono::steady_clock::time_point from,
+              std::chrono::steady_clock::time_point to)
+{
+    return (uint64_t)duration_cast<microseconds>(to - from).count();
+}
+
+} // namespace
+
+// --- lifecycle -------------------------------------------------------------
+
+Proxy::Proxy(const ProxyConfig &config)
+    : cfg(config), ring((int)config.shards.size(),
+                        config.vnodes ? config.vnodes : 1)
+{
+    if (cfg.poolSize == 0)
+        cfg.poolSize = 1;
+    shards.resize(cfg.shards.size());
+    for (size_t i = 0; i < cfg.shards.size(); ++i) {
+        shards[i].ep = cfg.shards[i];
+        if (shards[i].ep.name.empty())
+            shards[i].ep.name = "s" + std::to_string(i);
+        shards[i].pool.resize(cfg.poolSize);
+    }
+}
+
+Proxy::~Proxy()
+{
+    for (auto &entry : fronts)
+        ::close(entry.second.fd);
+    for (Shard &s : shards)
+        for (BackConn &bc : s.pool)
+            if (bc.fd >= 0)
+                ::close(bc.fd);
+    if (unixFd >= 0)
+        ::close(unixFd);
+    if (tcpFd >= 0)
+        ::close(tcpFd);
+    if (wakeRead >= 0)
+        ::close(wakeRead);
+    if (wakeWrite >= 0)
+        ::close(wakeWrite);
+    if (!cfg.unixPath.empty())
+        ::unlink(cfg.unixPath.c_str());
+}
+
+void
+Proxy::start()
+{
+    if (cfg.unixPath.empty() && cfg.tcpPort < 0)
+        fatal("interproxy: no listener configured "
+              "(need a unix path or a tcp port)");
+    if (cfg.shards.empty())
+        fatal("interproxy: no shards configured");
+
+    int pipefd[2];
+    if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0)
+        fatal("interproxy: pipe2: %s", std::strerror(errno));
+    wakeRead = pipefd[0];
+    wakeWrite = pipefd[1];
+
+    if (!cfg.unixPath.empty()) {
+        sockaddr_un sun{};
+        if (cfg.unixPath.size() >= sizeof(sun.sun_path))
+            fatal("interproxy: socket path too long: %s",
+                  cfg.unixPath.c_str());
+        unixFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK |
+                                       SOCK_CLOEXEC,
+                          0);
+        if (unixFd < 0)
+            fatal("interproxy: socket(AF_UNIX): %s",
+                  std::strerror(errno));
+        sun.sun_family = AF_UNIX;
+        std::memcpy(sun.sun_path, cfg.unixPath.c_str(),
+                    cfg.unixPath.size() + 1);
+        ::unlink(cfg.unixPath.c_str());
+        if (::bind(unixFd, (const sockaddr *)&sun, sizeof(sun)) != 0)
+            fatal("interproxy: bind %s: %s", cfg.unixPath.c_str(),
+                  std::strerror(errno));
+        if (::listen(unixFd, 128) != 0)
+            fatal("interproxy: listen %s: %s", cfg.unixPath.c_str(),
+                  std::strerror(errno));
+    }
+
+    if (cfg.tcpPort >= 0) {
+        tcpFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                      SOCK_CLOEXEC,
+                         0);
+        if (tcpFd < 0)
+            fatal("interproxy: socket(AF_INET): %s",
+                  std::strerror(errno));
+        int one = 1;
+        ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in sin{};
+        sin.sin_family = AF_INET;
+        sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        sin.sin_port = htons((uint16_t)cfg.tcpPort);
+        if (::bind(tcpFd, (const sockaddr *)&sin, sizeof(sin)) != 0)
+            fatal("interproxy: bind 127.0.0.1:%d: %s", cfg.tcpPort,
+                  std::strerror(errno));
+        if (::listen(tcpFd, 128) != 0)
+            fatal("interproxy: listen tcp: %s", std::strerror(errno));
+        socklen_t len = sizeof(sin);
+        if (::getsockname(tcpFd, (sockaddr *)&sin, &len) != 0)
+            fatal("interproxy: getsockname: %s", std::strerror(errno));
+        boundTcpPort_ = ntohs(sin.sin_port);
+    }
+
+    for (size_t i = 0; i < shards.size(); ++i)
+        beginConnect((int)i);
+}
+
+void
+Proxy::stop()
+{
+    stopping.store(true, std::memory_order_release);
+    wake();
+}
+
+void
+Proxy::wake()
+{
+    char byte = 1;
+    (void)!::write(wakeWrite, &byte, 1);
+}
+
+// --- event loop ------------------------------------------------------------
+
+int
+Proxy::pollTimeoutMs(Clock::time_point now) const
+{
+    bool have = false;
+    Clock::time_point next{};
+    auto consider = [&](Clock::time_point t) {
+        if (!have || t < next) {
+            next = t;
+            have = true;
+        }
+    };
+    for (const Shard &s : shards) {
+        if (s.state == Shard::State::Down)
+            consider(s.nextAttempt);
+        else if (s.state == Shard::State::Up && !s.probeOutstanding)
+            consider(s.nextProbe);
+        for (const auto &entry : s.inflight)
+            consider(entry.second.deadline);
+    }
+    for (const auto &agg : aggs)
+        if (!agg->done)
+            consider(agg->deadline);
+    if (!have)
+        return -1;
+    if (next <= now)
+        return 0;
+    auto ms = duration_cast<milliseconds>(next - now).count() + 1;
+    return ms > 60'000 ? 60'000 : (int)ms;
+}
+
+void
+Proxy::run()
+{
+    // Poll-set bookkeeping: what each pollfd entry refers to.
+    struct Ref
+    {
+        enum : uint8_t { Wake, Listener, Front, Back } kind;
+        uint64_t front = 0;
+        int shard = 0;
+        int pool = 0;
+    };
+    std::vector<pollfd> fds;
+    std::vector<Ref> refs;
+
+    while (!stopping.load(std::memory_order_acquire)) {
+        fds.clear();
+        refs.clear();
+        fds.push_back({wakeRead, POLLIN, 0});
+        refs.push_back({Ref::Wake, 0, 0, 0});
+        if (unixFd >= 0) {
+            fds.push_back({unixFd, POLLIN, 0});
+            refs.push_back({Ref::Listener, 0, 0, 0});
+        }
+        if (tcpFd >= 0) {
+            fds.push_back({tcpFd, POLLIN, 0});
+            refs.push_back({Ref::Listener, 0, 0, 0});
+        }
+        for (auto &entry : fronts) {
+            short events = POLLIN;
+            if (!entry.second.out.empty())
+                events |= POLLOUT;
+            fds.push_back({entry.second.fd, events, 0});
+            refs.push_back({Ref::Front, entry.first, 0, 0});
+        }
+        for (size_t si = 0; si < shards.size(); ++si) {
+            for (size_t pi = 0; pi < shards[si].pool.size(); ++pi) {
+                const BackConn &bc = shards[si].pool[pi];
+                if (bc.fd < 0)
+                    continue;
+                short events = bc.connecting ? POLLOUT : POLLIN;
+                if (!bc.connecting && !bc.out.empty())
+                    events |= POLLOUT;
+                fds.push_back({bc.fd, events, 0});
+                refs.push_back({Ref::Back, 0, (int)si, (int)pi});
+            }
+        }
+
+        int timeout = pollTimeoutMs(Clock::now());
+        int n = ::poll(fds.data(), (nfds_t)fds.size(), timeout);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("interproxy: poll: %s", std::strerror(errno));
+        }
+        if (stopping.load(std::memory_order_acquire))
+            break;
+
+        if (fds[0].revents & POLLIN) {
+            char drain[256];
+            while (::read(wakeRead, drain, sizeof(drain)) > 0) {
+            }
+        }
+
+        for (size_t i = 1; i < fds.size(); ++i) {
+            const Ref &ref = refs[i];
+            short rev = fds[i].revents;
+            if (!rev)
+                continue;
+            switch (ref.kind) {
+              case Ref::Wake:
+                break;
+              case Ref::Listener:
+                if (rev & POLLIN)
+                    acceptAll(fds[i].fd);
+                break;
+              case Ref::Front:
+                if (rev & (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+                    readFront(ref.front);
+                if (fronts.count(ref.front) && (rev & POLLOUT))
+                    writeFront(ref.front);
+                break;
+              case Ref::Back: {
+                // The shard may have been failed (fds closed) by an
+                // earlier event in this same batch; skip stale refs.
+                BackConn &bc = shards[ref.shard].pool[ref.pool];
+                if (bc.fd != fds[i].fd)
+                    break;
+                if (bc.connecting) {
+                    if (rev & (POLLOUT | POLLHUP | POLLERR))
+                        finishConnect(ref.shard, ref.pool);
+                    break;
+                }
+                if (rev & (POLLIN | POLLHUP | POLLERR | POLLNVAL))
+                    readBack(ref.shard, ref.pool);
+                if (bc.fd == fds[i].fd && (rev & POLLOUT))
+                    writeBack(ref.shard, ref.pool);
+                break;
+              }
+            }
+        }
+
+        runTimers(Clock::now());
+    }
+}
+
+void
+Proxy::runTimers(Clock::time_point now)
+{
+    std::vector<uint32_t> expired;
+    for (size_t i = 0; i < shards.size(); ++i) {
+        Shard &s = shards[i];
+        if (s.state == Shard::State::Down && now >= s.nextAttempt)
+            beginConnect((int)i);
+        else if (s.state == Shard::State::Up && !s.probeOutstanding &&
+                 now >= s.nextProbe)
+            sendProbe((int)i);
+
+        expired.clear();
+        for (const auto &entry : s.inflight)
+            if (now >= entry.second.deadline)
+                expired.push_back(entry.first);
+        for (uint32_t id : expired) {
+            // failShard() inside this loop clears the map; re-check.
+            auto it = s.inflight.find(id);
+            if (it == s.inflight.end())
+                continue;
+            Outstanding o = std::move(it->second);
+            s.inflight.erase(it);
+            switch (o.kind) {
+              case Outstanding::Kind::Probe:
+                ++s.probeFailures;
+                ++s.probeMisses;
+                s.probeOutstanding = false;
+                if (s.probeMisses >= cfg.probeMissLimit)
+                    failShard((int)i, "health probes missed");
+                break;
+              case Outstanding::Kind::Stats:
+                if (!o.agg->done && --o.agg->waiting == 0)
+                    finishAgg(o.agg);
+                break;
+              case Outstanding::Kind::Eval:
+                ++s.error;
+                if (o.retriesLeft > 0) {
+                    --o.retriesLeft;
+                    stats_.noteRetry();
+                    dispatchEval(std::move(o));
+                } else {
+                    EvalResponse resp;
+                    resp.status = Status::Error;
+                    resp.result = "shard " + s.ep.name +
+                                  " timed out";
+                    deliver(o, std::move(resp));
+                }
+                break;
+            }
+        }
+    }
+
+    for (auto &agg : aggs)
+        if (!agg->done && now >= agg->deadline)
+            finishAgg(agg);
+    aggs.erase(std::remove_if(
+                   aggs.begin(), aggs.end(),
+                   [](const std::shared_ptr<StatsAgg> &a) {
+                       return a->done;
+                   }),
+               aggs.end());
+}
+
+// --- front side ------------------------------------------------------------
+
+void
+Proxy::acceptAll(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept4(listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        FrontConn conn;
+        conn.fd = fd;
+        fronts.emplace(nextFrontId++, std::move(conn));
+    }
+}
+
+void
+Proxy::closeFront(uint64_t conn_id)
+{
+    auto it = fronts.find(conn_id);
+    if (it == fronts.end())
+        return;
+    ::close(it->second.fd);
+    fronts.erase(it);
+}
+
+void
+Proxy::readFront(uint64_t conn_id)
+{
+    auto it = fronts.find(conn_id);
+    if (it == fronts.end())
+        return;
+    char buf[64 * 1024];
+    for (;;) {
+        ssize_t n = ::recv(it->second.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            it->second.in.append(buf, (size_t)n);
+            continue;
+        }
+        if (n == 0) {
+            closeFront(conn_id);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        closeFront(conn_id);
+        return;
+    }
+
+    std::string payload;
+    for (;;) {
+        auto conn = fronts.find(conn_id);
+        if (conn == fronts.end())
+            return;
+        if (!conn->second.greeted) {
+            switch (server::takeHello(conn->second.in)) {
+              case server::HelloResult::Incomplete:
+                return;
+              case server::HelloResult::Mismatch: {
+                EvalResponse resp;
+                resp.id = 0;
+                resp.status = Status::Error;
+                resp.result =
+                    "protocol mismatch: expected IPD hello version " +
+                    std::to_string(server::kProtocolVersion);
+                replyFront(conn_id, resp);
+                writeFront(conn_id);
+                closeFront(conn_id);
+                return;
+              }
+              case server::HelloResult::Ok:
+                conn->second.greeted = true;
+                break;
+            }
+        }
+        server::FrameResult r = server::takeFrame(
+            conn->second.in, payload, server::kMaxRequestBytes);
+        if (r == server::FrameResult::Incomplete)
+            return;
+        if (r == server::FrameResult::Malformed) {
+            closeFront(conn_id);
+            return;
+        }
+        handleFrontFrame(conn_id, payload);
+    }
+}
+
+void
+Proxy::writeFront(uint64_t conn_id)
+{
+    auto it = fronts.find(conn_id);
+    if (it == fronts.end())
+        return;
+    FrontConn &c = it->second;
+    while (!c.out.empty()) {
+        ssize_t n =
+            ::send(c.fd, c.out.data(), c.out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            c.out.erase(0, (size_t)n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        if (errno == EINTR)
+            continue;
+        closeFront(conn_id);
+        return;
+    }
+}
+
+void
+Proxy::replyFront(uint64_t conn_id, const EvalResponse &resp)
+{
+    auto it = fronts.find(conn_id);
+    if (it == fronts.end())
+        return; // client went away; drop the response
+    encodeResponse(it->second.out, resp);
+}
+
+void
+Proxy::handleFrontFrame(uint64_t conn_id, const std::string &payload)
+{
+    switch (server::requestVerb(payload)) {
+      case (uint8_t)server::Verb::Eval: {
+        EvalRequest req;
+        if (!decodeEvalRequest(payload, req)) {
+            closeFront(conn_id);
+            return;
+        }
+        stats_.noteAccepted((uint8_t)req.mode);
+        Outstanding o;
+        o.kind = Outstanding::Kind::Eval;
+        o.frontId = conn_id;
+        o.clientReqId = req.id;
+        o.req = std::move(req);
+        o.retriesLeft = cfg.maxRetries;
+        o.sentAt = Clock::now();
+        dispatchEval(std::move(o));
+        return;
+      }
+      case (uint8_t)server::Verb::Stats: {
+        server::StatsRequest req;
+        if (!decodeStatsRequest(payload, req)) {
+            closeFront(conn_id);
+            return;
+        }
+        startStatsFanout(conn_id, req.id);
+        return;
+      }
+      default:
+        closeFront(conn_id);
+    }
+}
+
+// --- routing ---------------------------------------------------------------
+
+void
+Proxy::dispatchEval(Outstanding o)
+{
+    std::vector<int> cand;
+    ring.candidatesFor(
+        routingKey((uint8_t)o.req.mode, o.req.program), cand);
+    int target = -1;
+    for (int c : cand) {
+        if (std::find(o.tried.begin(), o.tried.end(), c) !=
+            o.tried.end())
+            continue;
+        const Shard &s = shards[(size_t)c];
+        if (s.state == Shard::State::Down)
+            continue;
+        if (s.inflight.size() >= cfg.maxInflightPerShard)
+            continue;
+        target = c;
+        break;
+    }
+
+    if (target >= 0) {
+        if (o.tried.empty() && target != cand[0])
+            // First choice was not the home shard: the ring routed
+            // around a dead or full shard (DEGRADED accounting).
+            stats_.noteRerouted();
+        o.tried.push_back(target);
+        forwardTo(target, std::move(o));
+        return;
+    }
+
+    bool any_alive = false;
+    for (const Shard &s : shards)
+        if (s.state != Shard::State::Down) {
+            any_alive = true;
+            break;
+        }
+    EvalResponse resp;
+    if (any_alive) {
+        // Aggregate capacity: every alive shard is full or shed.
+        resp.status = Status::Shed;
+        resp.result = "cluster at capacity: all shards refused";
+    } else {
+        resp.status = Status::Error;
+        resp.result = "no alive shards";
+    }
+    deliver(o, std::move(resp));
+}
+
+void
+Proxy::forwardTo(int shard_index, Outstanding o)
+{
+    Shard &s = shards[(size_t)shard_index];
+    uint32_t id = nextBackendId++;
+    int pool_index = (int)(s.rr++ % s.pool.size());
+    o.poolIndex = pool_index;
+    o.deadline = Clock::now() + milliseconds(cfg.forwardTimeoutMs);
+
+    EvalRequest wire = o.req;
+    wire.id = id;
+    BackConn &bc = s.pool[(size_t)pool_index];
+    encodeEvalRequest(bc.out, wire);
+
+    ++s.forwarded;
+    stats_.noteForwarded();
+    s.inflight.emplace(id, std::move(o));
+    if (!bc.connecting)
+        writeBack(shard_index, pool_index);
+}
+
+void
+Proxy::deliver(Outstanding &o, EvalResponse resp)
+{
+    uint8_t mode = (uint8_t)o.req.mode;
+    switch (resp.status) {
+      case Status::Ok:
+        stats_.noteServed(mode);
+        stats_.noteLatency(mode,
+                           elapsedMicros(o.sentAt, Clock::now()));
+        break;
+      case Status::Shed:
+        stats_.noteShed(mode);
+        break;
+      case Status::Deadline:
+        stats_.noteDeadline(mode);
+        break;
+      case Status::Error:
+        stats_.noteFailed(mode);
+        break;
+    }
+    resp.id = o.clientReqId;
+    replyFront(o.frontId, resp);
+    writeFront(o.frontId);
+}
+
+// --- back side -------------------------------------------------------------
+
+void
+Proxy::beginConnect(int shard_index)
+{
+    Shard &s = shards[(size_t)shard_index];
+    s.state = Shard::State::Connecting;
+    bool any = false;
+    for (size_t p = 0; p < s.pool.size(); ++p) {
+        BackConn &bc = s.pool[p];
+        if (bc.fd >= 0)
+            continue;
+        int fd = -1;
+        int rc = -1;
+        if (!s.ep.unixPath.empty()) {
+            sockaddr_un sun{};
+            if (s.ep.unixPath.size() >= sizeof(sun.sun_path)) {
+                warn("interproxy: shard %s: socket path too long",
+                     s.ep.name.c_str());
+                break;
+            }
+            fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK |
+                                       SOCK_CLOEXEC,
+                          0);
+            if (fd < 0)
+                break;
+            sun.sun_family = AF_UNIX;
+            std::memcpy(sun.sun_path, s.ep.unixPath.c_str(),
+                        s.ep.unixPath.size() + 1);
+            rc = ::connect(fd, (const sockaddr *)&sun, sizeof(sun));
+        } else {
+            fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                       SOCK_CLOEXEC,
+                          0);
+            if (fd < 0)
+                break;
+            sockaddr_in sin{};
+            sin.sin_family = AF_INET;
+            sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            sin.sin_port = htons((uint16_t)s.ep.tcpPort);
+            rc = ::connect(fd, (const sockaddr *)&sin, sizeof(sin));
+        }
+        if (rc != 0 && errno != EINPROGRESS) {
+            ::close(fd);
+            continue;
+        }
+        bc.fd = fd;
+        bc.connecting = (rc != 0);
+        bc.in.clear();
+        bc.out.clear();
+        server::encodeHello(bc.out); // first bytes on the wire
+        any = true;
+        if (!bc.connecting)
+            finishConnect(shard_index, (int)p);
+    }
+    if (!any) {
+        // Immediate refusal on every pool connection: back off
+        // quietly (down events are counted by failShard(), not by
+        // each failed retry).
+        s.state = Shard::State::Down;
+        s.backoffMs = s.backoffMs
+                          ? std::min(s.backoffMs * 2,
+                                     cfg.connectBackoffMaxMs)
+                          : cfg.connectBackoffMs;
+        s.nextAttempt = Clock::now() + milliseconds(s.backoffMs);
+    }
+}
+
+void
+Proxy::finishConnect(int shard_index, int pool_index)
+{
+    Shard &s = shards[(size_t)shard_index];
+    BackConn &bc = s.pool[(size_t)pool_index];
+    if (bc.connecting) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(bc.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+            err = errno;
+        if (err != 0) {
+            failShard(shard_index, std::strerror(err));
+            return;
+        }
+        bc.connecting = false;
+    }
+    if (s.state != Shard::State::Up) {
+        s.state = Shard::State::Up;
+        if (s.downEvents > 0)
+            ++s.reconnects;
+        s.backoffMs = 0;
+        s.probeMisses = 0;
+        s.probeOutstanding = false;
+        s.nextProbe =
+            Clock::now() + milliseconds(cfg.probeIntervalMs);
+    }
+    writeBack(shard_index, pool_index);
+}
+
+void
+Proxy::readBack(int shard_index, int pool_index)
+{
+    Shard &s = shards[(size_t)shard_index];
+    BackConn &bc = s.pool[(size_t)pool_index];
+    char buf[64 * 1024];
+    for (;;) {
+        ssize_t n = ::recv(bc.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            bc.in.append(buf, (size_t)n);
+            continue;
+        }
+        if (n == 0) {
+            failShard(shard_index, "connection closed");
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+        if (errno == EINTR)
+            continue;
+        failShard(shard_index, std::strerror(errno));
+        return;
+    }
+
+    std::string payload;
+    for (;;) {
+        server::FrameResult r = server::takeFrame(
+            bc.in, payload, server::kMaxResponseBytes);
+        if (r == server::FrameResult::Incomplete)
+            return;
+        if (r == server::FrameResult::Malformed) {
+            failShard(shard_index, "malformed response frame");
+            return;
+        }
+        EvalResponse resp;
+        if (!decodeResponse(payload, resp)) {
+            failShard(shard_index, "undecodable response payload");
+            return;
+        }
+        handleBackResponse(shard_index, resp);
+        // failShard() inside the handler invalidates the buffer.
+        if (bc.fd < 0)
+            return;
+    }
+}
+
+void
+Proxy::writeBack(int shard_index, int pool_index)
+{
+    Shard &s = shards[(size_t)shard_index];
+    BackConn &bc = s.pool[(size_t)pool_index];
+    if (bc.fd < 0 || bc.connecting)
+        return;
+    while (!bc.out.empty()) {
+        ssize_t n =
+            ::send(bc.fd, bc.out.data(), bc.out.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            bc.out.erase(0, (size_t)n);
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        if (errno == EINTR)
+            continue;
+        failShard(shard_index, std::strerror(errno));
+        return;
+    }
+}
+
+void
+Proxy::handleBackResponse(int shard_index, const EvalResponse &resp)
+{
+    Shard &s = shards[(size_t)shard_index];
+    auto it = s.inflight.find(resp.id);
+    if (it == s.inflight.end()) {
+        // Answered after we gave up on it (timeout/retry) — the
+        // client already has a response; count and drop.
+        stats_.noteLateReply();
+        return;
+    }
+    Outstanding o = std::move(it->second);
+    s.inflight.erase(it);
+
+    switch (o.kind) {
+      case Outstanding::Kind::Probe:
+        s.probeOutstanding = false;
+        s.probeMisses = 0;
+        return;
+      case Outstanding::Kind::Stats:
+        if (!o.agg->done) {
+            o.agg->collected.push_back(resp.result);
+            if (--o.agg->waiting == 0)
+                finishAgg(o.agg);
+        }
+        return;
+      case Outstanding::Kind::Eval:
+        break;
+    }
+
+    switch (resp.status) {
+      case Status::Ok:
+        ++s.ok;
+        break;
+      case Status::Shed:
+        ++s.shed;
+        break;
+      case Status::Deadline:
+        ++s.deadlineCount;
+        break;
+      case Status::Error:
+        ++s.error;
+        break;
+    }
+
+    if (resp.status == Status::Shed && o.retriesLeft > 0) {
+        // This shard refused; try the next ring candidate. The
+        // client sees SHED only when the whole cluster refuses.
+        --o.retriesLeft;
+        stats_.noteRetry();
+        dispatchEval(std::move(o));
+        return;
+    }
+    deliver(o, resp);
+}
+
+void
+Proxy::failShard(int shard_index, const char *reason)
+{
+    Shard &s = shards[(size_t)shard_index];
+    if (s.state == Shard::State::Down)
+        return;
+    for (BackConn &bc : s.pool) {
+        if (bc.fd >= 0)
+            ::close(bc.fd);
+        bc = BackConn{};
+    }
+    s.state = Shard::State::Down;
+    ++s.downEvents;
+    stats_.noteShardFailure();
+    s.probeOutstanding = false;
+    s.probeMisses = 0;
+    s.backoffMs =
+        s.backoffMs
+            ? std::min(s.backoffMs * 2, cfg.connectBackoffMaxMs)
+            : cfg.connectBackoffMs;
+    s.nextAttempt = Clock::now() + milliseconds(s.backoffMs);
+
+    auto inflight = std::move(s.inflight);
+    s.inflight.clear();
+    if (!inflight.empty() || s.downEvents == 1)
+        warn("interproxy: shard %s down (%s), %zu in flight",
+             s.ep.name.c_str(), reason, inflight.size());
+
+    for (auto &entry : inflight) {
+        Outstanding &o = entry.second;
+        switch (o.kind) {
+          case Outstanding::Kind::Probe:
+            break;
+          case Outstanding::Kind::Stats:
+            if (!o.agg->done && --o.agg->waiting == 0)
+                finishAgg(o.agg);
+            break;
+          case Outstanding::Kind::Eval:
+            ++s.error;
+            if (o.retriesLeft > 0) {
+                --o.retriesLeft;
+                stats_.noteRetry();
+                dispatchEval(std::move(o));
+            } else {
+                EvalResponse resp;
+                resp.status = Status::Error;
+                resp.result = "shard " + s.ep.name +
+                              " failed: " + reason;
+                deliver(o, std::move(resp));
+            }
+            break;
+        }
+    }
+}
+
+void
+Proxy::sendProbe(int shard_index)
+{
+    Shard &s = shards[(size_t)shard_index];
+    uint32_t id = nextBackendId++;
+    Outstanding o;
+    o.kind = Outstanding::Kind::Probe;
+    o.poolIndex = (int)(s.rr++ % s.pool.size());
+    o.deadline = Clock::now() + milliseconds(cfg.statsTimeoutMs);
+    server::StatsRequest req;
+    req.id = id;
+    encodeStatsRequest(s.pool[(size_t)o.poolIndex].out, req);
+    int pool_index = o.poolIndex;
+    s.inflight.emplace(id, std::move(o));
+    s.probeOutstanding = true;
+    s.nextProbe = Clock::now() + milliseconds(cfg.probeIntervalMs);
+    writeBack(shard_index, pool_index);
+}
+
+// --- stats -----------------------------------------------------------------
+
+void
+Proxy::startStatsFanout(uint64_t conn_id, uint32_t client_req_id)
+{
+    auto agg = std::make_shared<StatsAgg>();
+    agg->frontId = conn_id;
+    agg->clientReqId = client_req_id;
+    agg->deadline = Clock::now() + milliseconds(cfg.statsTimeoutMs);
+
+    for (size_t i = 0; i < shards.size(); ++i) {
+        Shard &s = shards[i];
+        if (s.state == Shard::State::Down)
+            continue;
+        uint32_t id = nextBackendId++;
+        Outstanding o;
+        o.kind = Outstanding::Kind::Stats;
+        o.poolIndex = (int)(s.rr++ % s.pool.size());
+        o.deadline = agg->deadline;
+        o.agg = agg;
+        server::StatsRequest req;
+        req.id = id;
+        encodeStatsRequest(s.pool[(size_t)o.poolIndex].out, req);
+        int pool_index = o.poolIndex;
+        s.inflight.emplace(id, std::move(o));
+        ++agg->waiting;
+        writeBack((int)i, pool_index);
+    }
+
+    if (agg->waiting == 0)
+        finishAgg(agg);
+    else
+        aggs.push_back(agg);
+}
+
+void
+Proxy::finishAgg(const std::shared_ptr<StatsAgg> &agg)
+{
+    if (agg->done)
+        return;
+    agg->done = true;
+    EvalResponse resp;
+    resp.id = agg->clientReqId;
+    resp.status = Status::Ok;
+    resp.result =
+        stats_.renderJson(gauges(), mergeShardStats(agg->collected));
+    replyFront(agg->frontId, resp);
+    writeFront(agg->frontId);
+}
+
+std::vector<ShardGauges>
+Proxy::gauges() const
+{
+    std::vector<ShardGauges> out;
+    out.reserve(shards.size());
+    for (const Shard &s : shards) {
+        ShardGauges g;
+        g.name = s.ep.name;
+        switch (s.state) {
+          case Shard::State::Up:
+            g.state = "up";
+            break;
+          case Shard::State::Connecting:
+            g.state = "connecting";
+            break;
+          case Shard::State::Down:
+            g.state = "down";
+            break;
+        }
+        g.inflight = s.inflight.size();
+        g.forwarded = s.forwarded;
+        g.ok = s.ok;
+        g.shed = s.shed;
+        g.deadline = s.deadlineCount;
+        g.error = s.error;
+        g.downEvents = s.downEvents;
+        g.reconnects = s.reconnects;
+        g.probeFailures = s.probeFailures;
+        out.push_back(std::move(g));
+    }
+    return out;
+}
+
+// --- endpoint parsing ------------------------------------------------------
+
+ShardEndpoint
+parseEndpoint(const std::string &spec, const std::string &name)
+{
+    ShardEndpoint ep;
+    ep.name = name;
+    auto all_digits = [](const std::string &s) {
+        if (s.empty())
+            return false;
+        for (char c : s)
+            if (!std::isdigit((unsigned char)c))
+                return false;
+        return true;
+    };
+    if (spec.rfind("unix:", 0) == 0)
+        ep.unixPath = spec.substr(5);
+    else if (spec.rfind("tcp:", 0) == 0 &&
+             all_digits(spec.substr(4)))
+        ep.tcpPort = std::atoi(spec.c_str() + 4);
+    else if (spec.find('/') != std::string::npos)
+        ep.unixPath = spec;
+    else if (all_digits(spec))
+        ep.tcpPort = std::atoi(spec.c_str());
+    else
+        fatal("interproxy: bad shard endpoint \"%s\" "
+              "(want unix:PATH, tcp:PORT, a path, or a port)",
+              spec.c_str());
+    if (!ep.unixPath.empty() ? false
+                             : (ep.tcpPort <= 0 || ep.tcpPort > 65535))
+        fatal("interproxy: bad shard port in \"%s\"", spec.c_str());
+    return ep;
+}
+
+} // namespace interp::cluster

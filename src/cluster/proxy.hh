@@ -1,0 +1,251 @@
+/**
+ * @file
+ * interproxy: the sharded-cluster front-end router.
+ *
+ * One thread (the caller of run()) owns a poll() event loop that is a
+ * client-facing interpd on one side and a pipelined interpd client on
+ * the other:
+ *
+ *   routing    every EVAL is consistent-hashed by (mode, program)
+ *              onto one of N interpd shards (HashRing with virtual
+ *              nodes), so each program warms exactly one shard's
+ *              catalog and repeat traffic stays hot. Requests are
+ *              forwarded over per-shard non-blocking connection
+ *              pools with proxy-assigned ids and demultiplexed back
+ *              to the right client connection and client-chosen id,
+ *              preserving full pipelining with out-of-order replies
+ *              end to end.
+ *   failover   a shard that refuses connections, closes mid-request,
+ *              times out, or fails health probes is marked down:
+ *              its in-flight requests are retried on the next ring
+ *              candidate (bounded retries) or answered ERROR, new
+ *              requests route around it (explicit DEGRADED
+ *              accounting in STATS), and reconnects back off
+ *              exponentially until it returns.
+ *   shedding   a shard's SHED answer makes the proxy retry the next
+ *              candidate; the client sees SHED only when every
+ *              alive shard has refused — backpressure at aggregate
+ *              cluster capacity, not at one unlucky shard.
+ *   stats      STATS fans out to every alive shard, merges their
+ *              ServerStats documents (histograms folded with
+ *              LatencyHistogram::mergeFrom) and renders them with
+ *              the router's own counters and per-shard gauges.
+ *
+ * The proxy executes nothing itself, so the loop never blocks on
+ * interpreter work; it is purely I/O-bound and single-threaded.
+ */
+
+#ifndef INTERP_CLUSTER_PROXY_HH
+#define INTERP_CLUSTER_PROXY_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/ring.hh"
+#include "cluster/stats.hh"
+#include "server/protocol.hh"
+
+namespace interp::cluster {
+
+/** Where one interpd shard listens. Unix path wins if both set. */
+struct ShardEndpoint
+{
+    std::string name;     ///< identity in STATS ("s0", "s1", ... )
+    std::string unixPath; ///< unix-domain socket path
+    int tcpPort = -1;     ///< 127.0.0.1 TCP port
+};
+
+struct ProxyConfig
+{
+    /** Front-side listeners, same semantics as ServerConfig. */
+    std::string unixPath;
+    int tcpPort = -1;
+
+    std::vector<ShardEndpoint> shards;
+
+    /** Virtual nodes per shard on the hash ring. */
+    unsigned vnodes = 64;
+    /** Connections per shard (requests round-robin across them). */
+    unsigned poolSize = 1;
+    /** Re-dispatch budget per request (shard SHED / death / timeout). */
+    uint32_t maxRetries = 2;
+    /** Reconnect backoff after a shard goes down (doubles per
+     *  failure up to the max). */
+    uint32_t connectBackoffMs = 50;
+    uint32_t connectBackoffMaxMs = 2000;
+    /** Health-probe (STATS) period against every up shard. */
+    uint32_t probeIntervalMs = 250;
+    /** Consecutive missed probes before the shard is marked down. */
+    uint32_t probeMissLimit = 2;
+    /** Probe / STATS fan-out reply deadline. */
+    uint32_t statsTimeoutMs = 1000;
+    /** Per-forwarded-request reply deadline at a shard. */
+    uint32_t forwardTimeoutMs = 30000;
+    /** Proxy-side in-flight cap per shard; a full shard is skipped
+     *  on the ring exactly like a down one. */
+    size_t maxInflightPerShard = 1024;
+};
+
+class Proxy
+{
+  public:
+    explicit Proxy(const ProxyConfig &config);
+
+    /** run() must have returned (or never been called). */
+    ~Proxy();
+
+    Proxy(const Proxy &) = delete;
+    Proxy &operator=(const Proxy &) = delete;
+
+    /** Bind front listeners and start connecting to every shard.
+     *  fatal() on setup errors (shard connects are retried, not
+     *  fatal — a cluster may come up proxy-first). */
+    void start();
+
+    /** Event loop; returns after stop(). Call from one thread only. */
+    void run();
+
+    /** Ask run() to return; callable from any thread / signal. */
+    void stop();
+
+    /** Actual front TCP port after start(). */
+    int tcpPort() const { return boundTcpPort_; }
+
+    const ProxyConfig &config() const { return cfg; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct FrontConn
+    {
+        int fd = -1;
+        std::string in;
+        std::string out;
+        bool greeted = false;
+    };
+
+    struct BackConn
+    {
+        int fd = -1;
+        bool connecting = false; ///< non-blocking connect pending
+        std::string in;
+        std::string out;
+    };
+
+    /** One STATS fan-out awaiting shard replies. */
+    struct StatsAgg
+    {
+        uint64_t frontId = 0;
+        uint32_t clientReqId = 0;
+        int waiting = 0;
+        bool done = false;
+        Clock::time_point deadline;
+        std::vector<std::string> collected;
+    };
+
+    /** One frame sent to a shard and not yet answered. */
+    struct Outstanding
+    {
+        enum class Kind : uint8_t { Eval, Probe, Stats };
+        Kind kind = Kind::Eval;
+        int poolIndex = 0;
+        Clock::time_point deadline;
+        // Eval
+        uint64_t frontId = 0;
+        uint32_t clientReqId = 0;
+        server::EvalRequest req;
+        uint32_t retriesLeft = 0;
+        std::vector<int> tried; ///< shards already attempted
+        Clock::time_point sentAt;
+        // Stats fan-out
+        std::shared_ptr<StatsAgg> agg;
+    };
+
+    struct Shard
+    {
+        ShardEndpoint ep;
+        enum class State : uint8_t { Connecting, Up, Down };
+        State state = State::Down;
+        std::vector<BackConn> pool;
+        unsigned rr = 0; ///< round-robin pool cursor
+        std::unordered_map<uint32_t, Outstanding> inflight;
+        uint32_t backoffMs = 0;
+        Clock::time_point nextAttempt; ///< reconnect timer (Down)
+        Clock::time_point nextProbe;   ///< health-probe timer (Up)
+        bool probeOutstanding = false;
+        uint32_t probeMisses = 0;
+        // gauges
+        uint64_t forwarded = 0, ok = 0, shed = 0, deadlineCount = 0,
+                 error = 0, downEvents = 0, reconnects = 0,
+                 probeFailures = 0;
+    };
+
+    // --- front side -------------------------------------------------------
+    void acceptAll(int listen_fd);
+    void readFront(uint64_t conn_id);
+    void writeFront(uint64_t conn_id);
+    void closeFront(uint64_t conn_id);
+    void handleFrontFrame(uint64_t conn_id, const std::string &payload);
+    void replyFront(uint64_t conn_id, const server::EvalResponse &resp);
+
+    // --- routing ----------------------------------------------------------
+    /** Forward @p o to the best candidate, or synthesize SHED/ERROR
+     *  back to its client when the ring is exhausted. */
+    void dispatchEval(Outstanding o);
+    void forwardTo(int shard_index, Outstanding o);
+    void deliver(Outstanding &o, server::EvalResponse resp);
+
+    // --- back side --------------------------------------------------------
+    void beginConnect(int shard_index);
+    void finishConnect(int shard_index, int pool_index);
+    void readBack(int shard_index, int pool_index);
+    void writeBack(int shard_index, int pool_index);
+    void handleBackResponse(int shard_index,
+                            const server::EvalResponse &resp);
+    /** Mark the shard down, fail over its in-flight work, schedule a
+     *  reconnect. */
+    void failShard(int shard_index, const char *reason);
+    void sendProbe(int shard_index);
+
+    // --- stats ------------------------------------------------------------
+    void startStatsFanout(uint64_t conn_id, uint32_t client_req_id);
+    void finishAgg(const std::shared_ptr<StatsAgg> &agg);
+    std::vector<ShardGauges> gauges() const;
+
+    // --- timers -----------------------------------------------------------
+    int pollTimeoutMs(Clock::time_point now) const;
+    void runTimers(Clock::time_point now);
+    void wake();
+
+    ProxyConfig cfg;
+    HashRing ring;
+    ClusterStats stats_;
+
+    int unixFd = -1;
+    int tcpFd = -1;
+    int boundTcpPort_ = -1;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+    std::atomic<bool> stopping{false};
+
+    uint64_t nextFrontId = 1;
+    std::unordered_map<uint64_t, FrontConn> fronts;
+
+    std::vector<Shard> shards;
+    uint32_t nextBackendId = 1;
+    std::vector<std::shared_ptr<StatsAgg>> aggs;
+};
+
+/** Parse "unix:PATH", "tcp:PORT", a bare path (contains '/') or a
+ *  bare port into an endpoint named @p name. fatal() on nonsense. */
+ShardEndpoint parseEndpoint(const std::string &spec,
+                            const std::string &name);
+
+} // namespace interp::cluster
+
+#endif // INTERP_CLUSTER_PROXY_HH

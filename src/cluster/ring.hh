@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Consistent-hash ring with virtual nodes.
+ *
+ * The interproxy router places every shard at `vnodes` pseudo-random
+ * points on a 64-bit ring and sends each request to the first shard
+ * clockwise from the hash of its routing key (program name x mode).
+ * Virtual nodes smooth the load split; consistent hashing keeps the
+ * remap small when membership changes: removing one shard moves only
+ * the keys that shard owned, everything else keeps its assignment —
+ * which is exactly what a warm program catalog per shard wants, since
+ * a remapped program must be re-loaded (re-compiled) at its new home.
+ *
+ * candidatesFor() yields the full failover order for a key: the home
+ * shard first, then each distinct successor around the ring. Routing
+ * to candidate k+1 exactly when candidates 0..k are dead/full makes
+ * "route around failures, shed only at aggregate capacity" a local
+ * decision per request, with no global rebalancing step.
+ */
+
+#ifndef INTERP_CLUSTER_RING_HH
+#define INTERP_CLUSTER_RING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace interp::cluster {
+
+/** FNV-1a 64-bit — stable across runs and platforms, so routing (and
+ *  therefore which shard warms which program) is reproducible. */
+uint64_t hashKey(const std::string &key);
+
+class HashRing
+{
+  public:
+    /** @p shards numbered 0..shards-1, each at @p vnodes points. */
+    HashRing(int shards, unsigned vnodes);
+
+    int shards() const { return shards_; }
+
+    /** Home shard for @p key (ignores liveness). */
+    int shardFor(const std::string &key) const;
+
+    /**
+     * All distinct shards in ring order starting at @p key's point:
+     * out[0] is the home shard, out[k] the k-th failover choice.
+     * Size == shards().
+     */
+    void candidatesFor(const std::string &key,
+                       std::vector<int> &out) const;
+
+  private:
+    size_t pointFor(const std::string &key) const;
+
+    int shards_;
+    /** Sorted (hash point, shard) pairs. */
+    std::vector<std::pair<uint64_t, int>> points_;
+};
+
+/** Routing key of an EVAL: mode and program name together, so the
+ *  same program under two modes may warm on two shards (each mode's
+ *  catalog entry is a distinct compiled artifact). */
+std::string routingKey(uint8_t mode, const std::string &program);
+
+} // namespace interp::cluster
+
+#endif // INTERP_CLUSTER_RING_HH

@@ -1,0 +1,190 @@
+#include "cluster/stats.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "harness/runner.hh"
+
+namespace interp::cluster {
+
+using server::LatencyHistogram;
+using server::ModeCounters;
+
+ModeCounters
+ClusterStats::totals() const
+{
+    ModeCounters sum;
+    for (const ModeCounters &m : modes_) {
+        sum.accepted += m.accepted;
+        sum.served += m.served;
+        sum.shed += m.shed;
+        sum.deadline += m.deadline;
+        sum.failed += m.failed;
+    }
+    return sum;
+}
+
+namespace {
+
+void
+appendCounters(std::string &out, const ModeCounters &c)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "\"accepted\":%" PRIu64 ",\"served\":%" PRIu64
+                  ",\"shed\":%" PRIu64 ",\"deadline\":%" PRIu64
+                  ",\"failed\":%" PRIu64,
+                  c.accepted, c.served, c.shed, c.deadline, c.failed);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+ClusterStats::renderJson(const std::vector<ShardGauges> &shards,
+                         const std::string &merged_object) const
+{
+    ModeCounters sum = totals();
+    uint64_t up = 0, degraded = 0;
+    for (const ShardGauges &g : shards) {
+        if (std::string("up") == g.state)
+            ++up;
+        else
+            ++degraded;
+    }
+
+    std::string out = "{\"proxy\":{";
+    appendCounters(out, sum);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"forwarded\":%" PRIu64 ",\"retries\":%" PRIu64
+                  ",\"rerouted\":%" PRIu64
+                  ",\"shard_failures\":%" PRIu64
+                  ",\"late_replies\":%" PRIu64
+                  ",\"shards_up\":%" PRIu64 ",\"degraded\":%" PRIu64,
+                  forwarded_, retries_, rerouted_, shardFailures_,
+                  lateReplies_, up, degraded);
+    out += buf;
+    out += '}';
+
+    out += ",\"modes\":{";
+    bool first = true;
+    for (int i = 0; i < kModes; ++i) {
+        if (!modes_[i].accepted)
+            continue;
+        if (!first)
+            out += ',';
+        out += '"';
+        out += harness::langName((harness::Lang)i);
+        out += "\":{";
+        appendCounters(out, modes_[i]);
+        out += '}';
+        first = false;
+    }
+    out += '}';
+
+    out += ",\"mode_latency_us\":{";
+    first = true;
+    for (int i = 0; i < kModes; ++i) {
+        if (!latency_[i].count())
+            continue;
+        if (!first)
+            out += ',';
+        server::appendHistogramJson(
+            out, harness::langName((harness::Lang)i), latency_[i]);
+        first = false;
+    }
+    out += '}';
+
+    out += ",\"shards\":{";
+    first = true;
+    for (const ShardGauges &g : shards) {
+        if (!first)
+            out += ',';
+        out += '"';
+        out += g.name;
+        out += "\":{\"state\":\"";
+        out += g.state;
+        out += '"';
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\"inflight\":%zu,\"forwarded\":%" PRIu64
+            ",\"ok\":%" PRIu64 ",\"shed\":%" PRIu64
+            ",\"deadline\":%" PRIu64 ",\"error\":%" PRIu64
+            ",\"down_events\":%" PRIu64 ",\"reconnects\":%" PRIu64
+            ",\"probe_failures\":%" PRIu64 "}",
+            g.inflight, g.forwarded, g.ok, g.shed, g.deadline, g.error,
+            g.downEvents, g.reconnects, g.probeFailures);
+        out += buf;
+        first = false;
+    }
+    out += '}';
+
+    out += ",\"merged\":";
+    out += merged_object.empty() ? "{}" : merged_object;
+    out += '}';
+    return out;
+}
+
+std::string
+mergeShardStats(const std::vector<std::string> &shard_jsons)
+{
+    uint64_t accepted = 0, served = 0, shed = 0, deadline = 0,
+             failed = 0;
+    uint64_t hits = 0, misses = 0, loads = 0;
+    LatencyHistogram queue, service, total;
+    uint64_t reporting = 0;
+
+    for (const std::string &json : shard_jsons) {
+        uint64_t v = 0;
+        // A shard document missing its top-level counters is not a
+        // ServerStats rendering at all; skip it entirely.
+        if (!server::statsJsonUint(json, "accepted", v))
+            continue;
+        ++reporting;
+        accepted += v;
+        if (server::statsJsonUint(json, "served", v))
+            served += v;
+        if (server::statsJsonUint(json, "shed", v))
+            shed += v;
+        if (server::statsJsonUint(json, "deadline", v))
+            deadline += v;
+        if (server::statsJsonUint(json, "failed", v))
+            failed += v;
+        if (server::statsJsonUint(json, "catalog.hits", v))
+            hits += v;
+        if (server::statsJsonUint(json, "catalog.misses", v))
+            misses += v;
+        if (server::statsJsonUint(json, "catalog.loads", v))
+            loads += v;
+        server::statsJsonHistogram(json, "histograms.queue_us", queue);
+        server::statsJsonHistogram(json, "histograms.service_us",
+                                   service);
+        server::statsJsonHistogram(json, "histograms.total_us", total);
+    }
+
+    std::string out = "{";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"shards_reporting\":%" PRIu64
+                  ",\"accepted\":%" PRIu64 ",\"served\":%" PRIu64
+                  ",\"shed\":%" PRIu64 ",\"deadline\":%" PRIu64
+                  ",\"failed\":%" PRIu64,
+                  reporting, accepted, served, shed, deadline, failed);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"catalog\":{\"hits\":%" PRIu64
+                  ",\"misses\":%" PRIu64 ",\"loads\":%" PRIu64 "}",
+                  hits, misses, loads);
+    out += buf;
+    out += ",\"histograms\":{";
+    server::appendHistogramJson(out, "queue_us", queue);
+    out += ',';
+    server::appendHistogramJson(out, "service_us", service);
+    out += ',';
+    server::appendHistogramJson(out, "total_us", total);
+    out += "}}";
+    return out;
+}
+
+} // namespace interp::cluster

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -44,7 +45,9 @@ Client::connectUnix(const std::string &path)
         fatal("loadgen: connect %s: %s", path.c_str(),
               std::strerror(err));
     }
-    return Client(fd);
+    Client client(fd);
+    client.sendHello();
+    return client;
 }
 
 Client
@@ -63,7 +66,17 @@ Client::connectTcp(int port)
         fatal("loadgen: connect 127.0.0.1:%d: %s", port,
               std::strerror(err));
     }
-    return Client(fd);
+    Client client(fd);
+    client.sendHello();
+    return client;
+}
+
+void
+Client::sendHello()
+{
+    std::string hello;
+    encodeHello(hello);
+    sendAll(hello);
 }
 
 Client::Client(Client &&other) noexcept
@@ -220,7 +233,7 @@ std::string
 LoadgenReport::table() const
 {
     std::string out;
-    char line[160];
+    char line[192];
     std::snprintf(line, sizeof(line),
                   "%-14s %6s %6s %6s %6s %6s %9s %9s %9s\n", "mode",
                   "sent", "ok", "shed", "ddl", "err", "p50_us",
@@ -239,6 +252,25 @@ LoadgenReport::table() const
     for (const auto &entry : byMode)
         row(entry.first, entry.second);
     row("ALL", all);
+
+    if (!byEndpoint.empty()) {
+        std::snprintf(line, sizeof(line),
+                      "%-24s %6s %6s %6s %8s %7s %7s %9s\n",
+                      "endpoint", "sent", "ok", "conn", "connfail",
+                      "reconn", "resent", "abandoned");
+        out += line;
+        for (const auto &entry : byEndpoint) {
+            const EndpointTotals &e = entry.second;
+            std::snprintf(line, sizeof(line),
+                          "%-24s %6" PRIu64 " %6" PRIu64 " %6" PRIu64
+                          " %8" PRIu64 " %7" PRIu64 " %7" PRIu64
+                          " %9" PRIu64 "\n",
+                          entry.first.c_str(), e.sent, e.ok,
+                          e.connects, e.connectFailures, e.reconnects,
+                          e.retriesSent, e.abandoned);
+            out += line;
+        }
+    }
     return out;
 }
 
@@ -252,6 +284,31 @@ connectTarget(const LoadgenOptions &opt)
     if (opt.tcpPort >= 0)
         return Client::connectTcp(opt.tcpPort);
     fatal("loadgen: no target (need a unix path or a tcp port)");
+}
+
+/** Connect to one "unix:PATH" / "tcp:PORT" / path / port spec. */
+Client
+connectSpec(const std::string &spec)
+{
+    auto all_digits = [](const std::string &s) {
+        if (s.empty())
+            return false;
+        for (char c : s)
+            if (!std::isdigit((unsigned char)c))
+                return false;
+        return true;
+    };
+    if (spec.rfind("unix:", 0) == 0)
+        return Client::connectUnix(spec.substr(5));
+    if (spec.rfind("tcp:", 0) == 0 && all_digits(spec.substr(4)))
+        return Client::connectTcp(std::atoi(spec.c_str() + 4));
+    if (spec.find('/') != std::string::npos)
+        return Client::connectUnix(spec);
+    if (all_digits(spec))
+        return Client::connectTcp(std::atoi(spec.c_str()));
+    fatal("loadgen: bad endpoint \"%s\" "
+          "(want unix:PATH, tcp:PORT, a path, or a port)",
+          spec.c_str());
 }
 
 struct Tally
@@ -290,13 +347,49 @@ struct Tally
         if (opt.onResponse)
             opt.onResponse(req, resp);
     }
+
+    /** Mutate one endpoint's transport tallies under the lock. */
+    template <class F>
+    void
+    endpoint(const std::string &name, F f)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        f(report.byEndpoint[name]);
+    }
 };
+
+/**
+ * Connect to @p spec with bounded retries; transport outcomes are
+ * tallied per endpoint instead of aborting the whole run. Empty
+ * optional after opt.connectAttempts refusals.
+ */
+std::optional<Client>
+connectWithRetry(const LoadgenOptions &opt, const std::string &spec,
+                 Tally &tally)
+{
+    for (unsigned attempt = 0; attempt < opt.connectAttempts;
+         ++attempt) {
+        try {
+            ScopedFatalThrow contain;
+            Client conn = connectSpec(spec);
+            tally.endpoint(spec,
+                           [](EndpointTotals &e) { ++e.connects; });
+            return conn;
+        } catch (const FatalError &) {
+            tally.endpoint(spec, [](EndpointTotals &e) {
+                ++e.connectFailures;
+            });
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    }
+    return std::nullopt;
+}
 
 void
 closedLoopClient(const LoadgenOptions &opt, unsigned client_index,
-                 Tally &tally)
+                 Tally &tally, Client conn)
 {
-    Client conn = connectTarget(opt);
     for (unsigned i = 0; i < opt.requestsPerClient; ++i) {
         EvalRequest req =
             opt.mix[(client_index + i) % opt.mix.size()];
@@ -313,11 +406,73 @@ closedLoopClient(const LoadgenOptions &opt, unsigned client_index,
     }
 }
 
+/**
+ * Closed loop against one endpoint of a cluster: a dropped
+ * connection is re-opened and the in-flight request re-sent (both
+ * tallied per endpoint), so one dying shard degrades the report
+ * instead of killing the run.
+ */
+void
+clusterClosedLoopClient(const LoadgenOptions &opt,
+                        unsigned client_index, Tally &tally)
+{
+    const std::string &spec =
+        opt.endpoints[client_index % opt.endpoints.size()];
+    std::optional<Client> conn = connectWithRetry(opt, spec, tally);
+
+    for (unsigned i = 0; i < opt.requestsPerClient; ++i) {
+        if (!conn) {
+            tally.endpoint(spec, [&](EndpointTotals &e) {
+                e.abandoned += opt.requestsPerClient - i;
+            });
+            return;
+        }
+        EvalRequest req =
+            opt.mix[(client_index + i) % opt.mix.size()];
+        req.id = i + 1;
+        for (;;) {
+            try {
+                ScopedFatalThrow contain;
+                tally.endpoint(
+                    spec, [](EndpointTotals &e) { ++e.sent; });
+                auto t0 = steady_clock::now();
+                EvalResponse resp = conn->eval(req);
+                auto t1 = steady_clock::now();
+                if (resp.id != req.id)
+                    fatal("loadgen: response id %u for request %u",
+                          resp.id, req.id);
+                tally.note(req, resp,
+                           (uint64_t)duration_cast<microseconds>(
+                               t1 - t0)
+                               .count());
+                if (resp.status == Status::Ok)
+                    tally.endpoint(
+                        spec, [](EndpointTotals &e) { ++e.ok; });
+                break;
+            } catch (const FatalError &) {
+                // The connection died under us (shard restart, proxy
+                // drop): reconnect and resend this request.
+                conn = connectWithRetry(opt, spec, tally);
+                if (!conn) {
+                    tally.endpoint(spec, [&](EndpointTotals &e) {
+                        e.abandoned += opt.requestsPerClient - i;
+                    });
+                    return;
+                }
+                tally.endpoint(spec, [](EndpointTotals &e) {
+                    ++e.reconnects;
+                    ++e.retriesSent;
+                });
+            }
+        }
+    }
+}
+
 void
 openLoopClient(const LoadgenOptions &opt, unsigned client_index,
-               Tally &tally)
+               Tally &tally, Client conn,
+               const std::string &endpoint_spec = std::string())
 {
-    Client conn = connectTarget(opt);
     // Each client offers rate/clients; stagger starts so the
     // aggregate arrival stream interleaves instead of bursting.
     double per_client = opt.openRatePerSec / (double)opt.clients;
@@ -335,6 +490,9 @@ openLoopClient(const LoadgenOptions &opt, unsigned client_index,
                           steady_clock::now() - it->second)
                           .count();
         tally.note(req_of[resp.id], resp, us);
+        if (!endpoint_spec.empty() && resp.status == Status::Ok)
+            tally.endpoint(endpoint_spec,
+                           [](EndpointTotals &e) { ++e.ok; });
         sent_at.erase(it);
         req_of.erase(resp.id);
     };
@@ -348,6 +506,9 @@ openLoopClient(const LoadgenOptions &opt, unsigned client_index,
         // from the scheduled instant.
         sent_at[req.id] = start + period * i;
         req_of[req.id] = req;
+        if (!endpoint_spec.empty())
+            tally.endpoint(endpoint_spec,
+                           [](EndpointTotals &e) { ++e.sent; });
         conn.sendEval(req);
         EvalResponse resp;
         while (conn.tryRecv(resp))
@@ -372,10 +533,34 @@ runLoadgen(const LoadgenOptions &opt)
     threads.reserve(opt.clients);
     for (unsigned c = 0; c < opt.clients; ++c)
         threads.emplace_back([&opt, c, &tally] {
+            if (!opt.endpoints.empty()) {
+                if (opt.openRatePerSec > 0) {
+                    // Open loop per endpoint: connect with retry and
+                    // accounting; a mid-run drop is fatal (the open
+                    // schedule cannot be replayed honestly).
+                    const std::string &spec =
+                        opt.endpoints[c % opt.endpoints.size()];
+                    std::optional<Client> conn =
+                        connectWithRetry(opt, spec, tally);
+                    if (!conn) {
+                        tally.endpoint(
+                            spec, [&](EndpointTotals &e) {
+                                e.abandoned +=
+                                    opt.requestsPerClient;
+                            });
+                        return;
+                    }
+                    openLoopClient(opt, c, tally,
+                                   std::move(*conn), spec);
+                } else {
+                    clusterClosedLoopClient(opt, c, tally);
+                }
+                return;
+            }
             if (opt.openRatePerSec > 0)
-                openLoopClient(opt, c, tally);
+                openLoopClient(opt, c, tally, connectTarget(opt));
             else
-                closedLoopClient(opt, c, tally);
+                closedLoopClient(opt, c, tally, connectTarget(opt));
         });
     for (std::thread &t : threads)
         t.join();

@@ -66,6 +66,7 @@ class Client
   private:
     explicit Client(int fd) : fd_(fd) {}
 
+    void sendHello();
     void sendAll(const std::string &bytes);
     bool parseOne(EvalResponse &resp);
 
@@ -81,6 +82,18 @@ struct LoadgenOptions
     /** Connect target: unix path wins if both are set. */
     std::string unixPath;
     int tcpPort = -1;
+
+    /**
+     * Cluster mode: a list of endpoint specs ("unix:PATH", a bare
+     * path, "tcp:PORT", or a bare loopback port), clients assigned
+     * round-robin. Overrides unixPath/tcpPort when non-empty. In
+     * this mode connect failures and mid-run reconnects are counted
+     * per endpoint (distinct from SHED, which is a server answer)
+     * and a failed connect retries instead of aborting the run.
+     */
+    std::vector<std::string> endpoints;
+    /** Connect attempts per endpoint before a client gives up. */
+    unsigned connectAttempts = 3;
 
     unsigned clients = 1;         ///< concurrent connections
     unsigned requestsPerClient = 8;
@@ -124,10 +137,28 @@ struct LoadgenTotals
     uint64_t percentile(double q) const;
 };
 
+/**
+ * Transport-level tallies for one endpoint — failures of the
+ * connection itself, which never reach a server and so are
+ * deliberately not SHED/ERROR rows in the outcome table.
+ */
+struct EndpointTotals
+{
+    uint64_t connects = 0;        ///< successful connects
+    uint64_t connectFailures = 0; ///< refused / unreachable attempts
+    uint64_t reconnects = 0;      ///< mid-run connection re-opens
+    uint64_t retriesSent = 0;     ///< requests resent after a drop
+    uint64_t abandoned = 0;       ///< requests given up unconnected
+    uint64_t sent = 0;            ///< EVALs sent to this endpoint
+    uint64_t ok = 0;
+};
+
 struct LoadgenReport
 {
     std::map<std::string, LoadgenTotals> byMode; ///< key: langName
     LoadgenTotals all;
+    /** Cluster mode only: per-endpoint transport + balance tallies. */
+    std::map<std::string, EndpointTotals> byEndpoint;
 
     /**
      * p50/p95/p99 + shed/miss table, one row per mode plus ALL. The

@@ -41,6 +41,30 @@ getString(const uint8_t *&p, const uint8_t *end, uint32_t max_len,
 
 } // namespace
 
+void
+encodeHello(std::string &out)
+{
+    out += 'I';
+    out += 'P';
+    out += 'D';
+    out += (char)kProtocolVersion;
+}
+
+HelloResult
+takeHello(std::string &buf)
+{
+    static const char expect[kHelloBytes] = {'I', 'P', 'D',
+                                             (char)kProtocolVersion};
+    size_t have = buf.size() < kHelloBytes ? buf.size() : kHelloBytes;
+    for (size_t i = 0; i < have; ++i)
+        if (buf[i] != expect[i])
+            return HelloResult::Mismatch;
+    if (have < kHelloBytes)
+        return HelloResult::Incomplete;
+    buf.erase(0, kHelloBytes);
+    return HelloResult::Ok;
+}
+
 const char *
 statusName(Status status)
 {

@@ -3,7 +3,14 @@
  * Wire protocol of interpd, the interpreter-as-a-service daemon.
  *
  * Both directions speak length-prefixed binary frames over a stream
- * socket (Unix-domain or loopback TCP):
+ * socket (Unix-domain or loopback TCP). A connection opens with a
+ * 4-byte hello — "IPD" plus a protocol version byte — sent by the
+ * connecting side before its first frame; the accepting side answers
+ * a mismatch with one contained-fatal ERROR response (id 0) and
+ * closes, so a client that connected something else entirely (or an
+ * old client) gets a diagnosable reply instead of silence, and a
+ * garbage-spewing peer cannot make the daemon misparse byte soup as
+ * frame lengths. After the hello:
  *
  *   frame    u32 payload length (little-endian), then the payload.
  *
@@ -39,6 +46,31 @@
 #include "harness/runner.hh"
 
 namespace interp::server {
+
+// --- connection hello ------------------------------------------------------
+
+/** Wire protocol version; bumped on any incompatible change. */
+constexpr uint8_t kProtocolVersion = 1;
+
+/** Bytes a connecting side must send before its first frame. */
+constexpr size_t kHelloBytes = 4;
+
+enum class HelloResult : uint8_t
+{
+    Incomplete, ///< need more bytes (no mismatch so far)
+    Ok,         ///< hello consumed from the buffer
+    Mismatch,   ///< wrong magic or version; reply ERROR and close
+};
+
+/** Append the 4-byte hello ("IPD" + version) to @p out. */
+void encodeHello(std::string &out);
+
+/**
+ * Inspect the front of @p buf: consume a valid hello (Ok), report a
+ * wrong byte as soon as it appears (Mismatch — garbage is rejected
+ * on the first byte, not after four), or ask for more (Incomplete).
+ */
+HelloResult takeHello(std::string &buf);
 
 // --- frame limits ----------------------------------------------------------
 

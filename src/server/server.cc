@@ -110,13 +110,18 @@ ProgramCatalog::resolve(harness::Lang mode, const std::string &name,
         std::string key =
             catalogKey(base, op) + "/" + std::to_string(iters);
         auto it = micro.find(key);
-        if (it == micro.end())
+        if (it == micro.end()) {
+            ++counters_.misses;
+            ++counters_.loads;
             // microBench fatal()s on an unknown op; the caller's
             // ScopedFatalThrow turns that into an ERROR response.
             it = micro
                      .emplace(std::move(key),
                               harness::microBench(base, op, iters))
                      .first;
+        } else {
+            ++counters_.hits;
+        }
         harness::BenchSpec spec = it->second;
         spec.lang = mode;
         return spec;
@@ -135,14 +140,26 @@ ProgramCatalog::resolve(harness::Lang mode, const std::string &name,
     harness::BenchSpec &cached = it->second;
     Lang cached_base = harness::baselineOf(cached.lang);
     if ((cached_base == Lang::C || cached_base == Lang::Mipsi) &&
-        !cached.image)
+        !cached.image) {
+        ++counters_.misses;
+        ++counters_.loads;
         // Warm instance: assemble the guest image once and share it
         // across every later request for this program.
         cached.image = std::make_shared<mips::Image>(
             minic::compileMips(cached.source, cached.name));
+    } else {
+        ++counters_.hits;
+    }
     harness::BenchSpec spec = cached;
     spec.lang = mode;
     return spec;
+}
+
+CatalogCounters
+ProgramCatalog::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters_;
 }
 
 // --- Server lifecycle ------------------------------------------------------
@@ -218,6 +235,10 @@ Server::start()
         int one = 1;
         ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEADDR, &one,
                      sizeof(one));
+        if (cfg.reusePort &&
+            ::setsockopt(tcpFd, SOL_SOCKET, SO_REUSEPORT, &one,
+                         sizeof(one)) != 0)
+            fatal("interpd: SO_REUSEPORT: %s", std::strerror(errno));
         sockaddr_in sin{};
         sin.sin_family = AF_INET;
         sin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -374,6 +395,30 @@ Server::readConn(uint64_t conn_id)
         auto conn = conns.find(conn_id);
         if (conn == conns.end())
             return; // a handled frame closed the connection
+        if (!conn->second.greeted) {
+            switch (takeHello(conn->second.in)) {
+              case HelloResult::Incomplete:
+                return;
+              case HelloResult::Mismatch: {
+                // Contained protocol failure: one diagnosable ERROR
+                // reply (id 0 — no request was parsed), best-effort
+                // flush, close. The daemon itself is unharmed.
+                EvalResponse resp;
+                resp.id = 0;
+                resp.status = Status::Error;
+                resp.result = "protocol mismatch: expected IPD hello "
+                              "version " +
+                              std::to_string(kProtocolVersion);
+                queueResponse(conn_id, resp);
+                writeConn(conn_id);
+                closeConn(conn_id);
+                return;
+              }
+              case HelloResult::Ok:
+                conn->second.greeted = true;
+                break;
+            }
+        }
         FrameResult r =
             takeFrame(conn->second.in, payload, kMaxRequestBytes);
         if (r == FrameResult::Incomplete)
@@ -476,8 +521,9 @@ Server::handleFrame(uint64_t conn_id, const std::string &payload)
         EvalResponse resp;
         resp.id = req.id;
         resp.status = Status::Ok;
-        resp.result = stats_.renderJson(pool->queuedCount(),
-                                        pool->idleWorkers());
+        resp.result =
+            stats_.renderJson(pool->queuedCount(), pool->idleWorkers(),
+                              catalog.counters(), cfg.shardId);
         queueResponse(conn_id, resp);
         return;
       }

@@ -72,6 +72,14 @@ struct ServerConfig
     std::string recordDir;
     /** Command budget for requests that do not set one. */
     uint64_t defaultMaxCommands = 400'000'000;
+    /** Identity reported as "shard_id" in STATS — how a cluster's
+     *  aggregator tells one daemon from another ("" = omitted). */
+    std::string shardId;
+    /** Set SO_REUSEPORT on the TCP listener so several interpd
+     *  processes (shards) can share one port, with the kernel
+     *  spreading accepts across them — the multi-acceptor scale-out
+     *  path that needs no router at all. */
+    bool reusePort = false;
 };
 
 /**
@@ -93,8 +101,15 @@ class ProgramCatalog
                                const std::string &name,
                                uint32_t iterations);
 
+    /** Warm-catalog effectiveness so far (STATS "catalog" section).
+     *  A resolve() that finds everything warm is a hit; one that has
+     *  to build (parse a micro op, assemble a MIPS image) is a miss,
+     *  and each expensive build is a load. */
+    CatalogCounters counters() const;
+
   private:
-    std::mutex mu;
+    mutable std::mutex mu;
+    CatalogCounters counters_;
     bool loaded = false;
     /** (baseline lang, benchmark name) -> spec with warm image. */
     std::unordered_map<std::string, harness::BenchSpec> macro;
@@ -139,6 +154,7 @@ class Server
         int fd = -1;
         std::string in;  ///< unparsed request bytes
         std::string out; ///< encoded, unsent response bytes
+        bool greeted = false; ///< hello verified (protocol.hh)
     };
 
     /** One admitted EVAL waiting for a worker. */

@@ -38,6 +38,23 @@ LatencyHistogram::add(uint64_t micros)
     ++total_;
 }
 
+void
+LatencyHistogram::mergeFrom(const LatencyHistogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+}
+
+void
+LatencyHistogram::accumulate(int i, uint64_t n)
+{
+    if (i < 0 || i >= kBuckets)
+        return;
+    buckets_[i] += n;
+    total_ += n;
+}
+
 uint64_t
 LatencyHistogram::quantile(double q) const
 {
@@ -141,9 +158,11 @@ appendCounters(std::string &out, const ModeCounters &c)
     out += buf;
 }
 
+} // namespace
+
 void
-appendHistogram(std::string &out, const char *name,
-                const LatencyHistogram &h)
+appendHistogramJson(std::string &out, const char *name,
+                    const LatencyHistogram &h)
 {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
@@ -166,10 +185,10 @@ appendHistogram(std::string &out, const char *name,
     out += "]}";
 }
 
-} // namespace
-
 std::string
-ServerStats::renderJson(size_t queued_jobs, unsigned idle_workers) const
+ServerStats::renderJson(size_t queued_jobs, unsigned idle_workers,
+                        const CatalogCounters &catalog,
+                        const std::string &shard_id) const
 {
     std::lock_guard<std::mutex> lock(mu);
     ModeCounters sum;
@@ -182,11 +201,21 @@ ServerStats::renderJson(size_t queued_jobs, unsigned idle_workers) const
     }
 
     std::string out = "{";
+    if (!shard_id.empty()) {
+        out += "\"shard_id\":\"";
+        out += shard_id;
+        out += "\",";
+    }
     appendCounters(out, sum);
-    char buf[96];
+    char buf[160];
     std::snprintf(buf, sizeof(buf),
                   ",\"queued_jobs\":%zu,\"idle_workers\":%u",
                   queued_jobs, idle_workers);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"catalog\":{\"hits\":%" PRIu64
+                  ",\"misses\":%" PRIu64 ",\"loads\":%" PRIu64 "}",
+                  catalog.hits, catalog.misses, catalog.loads);
     out += buf;
 
     out += ",\"modes\":{";
@@ -207,11 +236,11 @@ ServerStats::renderJson(size_t queued_jobs, unsigned idle_workers) const
     out += '}';
 
     out += ",\"histograms\":{";
-    appendHistogram(out, "queue_us", queueHisto_);
+    appendHistogramJson(out, "queue_us", queueHisto_);
     out += ',';
-    appendHistogram(out, "service_us", serviceHisto_);
+    appendHistogramJson(out, "service_us", serviceHisto_);
     out += ',';
-    appendHistogram(out, "total_us", totalHisto_);
+    appendHistogramJson(out, "total_us", totalHisto_);
     out += "}}";
     return out;
 }
@@ -281,6 +310,62 @@ statsJsonUint(const std::string &json, const std::string &path,
         end = vend;
         seg_start = dot + 1;
     }
+}
+
+bool
+statsJsonHistogram(const std::string &json, const std::string &path,
+                   LatencyHistogram &out)
+{
+    // Resolve the dotted path to the histogram object's window.
+    size_t begin = 0, end = json.size();
+    size_t seg_start = 0;
+    for (;;) {
+        size_t dot = path.find('.', seg_start);
+        std::string key =
+            path.substr(seg_start, dot == std::string::npos
+                                       ? std::string::npos
+                                       : dot - seg_start);
+        size_t vbegin = 0, vend = 0;
+        if (!valueWindow(json, begin, end, key, vbegin, vend))
+            return false;
+        begin = vbegin;
+        end = vend;
+        if (dot == std::string::npos)
+            break;
+        seg_start = dot + 1;
+    }
+
+    const std::string needle = "\"buckets\":[";
+    size_t at = json.find(needle, begin);
+    if (at == std::string::npos || at >= end)
+        return false;
+    size_t i = at + needle.size();
+    auto parseUint = [&](uint64_t &value) {
+        if (i >= end || json[i] < '0' || json[i] > '9')
+            return false;
+        value = 0;
+        while (i < end && json[i] >= '0' && json[i] <= '9')
+            value = value * 10 + (uint64_t)(json[i++] - '0');
+        return true;
+    };
+    while (i < end && json[i] != ']') {
+        if (json[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (json[i] != '[')
+            return false;
+        ++i;
+        uint64_t floor = 0, count = 0;
+        if (!parseUint(floor) || i >= end || json[i] != ',')
+            return false;
+        ++i;
+        if (!parseUint(count) || i >= end || json[i] != ']')
+            return false;
+        ++i;
+        out.accumulate(LatencyHistogram::bucketOf(floor), count);
+    }
+    return i < end && json[i] == ']';
 }
 
 } // namespace interp::server

@@ -42,6 +42,16 @@ class LatencyHistogram
     uint64_t count() const { return total_; }
     uint64_t bucket(int i) const { return buckets_[i]; }
 
+    /** Add @p other's samples to this histogram bucket-by-bucket.
+     *  Exact at bucket granularity: merging histograms of two sample
+     *  sets equals the histogram of the concatenated samples. The
+     *  cluster proxy folds per-shard histograms together with this. */
+    void mergeFrom(const LatencyHistogram &other);
+
+    /** Credit @p n samples directly to bucket @p i (histogram
+     *  reconstruction from a rendered bucket array). */
+    void accumulate(int i, uint64_t n);
+
     /**
      * Value at quantile @p q in [0,1], resolved to its bucket's
      * inclusive upper bound — coarse (log2) but monotone,
@@ -53,6 +63,14 @@ class LatencyHistogram
   private:
     uint64_t buckets_[kBuckets] = {};
     uint64_t total_ = 0;
+};
+
+/** Warm-catalog effectiveness counters (see ProgramCatalog). */
+struct CatalogCounters
+{
+    uint64_t hits = 0;   ///< resolve() found everything warm
+    uint64_t misses = 0; ///< something had to be built
+    uint64_t loads = 0;  ///< expensive builds done (compile/assemble)
 };
 
 /** Counters for one execution mode. */
@@ -90,10 +108,13 @@ class ServerStats
      * objects under "modes" for modes with traffic, summed totals at
      * the top level, the three histograms as bucket arrays plus
      * coarse p50/p95/p99, and the pool gauges passed in by the
-     * caller.
+     * caller. A non-empty @p shard_id is rendered as "shard_id" (the
+     * daemon's identity inside a cluster) and @p catalog as a
+     * "catalog" section (warm-catalog hits/misses/loads).
      */
-    std::string renderJson(size_t queued_jobs,
-                           unsigned idle_workers) const;
+    std::string renderJson(size_t queued_jobs, unsigned idle_workers,
+                           const CatalogCounters &catalog = {},
+                           const std::string &shard_id = "") const;
 
   private:
     mutable std::mutex mu;
@@ -104,6 +125,16 @@ class ServerStats
 };
 
 /**
+ * Append `"name":{"count":..,"p50":..,"p95":..,"p99":..,
+ * "buckets":[[floor,count],...]}` to @p out — the one rendering of a
+ * histogram this protocol has; ServerStats and the cluster proxy's
+ * aggregate STATS both emit it, so statsJsonHistogram() can read
+ * either back.
+ */
+void appendHistogramJson(std::string &out, const char *name,
+                         const LatencyHistogram &h);
+
+/**
  * Pull one unsigned counter out of a renderJson() document:
  * @p path is dot-separated ("shed", "modes.Tcl.served",
  * "histograms.total_us.p99"). Returns false if absent. A
@@ -112,6 +143,17 @@ class ServerStats
  */
 bool statsJsonUint(const std::string &json, const std::string &path,
                    uint64_t &out);
+
+/**
+ * Reconstruct the histogram at dot-separated @p path (e.g.
+ * "histograms.total_us") of a renderJson() document into @p out,
+ * accumulating on top of whatever @p out already holds — parse+merge
+ * is the cluster aggregation path. Bucket floors index buckets, so
+ * the round trip render -> parse -> render is lossless. False if the
+ * path is absent or the bucket array is garbled.
+ */
+bool statsJsonHistogram(const std::string &json,
+                        const std::string &path, LatencyHistogram &out);
 
 } // namespace interp::server
 
