@@ -19,6 +19,12 @@
  *   --reuseport      SO_REUSEPORT on the TCP listener, so several
  *                    interpd shards can share one port (the kernel
  *                    spreads accepts across them)
+ *   --tierup         promote hot named programs at runtime: baseline
+ *                    -> remedy -> superinstructions/inline caches
+ *   --tier-remedy-after N        hotness points before the remedy
+ *   --tier-tier2-after N         hotness points before tier-2
+ *   --tier-commands-per-point N  commands per hotness point
+ *   --tier-decay-every N         halve hotness every N invocations
  *   --timestamps     prefix logs with monotonic time + thread id
  */
 
@@ -52,7 +58,10 @@ usage()
         "usage: interpd [--socket PATH] [--tcp PORT] [--workers N]\n"
         "               [--queue N] [--batch N] [--record DIR]\n"
         "               [--max-commands N] [--shard-id NAME]\n"
-        "               [--reuseport] [--timestamps]\n");
+        "               [--reuseport] [--tierup]\n"
+        "               [--tier-remedy-after N] [--tier-tier2-after N]\n"
+        "               [--tier-commands-per-point N]\n"
+        "               [--tier-decay-every N] [--timestamps]\n");
     std::exit(2);
 }
 
@@ -95,6 +104,20 @@ main(int argc, char **argv)
             cfg.shardId = argValue(argc, argv, i);
         else if (!std::strcmp(argv[i], "--reuseport"))
             cfg.reusePort = true;
+        else if (!std::strcmp(argv[i], "--tierup"))
+            cfg.tier.enabled = true;
+        else if (!std::strcmp(argv[i], "--tier-remedy-after"))
+            cfg.tier.remedyAfter =
+                (uint64_t)std::atoll(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--tier-tier2-after"))
+            cfg.tier.tier2After =
+                (uint64_t)std::atoll(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--tier-commands-per-point"))
+            cfg.tier.commandsPerPoint =
+                (uint64_t)std::atoll(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--tier-decay-every"))
+            cfg.tier.decayEvery =
+                (uint64_t)std::atoll(argValue(argc, argv, i));
         else if (!std::strcmp(argv[i], "--timestamps"))
             timestamps = true;
         else

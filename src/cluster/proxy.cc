@@ -781,9 +781,14 @@ Proxy::handleBackResponse(int shard_index, const EvalResponse &resp)
     Shard &s = shards[(size_t)shard_index];
     auto it = s.inflight.find(resp.id);
     if (it == s.inflight.end()) {
-        // Answered after we gave up on it (timeout/retry) — the
-        // client already has a response; count and drop.
+        // Answered after we gave up on it (timeout/retry). The
+        // timeout path already delivered to the client, counted the
+        // outcome, and erased the id — which is what makes this drop
+        // safe: no second deliver, no second latency sample, and the
+        // in-flight gauge (the map size) was already decremented
+        // exactly once when the id was erased. Count and drop.
         stats_.noteLateReply();
+        ++s.lateReplies;
         return;
     }
     Outstanding o = std::move(it->second);
@@ -983,6 +988,7 @@ Proxy::gauges() const
         g.downEvents = s.downEvents;
         g.reconnects = s.reconnects;
         g.probeFailures = s.probeFailures;
+        g.lateReplies = s.lateReplies;
         out.push_back(std::move(g));
     }
     return out;

@@ -182,7 +182,7 @@ class Proxy
         // gauges
         uint64_t forwarded = 0, ok = 0, shed = 0, deadlineCount = 0,
                  error = 0, downEvents = 0, reconnects = 0,
-                 probeFailures = 0;
+                 probeFailures = 0, lateReplies = 0;
     };
 
     // --- front side -------------------------------------------------------

@@ -66,6 +66,7 @@ LocalCluster::spawnShard(size_t i)
         sc.maxQueue = cfg.maxQueuePerShard;
         sc.maxBatch = cfg.maxBatchPerShard;
         sc.shardId = "s" + std::to_string(i);
+        sc.tier = cfg.tierPerShard;
         p.server = std::make_unique<server::Server>(sc);
         p.server->start();
         p.thread = std::thread([srv = p.server.get()] { srv->run(); });
@@ -81,11 +82,31 @@ LocalCluster::spawnShard(size_t i)
         std::string queue = std::to_string(cfg.maxQueuePerShard);
         std::string batch = std::to_string(cfg.maxBatchPerShard);
         std::string shard_id = "s" + std::to_string(i);
-        ::execl(cfg.interpdPath.c_str(), cfg.interpdPath.c_str(),
-                "--socket", shardPaths_[i].c_str(), "--workers",
-                workers.c_str(), "--queue", queue.c_str(), "--batch",
-                batch.c_str(), "--shard-id", shard_id.c_str(),
-                (char *)nullptr);
+        std::string remedy_after =
+            std::to_string(cfg.tierPerShard.remedyAfter);
+        std::string tier2_after =
+            std::to_string(cfg.tierPerShard.tier2After);
+        std::string per_point =
+            std::to_string(cfg.tierPerShard.commandsPerPoint);
+        std::string decay =
+            std::to_string(cfg.tierPerShard.decayEvery);
+        if (cfg.tierPerShard.enabled)
+            ::execl(cfg.interpdPath.c_str(), cfg.interpdPath.c_str(),
+                    "--socket", shardPaths_[i].c_str(), "--workers",
+                    workers.c_str(), "--queue", queue.c_str(),
+                    "--batch", batch.c_str(), "--shard-id",
+                    shard_id.c_str(), "--tierup",
+                    "--tier-remedy-after", remedy_after.c_str(),
+                    "--tier-tier2-after", tier2_after.c_str(),
+                    "--tier-commands-per-point", per_point.c_str(),
+                    "--tier-decay-every", decay.c_str(),
+                    (char *)nullptr);
+        else
+            ::execl(cfg.interpdPath.c_str(), cfg.interpdPath.c_str(),
+                    "--socket", shardPaths_[i].c_str(), "--workers",
+                    workers.c_str(), "--queue", queue.c_str(),
+                    "--batch", batch.c_str(), "--shard-id",
+                    shard_id.c_str(), (char *)nullptr);
         // exec failed; nothing sane to do in the child but leave.
         ::_exit(127);
     }

@@ -39,6 +39,8 @@ struct ClusterConfig
     unsigned workersPerShard = 2;
     size_t maxQueuePerShard = 64;
     uint32_t maxBatchPerShard = 8;
+    /** Dynamic tier-up config applied to every shard. */
+    tier::TierConfig tierPerShard;
     /** fork/exec this interpd binary per shard instead of running
      *  shards in-process ("" = in-process). */
     std::string interpdPath;

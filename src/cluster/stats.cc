@@ -20,6 +20,9 @@ ClusterStats::totals() const
         sum.shed += m.shed;
         sum.deadline += m.deadline;
         sum.failed += m.failed;
+        sum.tierUpRemedy += m.tierUpRemedy;
+        sum.tierUpTier2 += m.tierUpTier2;
+        sum.tieredRuns += m.tieredRuns;
     }
     return sum;
 }
@@ -112,9 +115,11 @@ ClusterStats::renderJson(const std::vector<ShardGauges> &shards,
             ",\"ok\":%" PRIu64 ",\"shed\":%" PRIu64
             ",\"deadline\":%" PRIu64 ",\"error\":%" PRIu64
             ",\"down_events\":%" PRIu64 ",\"reconnects\":%" PRIu64
-            ",\"probe_failures\":%" PRIu64 "}",
+            ",\"probe_failures\":%" PRIu64
+            ",\"late_replies\":%" PRIu64 "}",
             g.inflight, g.forwarded, g.ok, g.shed, g.deadline, g.error,
-            g.downEvents, g.reconnects, g.probeFailures);
+            g.downEvents, g.reconnects, g.probeFailures,
+            g.lateReplies);
         out += buf;
         first = false;
     }
@@ -131,6 +136,7 @@ mergeShardStats(const std::vector<std::string> &shard_jsons)
 {
     uint64_t accepted = 0, served = 0, shed = 0, deadline = 0,
              failed = 0;
+    uint64_t tierRemedy = 0, tierTier2 = 0, tieredRuns = 0;
     uint64_t hits = 0, misses = 0, loads = 0;
     LatencyHistogram queue, service, total;
     uint64_t reporting = 0;
@@ -151,6 +157,14 @@ mergeShardStats(const std::vector<std::string> &shard_jsons)
             deadline += v;
         if (server::statsJsonUint(json, "failed", v))
             failed += v;
+        // Tier-up sums (the top-level counters precede "modes", so a
+        // whole-document search finds the daemon totals first).
+        if (server::statsJsonUint(json, "tier_up_remedy", v))
+            tierRemedy += v;
+        if (server::statsJsonUint(json, "tier_up_tier2", v))
+            tierTier2 += v;
+        if (server::statsJsonUint(json, "tiered_runs", v))
+            tieredRuns += v;
         if (server::statsJsonUint(json, "catalog.hits", v))
             hits += v;
         if (server::statsJsonUint(json, "catalog.misses", v))
@@ -171,6 +185,12 @@ mergeShardStats(const std::vector<std::string> &shard_jsons)
                   ",\"shed\":%" PRIu64 ",\"deadline\":%" PRIu64
                   ",\"failed\":%" PRIu64,
                   reporting, accepted, served, shed, deadline, failed);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"tier_up_remedy\":%" PRIu64
+                  ",\"tier_up_tier2\":%" PRIu64
+                  ",\"tiered_runs\":%" PRIu64,
+                  tierRemedy, tierTier2, tieredRuns);
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   ",\"catalog\":{\"hits\":%" PRIu64

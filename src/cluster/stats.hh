@@ -50,6 +50,9 @@ struct ShardGauges
     uint64_t downEvents = 0;    ///< transitions into "down"
     uint64_t reconnects = 0;    ///< successful re-establishments
     uint64_t probeFailures = 0; ///< health probes timed out/refused
+    /** Replies that arrived after the proxy gave up on the request
+     *  (timeout/retry); dropped without touching client state. */
+    uint64_t lateReplies = 0;
 };
 
 /** Event-loop-thread-only counters of the router itself. */

@@ -28,6 +28,9 @@ langName(Lang lang)
       case Lang::MipsiThreaded: return "MIPSI-threaded";
       case Lang::JavaQuick: return "Java-quick";
       case Lang::TclBytecode: return "Tcl-bytecode";
+      case Lang::JavaTier2: return "Java-tier2";
+      case Lang::TclTier2: return "Tcl-tier2";
+      case Lang::PerlIC: return "Perl-ic";
       default: return "?";
     }
 }
@@ -39,6 +42,9 @@ baselineOf(Lang lang)
       case Lang::MipsiThreaded: return Lang::Mipsi;
       case Lang::JavaQuick: return Lang::Java;
       case Lang::TclBytecode: return Lang::Tcl;
+      case Lang::JavaTier2: return Lang::Java;
+      case Lang::TclTier2: return Lang::Tcl;
+      case Lang::PerlIC: return Lang::Perl;
       default: return lang;
     }
 }
@@ -47,6 +53,37 @@ bool
 isRemedy(Lang lang)
 {
     return baselineOf(lang) != lang;
+}
+
+bool
+isTier2(Lang lang)
+{
+    return lang == Lang::JavaTier2 || lang == Lang::TclTier2 ||
+           lang == Lang::PerlIC;
+}
+
+Lang
+tierRemedyOf(Lang base)
+{
+    switch (base) {
+      case Lang::Mipsi: return Lang::MipsiThreaded;
+      case Lang::Java: return Lang::JavaQuick;
+      case Lang::Tcl: return Lang::TclBytecode;
+      case Lang::Perl: return Lang::PerlIC;
+      default: return base;
+    }
+}
+
+Lang
+tierTier2Of(Lang base)
+{
+    switch (base) {
+      case Lang::Mipsi: return Lang::MipsiThreaded; // no higher tier
+      case Lang::Java: return Lang::JavaTier2;
+      case Lang::Tcl: return Lang::TclTier2;
+      case Lang::Perl: return Lang::PerlIC; // IC is Perl's top tier
+      default: return base;
+    }
 }
 
 Measurement
@@ -105,10 +142,17 @@ run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
         break;
       }
       case Lang::Java: {
-        auto module = minic::compileBytecode(spec.source, spec.name);
-        m.programBytes = module.sizeBytes();
         jvm::Vm vm(exec, fs);
-        vm.load(module);
+        if (spec.jvmPairSink)
+            vm.setPairSink(spec.jvmPairSink);
+        if (spec.module) {
+            m.programBytes = spec.module->sizeBytes();
+            vm.loadShared(spec.module);
+        } else {
+            auto module = minic::compileBytecode(spec.source, spec.name);
+            m.programBytes = module.sizeBytes();
+            vm.load(module);
+        }
         auto r = vm.run(spec.maxCommands);
         m.finished = r.exited;
         m.commands = r.commands;
@@ -148,10 +192,29 @@ run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
         break;
       }
       case Lang::JavaQuick: {
-        auto module = minic::compileBytecode(spec.source, spec.name);
-        m.programBytes = module.sizeBytes();
         jvm::Vm vm(exec, fs, /*quick=*/true);
-        vm.load(module);
+        if (spec.module) {
+            // A catalog-shared module must never be quickened in
+            // place; execute through a pre-quickened artifact instead
+            // (build one now if the catalog has none published yet).
+            m.programBytes = spec.module->sizeBytes();
+            auto artifact = spec.jvmArtifact;
+            if (!artifact) {
+                jvm::TierOptions opts;
+                opts.fuse = false;
+                opts.inlineCache = false;
+                jvm::PairProfile none;
+                artifact = jvm::buildTierArtifact(&exec, *spec.module,
+                                                  none, opts);
+                if (spec.publishJvmArtifact)
+                    spec.publishJvmArtifact(artifact);
+            }
+            vm.useArtifact(std::move(artifact));
+        } else {
+            auto module = minic::compileBytecode(spec.source, spec.name);
+            m.programBytes = module.sizeBytes();
+            vm.load(module);
+        }
         auto r = vm.run(spec.maxCommands);
         m.finished = r.exited;
         m.commands = r.commands;
@@ -162,6 +225,62 @@ run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
         m.programBytes = spec.source.size();
         tclish::TclInterp vm(exec, fs, /*bytecode=*/true);
         auto r = vm.run(spec.source, spec.maxCommands);
+        m.finished = r.exited;
+        m.commands = r.commands;
+        collect_names(vm.commandSet());
+        break;
+      }
+      case Lang::JavaTier2: {
+        std::shared_ptr<const jvm::Module> module = spec.module;
+        if (!module)
+            module = std::make_shared<const jvm::Module>(
+                minic::compileBytecode(spec.source, spec.name));
+        m.programBytes = module->sizeBytes();
+        auto artifact = spec.jvmArtifact;
+        if (!artifact) {
+            jvm::PairProfile local;
+            const jvm::PairProfile *pairs = spec.jvmPairs.get();
+            if (!pairs) {
+                // Standalone mode: discover hot pairs with an
+                // unmeasured profiling pre-run (interpd feeds the
+                // profile from earlier baseline runs instead).
+                trace::Execution pexec;
+                vfs::FileSystem pfs;
+                if (spec.needsInputs)
+                    installAllInputs(pfs);
+                jvm::Vm pvm(pexec, pfs);
+                pvm.setPairSink(&local);
+                pvm.loadShared(module);
+                pvm.run(spec.maxCommands);
+                pairs = &local;
+            }
+            artifact = jvm::buildTierArtifact(&exec, *module, *pairs);
+            if (spec.publishJvmArtifact)
+                spec.publishJvmArtifact(artifact);
+        }
+        jvm::Vm vm(exec, fs, /*quick=*/true);
+        vm.useArtifact(std::move(artifact));
+        auto r = vm.run(spec.maxCommands);
+        m.finished = r.exited;
+        m.commands = r.commands;
+        collect_names(vm.commandSet());
+        break;
+      }
+      case Lang::TclTier2: {
+        m.programBytes = spec.source.size();
+        tclish::TclInterp vm(exec, fs, /*bytecode=*/true,
+                             /*tier2=*/true);
+        auto r = vm.run(spec.source, spec.maxCommands);
+        m.finished = r.exited;
+        m.commands = r.commands;
+        collect_names(vm.commandSet());
+        break;
+      }
+      case Lang::PerlIC: {
+        m.programBytes = spec.source.size();
+        perlish::Interp vm(exec, fs, /*symbolIc=*/true);
+        vm.load(spec.source, spec.name);
+        auto r = vm.run(spec.maxCommands);
         m.finished = r.exited;
         m.commands = r.commands;
         collect_names(vm.commandSet());

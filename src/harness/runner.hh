@@ -19,14 +19,23 @@
 #include "sim/machine.hh"
 #include "trace/profile.hh"
 
+namespace interp::jvm {
+struct Module;
+struct TierArtifact;
+struct PairProfile;
+} // namespace interp::jvm
+
 namespace interp::harness {
 
 /**
- * The execution modes of the study: the five faithful baselines, plus
- * the three §5 fetch/decode remedies as opt-in variants. Each remedy
- * runs the same programs as its baseline with identical per-command
- * execute attribution; only fetch/decode (and a one-shot Precompile
- * charge) differ.
+ * The execution modes of the study: the five faithful baselines, the
+ * three §5 fetch/decode remedies, and the tier-2 modes (profile-
+ * discovered superinstructions + monomorphic inline caches attacking
+ * the §3.3 memory-model cost). Each remedy runs the same programs as
+ * its baseline with identical per-command execute attribution; tier-2
+ * modes additionally shrink the memory-model *subset* of execute
+ * (execute minus memModel stays byte-identical), with one-time
+ * tiering cost charged to Precompile.
  */
 enum class Lang : uint8_t
 {
@@ -38,6 +47,9 @@ enum class Lang : uint8_t
     MipsiThreaded, ///< MIPSI with predecoded direct threading (§5)
     JavaQuick,     ///< JVM with bytecode quickening (§5)
     TclBytecode,   ///< tclish with Tcl 8.0-style compiled scripts (§5)
+    JavaTier2,     ///< quickened + superinstructions + field ICs
+    TclTier2,      ///< bytecode + command-pair fusion + symbol ICs
+    PerlIC,        ///< baseline op tree + hash-lookup inline caches
 };
 
 const char *langName(Lang lang);
@@ -46,8 +58,19 @@ const char *langName(Lang lang);
  *  five baseline modes). */
 Lang baselineOf(Lang lang);
 
-/** True for the three §5 remedy modes. */
+/** True for every non-baseline mode (§5 remedies and tier-2). */
 bool isRemedy(Lang lang);
+
+/** True for the tier-2 modes (superinstructions / inline caches). */
+bool isTier2(Lang lang);
+
+/**
+ * The runtime tier ladder for a baseline mode: the mode a warm
+ * program is promoted to at the first (remedy) and second (tier-2)
+ * hotness thresholds. Identity for modes with no higher tier.
+ */
+Lang tierRemedyOf(Lang base);
+Lang tierTier2Of(Lang base);
 
 /** One benchmark to run. */
 struct BenchSpec
@@ -65,6 +88,29 @@ struct BenchSpec
     std::shared_ptr<mips::Image> image;
     bool needsInputs = false; ///< install the standard input files
     uint64_t maxCommands = 400'000'000;
+
+    // --- warm-catalog / tier-up inputs (interpd) ----------------------
+    /**
+     * Pre-compiled jvm module shared from a warm catalog (Java modes
+     * only; `source` is ignored when set). The runner never mutates
+     * it: quick/tier-2 execution over a shared module requires a
+     * published artifact (below) or builds one in-run.
+     */
+    std::shared_ptr<const jvm::Module> module;
+    /** Published tier-2 artifact to execute with (JavaQuick/JavaTier2
+     *  with a shared module). When absent the runner builds one
+     *  in-run, charged to Precompile. */
+    std::shared_ptr<const jvm::TierArtifact> jvmArtifact;
+    /** Pair profile to build the artifact from (skips the standalone
+     *  profiling pre-run). */
+    std::shared_ptr<const jvm::PairProfile> jvmPairs;
+    /** Invoked with the artifact the run built (the tier manager's
+     *  atomic-publish hook). */
+    std::function<void(std::shared_ptr<const jvm::TierArtifact>)>
+        publishJvmArtifact;
+    /** When set on a baseline Java run, dynamic adjacent-pair counts
+     *  are collected into it (host-side only, zero emission). */
+    jvm::PairProfile *jvmPairSink = nullptr;
 };
 
 /** Everything measured from one run. */

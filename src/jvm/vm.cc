@@ -61,6 +61,31 @@ Vm::load(const Module &module_)
 {
     moduleStorage = module_;
     module = &moduleStorage;
+    sharedModule.reset();
+    initLoaded();
+}
+
+void
+Vm::loadShared(std::shared_ptr<const Module> module_)
+{
+    sharedModule = std::move(module_);
+    module = sharedModule.get();
+    moduleStorage = Module(); // drop any previous private copy
+    initLoaded();
+}
+
+void
+Vm::useArtifact(std::shared_ptr<const TierArtifact> artifact_)
+{
+    artifact = artifact_;
+    // The artifact owns its pre-quickened module; alias its lifetime.
+    loadShared(std::shared_ptr<const Module>(std::move(artifact_),
+                                             &artifact->module));
+}
+
+void
+Vm::initLoaded()
+{
     sp = 0;
     localsTop = 0;
     frames.clear();
@@ -200,8 +225,31 @@ Vm::run(uint64_t max_commands)
             fatal("jvm: pc out of range in %s", fn.name.c_str());
         const Insn &insn = fn.code[frame.pc];
 
+        if (pairSink) {
+            // Host-side pair profiling (zero emission): count op b
+            // retiring at pc+1 of op a in the same frame — exactly
+            // the successions a fused handler could serve.
+            if (prevFunc == frame.funcId && frames.size() == prevDepth &&
+                frame.pc == prevPc + 1)
+                pairSink->note(prevOp, insn.op);
+            prevOp = insn.op;
+            prevPc = frame.pc;
+            prevFunc = frame.funcId;
+            prevDepth = frames.size();
+        }
+
         // ---- fetch & decode: uniform and cheap (the JVM way) ----------
-        if (quickMode && insn.quick) {
+        uint8_t fuseRole = TierArtifact::kFuseNone;
+        if (artifact)
+            fuseRole = artifact->fuse[frame.funcId][frame.pc];
+        if (fusePending && fuseRole == TierArtifact::kFuseTail) {
+            // Superinstruction continuation: the fused handler falls
+            // straight through into its tail — no re-fetch, no
+            // dispatch, one native instruction of glue.
+            CategoryScope fd(exec, Category::FetchDecode);
+            RoutineScope loop(exec, rLoop);
+            exec.alu(1);
+        } else if (quickMode && insn.quick) {
             // Quickened form: operands were resolved inline by the
             // rewrite, so fetch skips the dispatch-table indirection
             // and most of the operand decode (§5 remedy).
@@ -222,8 +270,19 @@ Vm::run(uint64_t max_commands)
             exec.load(&dispatchTable[(size_t)insn.op]);
             exec.alu(6);   // operand decode, pc bounds, quickening check
         }
-        if (quickMode && !insn.quick && quickenable(insn.op))
+        fusePending = fuseRole == TierArtifact::kFuseHead;
+        if (quickMode && !insn.quick && quickenable(insn.op)) {
+            // The in-place rewrite is only legal against this VM's
+            // private module copy. A warm-catalog module is shared
+            // across worker threads: rewriting it under concurrent
+            // readers is the race this fatal contains — quick
+            // execution over shared programs must come pre-quickened
+            // through an atomically published TierArtifact.
+            if (sharedModule)
+                fatal("jvm-quick: in-place quickening of a shared "
+                      "catalog module (use a published tier artifact)");
             quicken(moduleStorage.funcs[frame.funcId].code[frame.pc]);
+        }
         exec.beginCommand(bcCommand[(size_t)insn.op]);
         ++result.commands;
         ++frame.pc;
@@ -265,10 +324,19 @@ Vm::run(uint64_t max_commands)
             RoutineScope r(exec, rStatic);
             MemModelScope mm(exec);
             exec.noteMemModelAccess();
-            exec.alu(4);                    // field descriptor offset
-            exec.load(&module->fields[insn.a]);
-            exec.branch(false);             // class initialized?
-            exec.alu(2);
+            if (artifact && !icPoisoned &&
+                artifact->ic[frame.funcId][frame.pc - 1]) {
+                // Monomorphic inline cache: tag check, then a load
+                // through the offset resolved at tier-up build.
+                exec.load(&artifact->ic[frame.funcId][frame.pc - 1]);
+                exec.branch(false);         // cache tag matches (hit)
+                exec.alu(1);                // resolved offset
+            } else {
+                exec.alu(4);                // field descriptor offset
+                exec.load(&module->fields[insn.a]);
+                exec.branch(false);         // class initialized?
+                exec.alu(2);
+            }
             exec.load(&statics[insn.a]);
             push(statics[insn.a]);
             break;
@@ -277,10 +345,17 @@ Vm::run(uint64_t max_commands)
             RoutineScope r(exec, rStatic);
             MemModelScope mm(exec);
             exec.noteMemModelAccess();
-            exec.alu(4);
-            exec.load(&module->fields[insn.a]);
-            exec.branch(false);
-            exec.alu(2);
+            if (artifact && !icPoisoned &&
+                artifact->ic[frame.funcId][frame.pc - 1]) {
+                exec.load(&artifact->ic[frame.funcId][frame.pc - 1]);
+                exec.branch(false);
+                exec.alu(1);
+            } else {
+                exec.alu(4);
+                exec.load(&module->fields[insn.a]);
+                exec.branch(false);
+                exec.alu(2);
+            }
             statics[insn.a] = pop();
             exec.store(&statics[insn.a]);
             break;

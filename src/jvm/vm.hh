@@ -18,9 +18,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "jvm/bytecode.hh"
+#include "jvm/tier2.hh"
 #include "jvm/heap.hh"
 #include "jvm/natives.hh"
 #include "trace/execution.hh"
@@ -46,6 +48,31 @@ class Vm
     /** Load a module (copied): allocates statics, resets frames. */
     void load(const Module &module);
 
+    /**
+     * Load a shared, immutable module without copying (the interpd
+     * warm-catalog path: one compiled module, many concurrent
+     * readers). Execution never writes through it — in quick mode,
+     * reaching the in-place quickening pass on a shared module is a
+     * contained fatal(); quick/tier-2 execution over shared programs
+     * must come pre-quickened via useArtifact().
+     */
+    void loadShared(std::shared_ptr<const Module> module);
+
+    /**
+     * Adopt a published tier-2 artifact and load its pre-quickened
+     * module (shared, immutable). Enables the quick fetch path plus
+     * the artifact's superinstruction and inline-cache tables.
+     */
+    void useArtifact(std::shared_ptr<const TierArtifact> artifact);
+
+    /** Collect dynamic adjacent-pair counts into @p sink (host-side
+     *  only — zero trace emission; used to profile baseline runs). */
+    void setPairSink(PairProfile *sink) { pairSink = sink; }
+
+    /** Test hook: force every inline-cache site to miss, taking the
+     *  contained fallback (full resolution) path. */
+    void debugPoisonIc() { icPoisoned = true; }
+
     struct RunResult
     {
         bool exited = false;
@@ -70,6 +97,9 @@ class Vm
      */
     void debugQuicken(int func_id, uint32_t pc);
 
+    /** Is @p op a rewrite candidate in quick mode? */
+    static bool quickenable(Bc op);
+
   private:
     struct Frame
     {
@@ -86,8 +116,8 @@ class Vm
 
     void pushFrame(int func_id);
 
-    /** Is @p op a rewrite candidate in quick mode? */
-    static bool quickenable(Bc op);
+    /** Post-load() initialization shared by both load paths. */
+    void initLoaded();
 
     /** Rewrite @p insn into its quickened form (charged Precompile). */
     void quicken(Insn &insn);
@@ -131,6 +161,19 @@ class Vm
     // granule alignment they had before the mode existed.
     trace::RoutineId rQuicken = 0;
     bool quickMode = false;
+
+    // Tier-2 state, likewise appended after everything the baseline
+    // and quick modes emit addresses of.
+    std::shared_ptr<const Module> sharedModule; ///< keep-alive, no copy
+    std::shared_ptr<const TierArtifact> artifact;
+    PairProfile *pairSink = nullptr;
+    bool fusePending = false; ///< previous op was a fused head
+    bool icPoisoned = false;  ///< debug: force IC misses
+    // Pair-profiling cursor (host-side bookkeeping only).
+    Bc prevOp = Bc::NumOps;
+    uint32_t prevPc = 0;
+    int prevFunc = -1;
+    size_t prevDepth = 0;
 };
 
 } // namespace interp::jvm

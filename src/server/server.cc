@@ -119,6 +119,11 @@ ProgramCatalog::resolve(harness::Lang mode, const std::string &name,
                      .emplace(std::move(key),
                               harness::microBench(base, op, iters))
                      .first;
+            if (base == Lang::Java)
+                it->second.module =
+                    std::make_shared<const jvm::Module>(
+                        minic::compileBytecode(it->second.source,
+                                               it->second.name));
         } else {
             ++counters_.hits;
         }
@@ -147,6 +152,16 @@ ProgramCatalog::resolve(harness::Lang mode, const std::string &name,
         // across every later request for this program.
         cached.image = std::make_shared<mips::Image>(
             minic::compileMips(cached.source, cached.name));
+    } else if (cached_base == Lang::Java && !cached.module) {
+        ++counters_.misses;
+        ++counters_.loads;
+        // Compile the jvm module once and share it. Sharing is safe
+        // only because requests never mutate it: jvm-quick and tier-2
+        // execute shared modules through immutable published
+        // artifacts, and jvm::Vm refuses in-place quickening of a
+        // shared module outright.
+        cached.module = std::make_shared<const jvm::Module>(
+            minic::compileBytecode(cached.source, cached.name));
     } else {
         ++counters_.hits;
     }
@@ -164,7 +179,8 @@ ProgramCatalog::counters() const
 
 // --- Server lifecycle ------------------------------------------------------
 
-Server::Server(const ServerConfig &config) : cfg(config)
+Server::Server(const ServerConfig &config)
+    : cfg(config), tierMgr(config.tier)
 {
 }
 
@@ -628,6 +644,38 @@ Server::executeOne(const Pending &p, uint64_t queue_us)
         spec.maxCommands = req.maxCommands ? req.maxCommands
                                            : cfg.defaultMaxCommands;
 
+        // Dynamic tier-up: a hot named program is promoted to its
+        // remedy / tier-2 mode. Only named programs tier (inline
+        // sources have no stable identity to accumulate hotness on)
+        // and only baseline modes are ever upgraded — a client that
+        // asked for a remedy mode gets exactly that mode.
+        tier::TierPlan plan;
+        jvm::PairProfile collected;
+        bool collecting = false;
+        bool tiering =
+            cfg.tier.enabled && req.kind == ProgramKind::Named;
+        if (tiering) {
+            plan = tierMgr.plan(req.mode, req.program);
+            if (plan.level > 0) {
+                spec.lang = plan.lang;
+                stats_.noteTieredRun(req.mode);
+            }
+            if (plan.promotedRemedy)
+                stats_.noteTierRemedy(req.mode);
+            if (plan.promotedTier2)
+                stats_.noteTierTier2(req.mode);
+            if (plan.artifact)
+                spec.jvmArtifact = std::move(plan.artifact);
+            if (plan.pairs)
+                spec.jvmPairs = std::move(plan.pairs);
+            if (plan.publish)
+                spec.publishJvmArtifact = std::move(plan.publish);
+            if (plan.collectPairs) {
+                collecting = true;
+                spec.jvmPairSink = &collected;
+            }
+        }
+
         std::vector<trace::Sink *> sinks;
         DeadlineSink deadline(p.arrival +
                               milliseconds(req.deadlineMs));
@@ -654,6 +702,9 @@ Server::executeOne(const Pending &p, uint64_t queue_us)
         bool with_machine = (req.flags & kFlagWithMachine) != 0;
         harness::Measurement m =
             harness::run(spec, sinks, nullptr, with_machine);
+        if (tiering)
+            tierMgr.noteRun(req.mode, req.program, m.commands,
+                            collecting ? &collected : nullptr);
         if (writer) {
             writer->setRunResult(m.programBytes, m.commands,
                                  m.finished);

@@ -51,6 +51,7 @@
 #include "harness/runner.hh"
 #include "server/protocol.hh"
 #include "server/stats.hh"
+#include "tier/tier.hh"
 
 namespace interp::server {
 
@@ -80,6 +81,9 @@ struct ServerConfig
      *  spreading accepts across them — the multi-acceptor scale-out
      *  path that needs no router at all. */
     bool reusePort = false;
+    /** Dynamic tier-up of hot named programs (off by default; every
+     *  request then runs exactly the mode it asked for). */
+    tier::TierConfig tier;
 };
 
 /**
@@ -189,6 +193,7 @@ class Server
     ServerConfig cfg;
     ProgramCatalog catalog;
     ServerStats stats_;
+    tier::TierManager tierMgr;
 
     int unixFd = -1;
     int tcpFd = -1;

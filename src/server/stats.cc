@@ -114,6 +114,27 @@ ServerStats::noteFailed(harness::Lang mode)
 }
 
 void
+ServerStats::noteTierRemedy(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].tierUpRemedy;
+}
+
+void
+ServerStats::noteTierTier2(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].tierUpTier2;
+}
+
+void
+ServerStats::noteTieredRun(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].tieredRuns;
+}
+
+void
 ServerStats::noteLatency(uint64_t queue_us, uint64_t service_us)
 {
     std::lock_guard<std::mutex> lock(mu);
@@ -140,6 +161,9 @@ ServerStats::totals() const
         sum.shed += m.shed;
         sum.deadline += m.deadline;
         sum.failed += m.failed;
+        sum.tierUpRemedy += m.tierUpRemedy;
+        sum.tierUpTier2 += m.tierUpTier2;
+        sum.tieredRuns += m.tieredRuns;
     }
     return sum;
 }
@@ -149,12 +173,15 @@ namespace {
 void
 appendCounters(std::string &out, const ModeCounters &c)
 {
-    char buf[192];
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "\"accepted\":%" PRIu64 ",\"served\":%" PRIu64
                   ",\"shed\":%" PRIu64 ",\"deadline\":%" PRIu64
-                  ",\"failed\":%" PRIu64,
-                  c.accepted, c.served, c.shed, c.deadline, c.failed);
+                  ",\"failed\":%" PRIu64 ",\"tier_up_remedy\":%" PRIu64
+                  ",\"tier_up_tier2\":%" PRIu64
+                  ",\"tiered_runs\":%" PRIu64,
+                  c.accepted, c.served, c.shed, c.deadline, c.failed,
+                  c.tierUpRemedy, c.tierUpTier2, c.tieredRuns);
     out += buf;
 }
 
@@ -198,6 +225,9 @@ ServerStats::renderJson(size_t queued_jobs, unsigned idle_workers,
         sum.shed += m.shed;
         sum.deadline += m.deadline;
         sum.failed += m.failed;
+        sum.tierUpRemedy += m.tierUpRemedy;
+        sum.tierUpTier2 += m.tierUpTier2;
+        sum.tieredRuns += m.tieredRuns;
     }
 
     std::string out = "{";

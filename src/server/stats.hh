@@ -81,6 +81,11 @@ struct ModeCounters
     uint64_t shed = 0;     ///< refused at admission (queue full)
     uint64_t deadline = 0; ///< expired before/while executing
     uint64_t failed = 0;   ///< contained error (bad program, ...)
+    // Dynamic tier-up (attributed to the *requested* baseline mode;
+    // zero everywhere when tiering is off).
+    uint64_t tierUpRemedy = 0; ///< baseline -> remedy promotions
+    uint64_t tierUpTier2 = 0;  ///< remedy -> tier-2 promotions
+    uint64_t tieredRuns = 0;   ///< requests served at an elevated tier
 };
 
 /** All counters of one daemon, behind one mutex (STATS is rare and
@@ -88,13 +93,20 @@ struct ModeCounters
 class ServerStats
 {
   public:
-    static constexpr int kModes = (int)harness::Lang::TclBytecode + 1;
+    static constexpr int kModes = (int)harness::Lang::PerlIC + 1;
 
     void noteAccepted(harness::Lang mode);
     void noteServed(harness::Lang mode);
     void noteShed(harness::Lang mode);
     void noteDeadline(harness::Lang mode);
     void noteFailed(harness::Lang mode);
+
+    /** Tier-up accounting, attributed to the requested baseline
+     *  @p mode: a promotion crossing into the remedy / tier-2 tier,
+     *  and each request that executed above its baseline. */
+    void noteTierRemedy(harness::Lang mode);
+    void noteTierTier2(harness::Lang mode);
+    void noteTieredRun(harness::Lang mode);
 
     /** Record one completed (OK/ERROR) request's latencies. */
     void noteLatency(uint64_t queue_us, uint64_t service_us);

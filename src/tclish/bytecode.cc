@@ -14,8 +14,10 @@
  * existed.
  */
 
+#include <algorithm>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/logging.hh"
@@ -25,6 +27,7 @@ namespace interp::tclish {
 
 using trace::Category;
 using trace::CategoryScope;
+using trace::MemModelScope;
 using trace::RoutineScope;
 
 /**
@@ -33,12 +36,34 @@ using trace::RoutineScope;
  */
 struct BytecodeState
 {
+    /** One monomorphic symbol-cache slot: a $-reference site in a
+     *  compiled command remembers its last global-scope resolution.
+     *  Guards are deterministic values only (scope kind, name, unset
+     *  epoch) — never raw host addresses, so cache decisions replay
+     *  identically across runs and threads. */
+    struct IcSlot
+    {
+        bool filled = false;
+        bool global = false; ///< resolved in the global scope
+        std::string name;
+        uint64_t epoch = 0;
+        uint64_t hits = 0;
+        /** Consecutive misses; at kDeadAfterMisses the site is
+         *  megamorphic (e.g. an array element whose name varies per
+         *  trip) and the probe is retired for good. */
+        uint8_t misses = 0;
+    };
+    static constexpr uint8_t kDeadAfterMisses = 4;
+
     /** One parsed command (words keep the \x01 braced-word sentinel;
      *  line is the post-parse line number the baseline would report). */
     struct Cmd
     {
         std::vector<std::string> words;
         int line = 1;
+        // Tier-2 only:
+        std::vector<IcSlot> ic; ///< per-$-reference symbol caches
+        uint8_t fuse = 0;       ///< 0 none, 1 pair head, 2 pair tail
     };
 
     /** A script compiled once. */
@@ -46,10 +71,38 @@ struct BytecodeState
     {
         std::vector<Cmd> cmds;
         bool executed = false;
+        uint64_t trips = 0; ///< tier-2: executions of this script
+        bool fused = false; ///< tier-2: fusion pass already ran
     };
 
     std::map<std::string, Script> scripts;
+
+    /** Tier-2: dynamic adjacent command-name pair counts, global
+     *  across scripts (a loop body re-entering evalCompiled per trip
+     *  accumulates its pairs once per iteration). */
+    std::map<std::pair<std::string, std::string>, uint64_t> pairCounts;
 };
+
+namespace {
+
+/** Trips of one script before its one-shot fusion pass runs. */
+constexpr uint64_t kFuseAfterTrips = 4;
+/** Distinct command-name pairs promoted to superinstructions. */
+constexpr size_t kMaxFusedPairs = 4;
+/** Minimum dynamic pair count for a pair to qualify. */
+constexpr uint64_t kMinPairCount = 8;
+
+/** Command-name key of a compiled word (sentinel stripped). */
+std::string
+cmdKey(const BytecodeState::Cmd &cmd)
+{
+    if (cmd.words.empty())
+        return "";
+    const std::string &w = cmd.words[0];
+    return (!w.empty() && w[0] == '\x01') ? w.substr(1) : w;
+}
+
+} // namespace
 
 void
 TclInterp::initBytecode()
@@ -57,6 +110,10 @@ TclInterp::initBytecode()
     auto &code = exec.code();
     rCompile = code.registerRoutine("tcl.compile", 1800);
     rBcFetch = code.registerRoutine("tcl.bcfetch", 300);
+    if (tier2Mode) {
+        rIcHit = code.registerRoutine("tcl.symcache", 140);
+        rFuse = code.registerRoutine("tcl.fuse", 400);
+    }
     bc = new BytecodeState;
 }
 
@@ -105,25 +162,65 @@ TclInterp::evalCompiled(const std::string &script)
             while (parseCommand(script, pos, words, line)) {
                 exec.alu(40 + (uint32_t)words.size() * 12); // descriptors
                 exec.store(bc);
-                fresh.cmds.push_back({words, line});
+                BytecodeState::Cmd cc;
+                cc.words = words;
+                cc.line = line;
+                fresh.cmds.push_back(std::move(cc));
             }
             compiling = false;
         }
         cs = &bc->scripts.emplace(script, std::move(fresh)).first->second;
     }
 
+    if (tier2Mode) {
+        // Profile dynamic adjacency until this script's fusion pass
+        // fires: the command list runs front to back, so each trip
+        // adds every adjacent pair once (loop bodies re-enter here
+        // per iteration and accumulate accordingly).
+        ++cs->trips;
+        if (!cs->fused) {
+            for (size_t i = 0; i + 1 < cs->cmds.size(); ++i)
+                ++bc->pairCounts[{cmdKey(cs->cmds[i]),
+                                  cmdKey(cs->cmds[i + 1])}];
+            if (cs->trips >= kFuseAfterTrips)
+                fusePairs(cs);
+        }
+    }
+
     Result last;
-    for (const BytecodeState::Cmd &cc : cs->cmds) {
+    bool prevHead = false;
+    for (BytecodeState::Cmd &cc : cs->cmds) {
         cs->executed = true;
-        chargeBytecodeFetch(cc.words.size());
+        if (prevHead && cc.fuse == 2) {
+            // Superinstruction continuation: the fused handler falls
+            // straight into the second command's pre-substituted
+            // words — glue instead of a full compiled-word fetch.
+            CategoryScope fd(exec, Category::FetchDecode);
+            RoutineScope r(exec, rBcFetch);
+            exec.alu(2);
+            exec.alu((uint32_t)cc.words.size());
+        } else {
+            chargeBytecodeFetch(cc.words.size());
+        }
+        prevHead = cc.fuse == 1;
         if (commandsRun >= commandBudget)
             return {Status::Stop, ""};
         // Identical substitution pass to the baseline loop in
         // evalScript: only the fetch of the words changed, not what
         // is done with them, so execute attribution matches command
-        // for command.
+        // for command. In tier-2 the command's IC slots are exposed
+        // to readVar for the duration of the substitution pass only
+        // (never across the nested evals substitution may trigger —
+        // icReadHit saves/restores around those via evalCompiled
+        // re-entry, and command handlers run with no cursor at all).
         Result failure;
         failure.status = Status::Ok;
+        void *savedSlots = icSlots;
+        uint32_t savedRef = icRef;
+        if (tier2Mode) {
+            icSlots = &cc.ic;
+            icRef = 0;
+        }
         std::vector<std::string> substituted;
         substituted.reserve(cc.words.size());
         for (const std::string &word : cc.words) {
@@ -131,15 +228,131 @@ TclInterp::evalCompiled(const std::string &script)
                 substituted.push_back(word.substr(1));
             } else {
                 substituted.push_back(substitute(word, failure));
-                if (failure.status != Status::Ok)
+                if (failure.status != Status::Ok) {
+                    icSlots = savedSlots;
+                    icRef = savedRef;
                     return failure;
+                }
             }
         }
+        icSlots = nullptr; // handlers see no cursor
         last = evalCommand(substituted, cc.line);
+        icSlots = savedSlots;
+        icRef = savedRef;
         if (last.status != Status::Ok)
             return last;
     }
     return last;
+}
+
+void
+TclInterp::fusePairs(void *script_ptr)
+{
+    BytecodeState::Script &script =
+        *(BytecodeState::Script *)script_ptr;
+    // One-shot fusion pass (translation work → Precompile): rank the
+    // dynamic pair profile, pick the hottest command-name pairs, and
+    // mark this script's adjacent occurrences head/tail, greedily and
+    // without overlap. std::map iteration makes the ranking (and its
+    // tie-break, lexicographic key order) deterministic.
+    script.fused = true;
+    std::vector<std::pair<uint64_t, const std::pair<std::string,
+                                                    std::string> *>>
+        ranked;
+    for (const auto &kv : bc->pairCounts)
+        if (kv.second >= kMinPairCount)
+            ranked.emplace_back(kv.second, &kv.first);
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &x, const auto &y) {
+                         return x.first > y.first;
+                     });
+    if (ranked.size() > kMaxFusedPairs)
+        ranked.resize(kMaxFusedPairs);
+
+    CategoryScope pre(exec, Category::Precompile);
+    RoutineScope r(exec, rFuse);
+    exec.alu(40); // rank the profile, set up the rewrite
+    for (size_t i = 0; i + 1 < script.cmds.size(); ++i) {
+        if (script.cmds[i].fuse != 0)
+            continue;
+        std::pair<std::string, std::string> key = {
+            cmdKey(script.cmds[i]), cmdKey(script.cmds[i + 1])};
+        bool hot = false;
+        for (const auto &rk : ranked)
+            if (*rk.second == key) {
+                hot = true;
+                break;
+            }
+        if (!hot)
+            continue;
+        script.cmds[i].fuse = 1;
+        script.cmds[i + 1].fuse = 2;
+        exec.alu(30); // emit the fused descriptor
+        exec.store(bc);
+        ++i; // no overlapping pairs
+    }
+}
+
+bool
+TclInterp::icReadHit(const std::string &name, SymTab &table, bool found)
+{
+    if (!icSlots)
+        return false; // no active compiled-command site
+    auto &slots = *(std::vector<BytecodeState::IcSlot> *)icSlots;
+    uint32_t ord = icRef++;
+    if (ord >= slots.size())
+        slots.resize(ord + 1);
+    BytecodeState::IcSlot &slot = slots[ord];
+    bool global = &table == &scopes[0].vars;
+    // Only global bindings are cacheable (a proc-local lives in a
+    // per-call table, so its slot could never hit). Skip the probe
+    // entirely rather than charging a guard that must always miss —
+    // local-heavy programs pay nothing for the cache. The ordinal was
+    // consumed above, so slot positions stay stable either way.
+    if (!global)
+        return false;
+    // A slot that keeps missing is megamorphic — stop probing and
+    // let the site pay exactly the baseline cost from here on. The
+    // bounded early-miss tax is what any real monomorphic IC pays.
+    if (slot.misses >= BytecodeState::kDeadAfterMisses)
+        return false;
+    if (slot.filled && slot.global && slot.name == name &&
+        slot.epoch == symbolEpoch && found) {
+        // Hit: short guarded load instead of the §3.3 translation.
+        MemModelScope mm(exec);
+        RoutineScope r(exec, rIcHit);
+        exec.noteMemModelAccess();
+        exec.alu(6);                     // cache-slot index
+        exec.load(bc);                   // cached entry
+        exec.branch(false);              // epoch/name guard holds
+        exec.load(table.lastBucketAddr); // direct slot load
+        exec.alu(8);                     // value handoff
+        ++slot.hits;
+        slot.misses = 0;
+        return true;
+    }
+    // Miss: the guard itself is memory-model execute work; the refill
+    // is translation work (Precompile). The caller then performs the
+    // full baseline lookup — the contained fallback path.
+    {
+        MemModelScope mm(exec);
+        RoutineScope r(exec, rIcHit);
+        exec.alu(6);
+        exec.load(bc);
+        exec.branch(true); // guard fails
+    }
+    {
+        CategoryScope pre(exec, Category::Precompile);
+        RoutineScope r(exec, rIcHit);
+        exec.alu(10);
+        exec.store(bc);
+    }
+    slot.filled = true;
+    slot.global = global;
+    slot.name = name;
+    slot.epoch = symbolEpoch;
+    ++slot.misses;
+    return false;
 }
 
 void

@@ -136,6 +136,7 @@ TclInterp::evalCommand(const std::vector<std::string> &words, int line)
         for (size_t i = 1; i < words.size(); ++i) {
             exec.alu(20);
             scopeFor(words[i]).erase(words[i]);
+            ++symbolEpoch; // a removed name invalidates symbol caches
         }
         return {};
     }

@@ -47,8 +47,9 @@ parseInt(const std::string &text, int64_t &out)
 } // namespace
 
 TclInterp::TclInterp(trace::Execution &exec_, vfs::FileSystem &fs_,
-                     bool bytecode)
-    : exec(exec_), fs(fs_), bytecodeMode(bytecode)
+                     bool bytecode, bool tier2)
+    : exec(exec_), fs(fs_), bytecodeMode(bytecode || tier2),
+      tier2Mode(tier2)
 {
     auto &code = exec.code();
     rParse = code.registerRoutine("tcl.parse", 1400);
@@ -206,7 +207,8 @@ TclInterp::readVar(const std::string &name)
     SymTab &table = scopeFor(name);
     int steps = 0;
     std::string *value = table.find(name, steps);
-    chargeLookup(name, steps, table.lastBucketAddr);
+    if (!tier2Mode || !icReadHit(name, table, value != nullptr))
+        chargeLookup(name, steps, table.lastBucketAddr);
     if (!value)
         fatal("tclish: can't read \"%s\": no such variable",
               name.c_str());

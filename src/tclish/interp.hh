@@ -62,9 +62,25 @@ class TclInterp
      * instructions instead of re-scanning the text. Substitution,
      * expr evaluation and command dispatch are unchanged, so
      * per-command execute attribution is identical to baseline.
+     *
+     * @p tier2 (implies bytecode) enables the Tcl-tier2 mode:
+     *  - command-pair superinstructions — after a compiled script has
+     *    run a few trips, the hottest adjacent command-name pairs are
+     *    fused, and the second command of a fused pair costs a couple
+     *    of glue instructions of fetch instead of a full compiled-word
+     *    fetch (one-shot fusion pass charged to Precompile);
+     *  - monomorphic symbol inline caches — each $-reference site in a
+     *    compiled command caches its global-scope resolution; a hit
+     *    replaces the ~200-500-instruction symbol-table translation
+     *    (§3.3) with a short guarded load, a miss falls back to the
+     *    full baseline lookup (guard charged as memory-model work,
+     *    refill charged to Precompile). Writes always take the
+     *    baseline path: the cache serves reads only.
+     * Execute attribution outside the memory-model subset stays
+     * byte-identical to baseline.
      */
     TclInterp(trace::Execution &exec, vfs::FileSystem &fs,
-              bool bytecode = false);
+              bool bytecode = false, bool tier2 = false);
 
     /** Out of line (bytecode.cc): BytecodeState is incomplete here. */
     ~TclInterp();
@@ -154,6 +170,18 @@ class TclInterp
     // --- bytecode mode (all definitions in bytecode.cc) --------------------
     /** Register the mode's routines and allocate `bc` (ctor helper). */
     void initBytecode();
+    /**
+     * Tier-2 symbol-cache probe for one $-reference (bytecode.cc).
+     * Returns true when the site's cache hit — the fast-path charge
+     * has been emitted and the caller must skip chargeLookup. On a
+     * miss (or outside an active compiled-command cursor) emits
+     * guard/refill overhead as applicable and returns false.
+     */
+    bool icReadHit(const std::string &name, SymTab &table, bool found);
+    /** Tier-2 one-shot pair-fusion pass over one compiled script
+     *  (bytecode.cc; opaque pointer: the script type is complete only
+     *  there). */
+    void fusePairs(void *script);
 
     // --- cost emission -----------------------------------------------------
     void chargeParse(size_t chars, size_t words);
@@ -211,6 +239,16 @@ class TclInterp
     BytecodeState *bc = nullptr;
     trace::RoutineId rCompile = 0; ///< one-shot bytecode compiler
     trace::RoutineId rBcFetch = 0; ///< compiled-command fetch loop
+
+    // Tier-2 state, appended after the bytecode mode's for the same
+    // layout reason. The IC slot vector type is complete only in
+    // bytecode.cc, so the active cursor is opaque here.
+    bool tier2Mode = false;
+    uint64_t symbolEpoch = 0; ///< bumped by unset; invalidates ICs
+    void *icSlots = nullptr;  ///< active command's IC slots, or null
+    uint32_t icRef = 0;       ///< next $-reference ordinal in command
+    trace::RoutineId rIcHit = 0; ///< symbol-cache probe routine
+    trace::RoutineId rFuse = 0;  ///< pair-fusion pass routine
 };
 
 } // namespace interp::tclish

@@ -81,6 +81,8 @@ Profile::accountRun(Category cat, uint8_t flags, CommandId command,
             cs.execute += count;
             if (flags & BundleBatch::kNativeBit)
                 cs.nativeLib += count;
+            if (flags & BundleBatch::kMemModelBit)
+                cs.memModel += count;
         }
     }
 }

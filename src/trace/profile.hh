@@ -30,6 +30,7 @@ struct CommandStats
     uint64_t fetchDecode = 0;   ///< fetch/decode instructions charged
     uint64_t execute = 0;       ///< execute instructions charged
     uint64_t nativeLib = 0;     ///< subset of execute in native libraries
+    uint64_t memModel = 0;      ///< subset of execute in the memory model
 };
 
 /** Accumulates software-level counters for one run. */

@@ -705,3 +705,106 @@ TEST(ClusterEndToEnd, LoadgenCountsConnectFailuresPerEndpoint)
     EXPECT_EQ(down.abandoned, 3u);       // its requests never ran
     EXPECT_EQ(down.sent, 0u);
 }
+
+// --- end-to-end: slow shard, late reply ------------------------------------
+
+TEST(ClusterEndToEnd, LateReplyAfterTimeoutIsCountedOnceAndDropped)
+{
+    // A shard that answers *after* the proxy's forward timeout: the
+    // client must see exactly one reply (the timeout ERROR), the late
+    // frame must be dropped — not delivered, not double-decremented —
+    // and the lateReplies gauges must record it.
+    ClusterConfig cc;
+    cc.shardCount = 1;
+    cc.workersPerShard = 1;
+    cc.proxy.forwardTimeoutMs = 60;
+    cc.proxy.maxRetries = 0; // a retry would just time out again
+    LocalCluster cluster(cc);
+    cluster.start();
+
+    Client conn = Client::connectUnix(cluster.proxyPath());
+    EvalRequest slow = microRequest(Lang::Tcl, 60000);
+    slow.id = 1;
+    EvalResponse resp = conn.eval(slow);
+    EXPECT_EQ(resp.status, Status::Error);
+    EXPECT_NE(resp.result.find("timed out"), std::string::npos)
+        << resp.result;
+
+    // Wait for the shard to finish the run and its reply to reach
+    // the proxy's late-reply branch.
+    bool late_seen = false;
+    for (int waited = 0; waited < 5000 && !late_seen; waited += 50) {
+        std::string json = proxyStats(cluster.proxyPath());
+        uint64_t v = 0;
+        late_seen = statsJsonUint(json, "proxy.late_replies", v) &&
+                    v >= 1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(late_seen) << "late reply never counted";
+
+    std::string json = proxyStats(cluster.proxyPath());
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "proxy.late_replies", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "shards.s0.late_replies", v));
+    EXPECT_EQ(v, 1u);
+    // The in-flight slot was released exactly once — the gauge is
+    // back to zero, not underflowed.
+    ASSERT_TRUE(statsJsonUint(json, "shards.s0.inflight", v));
+    EXPECT_EQ(v, 0u);
+    // Exactly one ERROR was delivered for the request.
+    ASSERT_TRUE(statsJsonUint(json, "proxy.failed", v));
+    EXPECT_EQ(v, 1u);
+
+    // The connection and the shard both still serve normally.
+    EvalRequest ok = microRequest(Lang::Tcl, 100);
+    ok.id = 2;
+    EvalResponse resp2 = conn.eval(ok);
+    EXPECT_EQ(resp2.status, Status::Ok) << resp2.result;
+}
+
+// --- end-to-end: tier-up across the cluster --------------------------------
+
+TEST(ClusterEndToEnd, TierCountersMergeAcrossShards)
+{
+    // Shards promote independently; the proxy's merged STATS document
+    // must roll the per-shard tier ledgers up, and promotion must not
+    // perturb the payload the cluster returns.
+    const uint32_t kIters = 300;
+    harness::Measurement tcl =
+        batchMeasure(Lang::Tcl, "a=b+c", (int)kIters);
+
+    ClusterConfig cc;
+    cc.shardCount = 2;
+    cc.workersPerShard = 1;
+    cc.tierPerShard.enabled = true;
+    cc.tierPerShard.remedyAfter = 2;
+    cc.tierPerShard.tier2After = 4;
+    cc.tierPerShard.commandsPerPoint = 1'000'000'000;
+    cc.tierPerShard.decayEvery = 1'000'000;
+    LocalCluster cluster(cc);
+    cluster.start();
+
+    // Consistent hashing pins the program to one home shard, so its
+    // hotness accumulates there run after run.
+    Client conn = Client::connectUnix(cluster.proxyPath());
+    std::vector<uint64_t> insts;
+    for (int i = 0; i < 6; ++i) {
+        EvalResponse resp = conn.eval(microRequest(Lang::Tcl, kIters));
+        ASSERT_EQ(resp.status, Status::Ok) << resp.result;
+        EXPECT_EQ(resp.commands, tcl.commands) << "request " << i;
+        EXPECT_EQ(resp.result, tcl.stdoutText) << "request " << i;
+        insts.push_back(resp.instructions);
+    }
+    EXPECT_EQ(insts.front(), tcl.profile.instructions());
+    EXPECT_LT(insts.back(), insts.front());
+
+    std::string json = proxyStats(cluster.proxyPath());
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "merged.tier_up_remedy", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "merged.tier_up_tier2", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "merged.tiered_runs", v));
+    EXPECT_GE(v, 4u);
+}

@@ -573,3 +573,173 @@ TEST(ServerEndToEnd, OpenLoopAccountsForEveryRequest)
     EXPECT_EQ(report.all.ok, report.all.latencyUs.size());
     EXPECT_FALSE(report.table().empty());
 }
+
+// --- histogram edge cases ---------------------------------------------------
+
+TEST(LatencyHistogram, QuantileOnEmptyIsZero)
+{
+    // An empty histogram has no samples to rank; every quantile is 0,
+    // never a bucket bound hallucinated from zero counts. The proxy
+    // renders quantiles for shards that have served nothing yet.
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+}
+
+TEST(LatencyHistogram, MergeFromPartialPeerIsExactAtBucketGrain)
+{
+    // Merging a peer that has seen only some buckets (the common
+    // cluster case: a shard that answered a handful of requests)
+    // must equal the histogram of the concatenated sample sets —
+    // bucket by bucket, count included.
+    std::vector<uint64_t> mine = {1, 9, 9, 300, 70000};
+    std::vector<uint64_t> peers = {10, 10000};
+
+    LatencyHistogram a;
+    for (uint64_t v : mine)
+        a.add(v);
+    LatencyHistogram b;
+    for (uint64_t v : peers)
+        b.add(v);
+    LatencyHistogram all;
+    for (uint64_t v : mine)
+        all.add(v);
+    for (uint64_t v : peers)
+        all.add(v);
+
+    a.mergeFrom(b);
+    EXPECT_EQ(a.count(), all.count());
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+        EXPECT_EQ(a.bucket(i), all.bucket(i)) << "bucket " << i;
+    for (double q : {0.5, 0.99, 1.0})
+        EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+
+    // Merging into an empty histogram reproduces the peer exactly;
+    // merging an empty peer is a no-op.
+    LatencyHistogram empty;
+    empty.mergeFrom(all);
+    EXPECT_EQ(empty.count(), all.count());
+    LatencyHistogram before = all;
+    LatencyHistogram nothing;
+    all.mergeFrom(nothing);
+    EXPECT_EQ(all.count(), before.count());
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+        EXPECT_EQ(all.bucket(i), before.bucket(i));
+}
+
+// --- end-to-end: dynamic tier-up -------------------------------------------
+
+TEST(ServerEndToEnd, TierPromotionFiresAndPreservesIdentity)
+{
+    const uint32_t kIters = 300;
+
+    // Baseline ground truth from the batch harness: every response,
+    // whatever tier it ran at, must reproduce these.
+    harness::Measurement java =
+        batchMeasure(Lang::Java, "a=b+c", (int)kIters);
+    harness::Measurement tcl =
+        batchMeasure(Lang::Tcl, "a=b+c", (int)kIters);
+
+    ServerConfig cfg;
+    cfg.workers = 1; // sequential requests -> deterministic ladder
+    cfg.tier.enabled = true;
+    cfg.tier.remedyAfter = 2;
+    cfg.tier.tier2After = 4;
+    cfg.tier.commandsPerPoint = 1'000'000'000;
+    cfg.tier.decayEvery = 1'000'000;
+    TestServer ts(cfg);
+
+    Client conn = Client::connectUnix(ts.path());
+    const int kRequests = 6;
+    std::vector<uint64_t> javaInsts, tclInsts;
+    for (int i = 0; i < kRequests; ++i) {
+        EvalResponse jr = conn.eval(microRequest(Lang::Java, kIters));
+        ASSERT_EQ(jr.status, Status::Ok) << jr.result;
+        EXPECT_EQ(jr.commands, java.commands) << "request " << i;
+        EXPECT_EQ(jr.result, java.stdoutText) << "request " << i;
+        javaInsts.push_back(jr.instructions);
+
+        EvalResponse tr = conn.eval(microRequest(Lang::Tcl, kIters));
+        ASSERT_EQ(tr.status, Status::Ok) << tr.result;
+        EXPECT_EQ(tr.commands, tcl.commands) << "request " << i;
+        EXPECT_EQ(tr.result, tcl.stdoutText) << "request " << i;
+        tclInsts.push_back(tr.instructions);
+    }
+
+    // The cold run is the baseline; the fully-promoted run must be
+    // spending measurably fewer native instructions per request.
+    EXPECT_EQ(javaInsts.front(), java.profile.instructions());
+    EXPECT_EQ(tclInsts.front(), tcl.profile.instructions());
+    EXPECT_LT(javaInsts.back(), javaInsts.front());
+    EXPECT_LT(tclInsts.back(), tclInsts.front());
+
+    // STATS carries the promotion ledger, attributed to the baseline
+    // request mode.
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "modes.Java.tier_up_remedy", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Java.tier_up_tier2", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Java.tiered_runs", v));
+    EXPECT_EQ(v, (uint64_t)kRequests - 1);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Tcl.tier_up_remedy", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Tcl.tier_up_tier2", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Tcl.tiered_runs", v));
+    EXPECT_EQ(v, (uint64_t)kRequests - 1);
+    // Daemon-total rollup includes the tier counters.
+    ASSERT_TRUE(statsJsonUint(json, "tier_up_remedy", v));
+    EXPECT_EQ(v, 2u);
+    ASSERT_TRUE(statsJsonUint(json, "tier_up_tier2", v));
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(ServerEndToEnd, TierPromotionSafeUnderConcurrency)
+{
+    // The shared-mutable-program regression: many workers running —
+    // and promoting — the same catalog program at once. Every
+    // response must stay byte-identical to the batch harness, and
+    // each promotion threshold must fire exactly once no matter how
+    // many requests race across it.
+    const uint32_t kIters = 300;
+    harness::Measurement java =
+        batchMeasure(Lang::Java, "a=b+c", (int)kIters);
+
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.maxQueue = 256;
+    cfg.tier.enabled = true;
+    cfg.tier.remedyAfter = 3;
+    cfg.tier.tier2After = 6;
+    cfg.tier.commandsPerPoint = 1'000'000'000;
+    cfg.tier.decayEvery = 1'000'000;
+    TestServer ts(cfg);
+
+    LoadgenOptions opt;
+    opt.unixPath = ts.path();
+    opt.clients = 4;
+    opt.requestsPerClient = 8;
+    opt.mix.push_back(microRequest(Lang::Java, kIters));
+    opt.onResponse = [&java](const EvalRequest &,
+                             const EvalResponse &resp) {
+        ASSERT_EQ(resp.status, Status::Ok) << resp.result;
+        EXPECT_EQ(resp.commands, java.commands);
+        EXPECT_EQ(resp.result, java.stdoutText);
+    };
+    LoadgenReport report = runLoadgen(opt);
+    EXPECT_EQ(report.all.sent, 32u);
+    EXPECT_EQ(report.all.ok, 32u);
+
+    Client conn = Client::connectUnix(ts.path());
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "modes.Java.tier_up_remedy", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Java.tier_up_tier2", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Java.tiered_runs", v));
+    EXPECT_GE(v, 2u);
+}
