@@ -21,8 +21,10 @@
  *                    spreads accepts across them)
  *   --tierup         promote hot named programs at runtime: baseline
  *                    -> remedy -> superinstructions/inline caches
+ *                    -> template-compiled native-code region
  *   --tier-remedy-after N        hotness points before the remedy
  *   --tier-tier2-after N         hotness points before tier-2
+ *   --tier-jit-after N           hotness points before the jit tier
  *   --tier-commands-per-point N  commands per hotness point
  *   --tier-decay-every N         halve hotness every N invocations
  *   --timestamps     prefix logs with monotonic time + thread id
@@ -60,6 +62,7 @@ usage()
         "               [--max-commands N] [--shard-id NAME]\n"
         "               [--reuseport] [--tierup]\n"
         "               [--tier-remedy-after N] [--tier-tier2-after N]\n"
+        "               [--tier-jit-after N]\n"
         "               [--tier-commands-per-point N]\n"
         "               [--tier-decay-every N] [--timestamps]\n");
     std::exit(2);
@@ -111,6 +114,9 @@ main(int argc, char **argv)
                 (uint64_t)std::atoll(argValue(argc, argv, i));
         else if (!std::strcmp(argv[i], "--tier-tier2-after"))
             cfg.tier.tier2After =
+                (uint64_t)std::atoll(argValue(argc, argv, i));
+        else if (!std::strcmp(argv[i], "--tier-jit-after"))
+            cfg.tier.jitAfter =
                 (uint64_t)std::atoll(argValue(argc, argv, i));
         else if (!std::strcmp(argv[i], "--tier-commands-per-point"))
             cfg.tier.commandsPerPoint =

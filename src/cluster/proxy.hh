@@ -124,7 +124,7 @@ class Proxy
     struct FrontConn
     {
         int fd = -1;
-        std::string in;
+        server::RecvBuffer in;
         std::string out;
         bool greeted = false;
     };
@@ -133,7 +133,7 @@ class Proxy
     {
         int fd = -1;
         bool connecting = false; ///< non-blocking connect pending
-        std::string in;
+        server::RecvBuffer in;
         std::string out;
     };
 

@@ -1,5 +1,6 @@
 #include "cluster/spawn.hh"
 
+#include <dirent.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -25,12 +26,34 @@ LocalCluster::LocalCluster(const ClusterConfig &config) : cfg(config)
 LocalCluster::~LocalCluster()
 {
     stopAll();
-    for (const std::string &p : shardPaths_)
-        ::unlink(p.c_str());
-    if (!proxyPath_.empty())
-        ::unlink(proxyPath_.c_str());
-    if (!dir_.empty())
-        ::rmdir(dir_.c_str());
+    removeTempDir();
+}
+
+void
+LocalCluster::removeTempDir()
+{
+    if (dir_.empty())
+        return;
+    // Unlinking only the paths this object handed out is not enough:
+    // a SIGKILL'd subprocess shard never removes its bound socket, a
+    // respawn re-binds the same name, and a start() that fatal()ed
+    // midway may have created sockets this object never recorded. Any
+    // survivor makes the old blind rmdir() fail silently and leaks
+    // the whole /tmp/interproxy-* directory. Sweep everything.
+    if (DIR *d = ::opendir(dir_.c_str())) {
+        while (struct dirent *ent = ::readdir(d)) {
+            if (!std::strcmp(ent->d_name, ".") ||
+                !std::strcmp(ent->d_name, ".."))
+                continue;
+            std::string path = dir_ + "/" + ent->d_name;
+            ::unlink(path.c_str());
+        }
+        ::closedir(d);
+    }
+    ::rmdir(dir_.c_str());
+    dir_.clear();
+    proxyPath_.clear();
+    shardPaths_.clear();
 }
 
 void
@@ -86,6 +109,8 @@ LocalCluster::spawnShard(size_t i)
             std::to_string(cfg.tierPerShard.remedyAfter);
         std::string tier2_after =
             std::to_string(cfg.tierPerShard.tier2After);
+        std::string jit_after =
+            std::to_string(cfg.tierPerShard.jitAfter);
         std::string per_point =
             std::to_string(cfg.tierPerShard.commandsPerPoint);
         std::string decay =
@@ -98,6 +123,7 @@ LocalCluster::spawnShard(size_t i)
                     shard_id.c_str(), "--tierup",
                     "--tier-remedy-after", remedy_after.c_str(),
                     "--tier-tier2-after", tier2_after.c_str(),
+                    "--tier-jit-after", jit_after.c_str(),
                     "--tier-commands-per-point", per_point.c_str(),
                     "--tier-decay-every", decay.c_str(),
                     (char *)nullptr);

@@ -80,6 +80,10 @@ class LocalCluster
     /** Front unix socket of the router (connect clients here). */
     const std::string &proxyPath() const { return proxyPath_; }
 
+    /** The private temp directory ("" before start() / after
+     *  teardown). Tests assert it leaves no /tmp residue behind. */
+    const std::string &tempDir() const { return dir_; }
+
     /** Unix socket of shard @p i (for direct-to-shard checks). */
     const std::string &shardPath(size_t i) const
     {
@@ -101,6 +105,11 @@ class LocalCluster
 
     void spawnShard(size_t i);
     void waitConnectable(const std::string &path);
+    /** Sweep and remove the temp directory (idempotent): unlink every
+     *  remaining entry — not just the paths this object created — so
+     *  sockets left bound by SIGKILL'd shards, or anything a failed
+     *  start() got as far as creating, never outlive the cluster. */
+    void removeTempDir();
 
     ClusterConfig cfg;
     std::string dir_; ///< private temp directory holding all sockets

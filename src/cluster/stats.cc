@@ -22,6 +22,7 @@ ClusterStats::totals() const
         sum.failed += m.failed;
         sum.tierUpRemedy += m.tierUpRemedy;
         sum.tierUpTier2 += m.tierUpTier2;
+        sum.tierUpJit += m.tierUpJit;
         sum.tieredRuns += m.tieredRuns;
     }
     return sum;
@@ -136,7 +137,8 @@ mergeShardStats(const std::vector<std::string> &shard_jsons)
 {
     uint64_t accepted = 0, served = 0, shed = 0, deadline = 0,
              failed = 0;
-    uint64_t tierRemedy = 0, tierTier2 = 0, tieredRuns = 0;
+    uint64_t tierRemedy = 0, tierTier2 = 0, tierJit = 0,
+             tieredRuns = 0;
     uint64_t hits = 0, misses = 0, loads = 0;
     LatencyHistogram queue, service, total;
     uint64_t reporting = 0;
@@ -163,6 +165,9 @@ mergeShardStats(const std::vector<std::string> &shard_jsons)
             tierRemedy += v;
         if (server::statsJsonUint(json, "tier_up_tier2", v))
             tierTier2 += v;
+        // Absent in documents from pre-jit daemons; merge tolerantly.
+        if (server::statsJsonUint(json, "tier_up_jit", v))
+            tierJit += v;
         if (server::statsJsonUint(json, "tiered_runs", v))
             tieredRuns += v;
         if (server::statsJsonUint(json, "catalog.hits", v))
@@ -189,8 +194,9 @@ mergeShardStats(const std::vector<std::string> &shard_jsons)
     std::snprintf(buf, sizeof(buf),
                   ",\"tier_up_remedy\":%" PRIu64
                   ",\"tier_up_tier2\":%" PRIu64
+                  ",\"tier_up_jit\":%" PRIu64
                   ",\"tiered_runs\":%" PRIu64,
-                  tierRemedy, tierTier2, tieredRuns);
+                  tierRemedy, tierTier2, tierJit, tieredRuns);
     out += buf;
     std::snprintf(buf, sizeof(buf),
                   ",\"catalog\":{\"hits\":%" PRIu64

@@ -1,16 +1,10 @@
 #include "harness/runner.hh"
 
+#include "harness/engine.hh"
 #include "harness/workloads.hh"
 #include "mips/asm_builder.hh"
-#include "jvm/vm.hh"
-#include "minic/compile.hh"
-#include "mipsi/direct.hh"
-#include "mipsi/mipsi.hh"
-#include "mipsi/threaded.hh"
-#include "perlish/interp.hh"
 #include "support/logging.hh"
 #include "support/strutil.hh"
-#include "tclish/interp.hh"
 #include "trace/execution.hh"
 #include "vfs/vfs.hh"
 
@@ -31,6 +25,8 @@ langName(Lang lang)
       case Lang::JavaTier2: return "Java-tier2";
       case Lang::TclTier2: return "Tcl-tier2";
       case Lang::PerlIC: return "Perl-ic";
+      case Lang::MipsiJit: return "MIPSI-jit";
+      case Lang::TclJit: return "Tcl-jit";
       default: return "?";
     }
 }
@@ -45,6 +41,8 @@ baselineOf(Lang lang)
       case Lang::JavaTier2: return Lang::Java;
       case Lang::TclTier2: return Lang::Tcl;
       case Lang::PerlIC: return Lang::Perl;
+      case Lang::MipsiJit: return Lang::Mipsi;
+      case Lang::TclJit: return Lang::Tcl;
       default: return lang;
     }
 }
@@ -86,6 +84,26 @@ tierTier2Of(Lang base)
     }
 }
 
+bool
+isJit(Lang lang)
+{
+    return lang == Lang::MipsiJit || lang == Lang::TclJit;
+}
+
+Lang
+tierJitOf(Lang base)
+{
+    switch (base) {
+      // Java and Perl have no template backend: their ladders top out
+      // at tier 2 and the tier manager folds a tier-3 target down.
+      case Lang::Mipsi: return Lang::MipsiJit;
+      case Lang::Java: return Lang::JavaTier2;
+      case Lang::Tcl: return Lang::TclJit;
+      case Lang::Perl: return Lang::PerlIC;
+      default: return base;
+    }
+}
+
 Measurement
 run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
     const sim::MachineConfig *machine_cfg, bool with_machine)
@@ -114,180 +132,14 @@ run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
             m.commandNames.push_back(set.name((trace::CommandId)i));
     };
 
-    switch (spec.lang) {
-      case Lang::C: {
-        auto image = spec.image ? *spec.image
-                                : minic::compileMips(spec.source,
-                                                     spec.name);
-        m.programBytes = image.sizeBytes();
-        mipsi::DirectCpu cpu(exec, fs);
-        cpu.load(image);
-        auto r = cpu.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.instructions;
-        collect_names(cpu.commandSet());
-        break;
-      }
-      case Lang::Mipsi: {
-        auto image = spec.image ? *spec.image
-                                : minic::compileMips(spec.source,
-                                                     spec.name);
-        m.programBytes = image.sizeBytes();
-        mipsi::Mipsi vm(exec, fs);
-        vm.load(image);
-        auto r = vm.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::Java: {
-        jvm::Vm vm(exec, fs);
-        if (spec.jvmPairSink)
-            vm.setPairSink(spec.jvmPairSink);
-        if (spec.module) {
-            m.programBytes = spec.module->sizeBytes();
-            vm.loadShared(spec.module);
-        } else {
-            auto module = minic::compileBytecode(spec.source, spec.name);
-            m.programBytes = module.sizeBytes();
-            vm.load(module);
-        }
-        auto r = vm.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::Perl: {
-        m.programBytes = spec.source.size();
-        perlish::Interp vm(exec, fs);
-        vm.load(spec.source, spec.name);
-        auto r = vm.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::Tcl: {
-        m.programBytes = spec.source.size();
-        tclish::TclInterp vm(exec, fs);
-        auto r = vm.run(spec.source, spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::MipsiThreaded: {
-        auto image = spec.image ? *spec.image
-                                : minic::compileMips(spec.source,
-                                                     spec.name);
-        m.programBytes = image.sizeBytes();
-        mipsi::ThreadedMipsi vm(exec, fs);
-        vm.load(image);
-        auto r = vm.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::JavaQuick: {
-        jvm::Vm vm(exec, fs, /*quick=*/true);
-        if (spec.module) {
-            // A catalog-shared module must never be quickened in
-            // place; execute through a pre-quickened artifact instead
-            // (build one now if the catalog has none published yet).
-            m.programBytes = spec.module->sizeBytes();
-            auto artifact = spec.jvmArtifact;
-            if (!artifact) {
-                jvm::TierOptions opts;
-                opts.fuse = false;
-                opts.inlineCache = false;
-                jvm::PairProfile none;
-                artifact = jvm::buildTierArtifact(&exec, *spec.module,
-                                                  none, opts);
-                if (spec.publishJvmArtifact)
-                    spec.publishJvmArtifact(artifact);
-            }
-            vm.useArtifact(std::move(artifact));
-        } else {
-            auto module = minic::compileBytecode(spec.source, spec.name);
-            m.programBytes = module.sizeBytes();
-            vm.load(module);
-        }
-        auto r = vm.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::TclBytecode: {
-        m.programBytes = spec.source.size();
-        tclish::TclInterp vm(exec, fs, /*bytecode=*/true);
-        auto r = vm.run(spec.source, spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::JavaTier2: {
-        std::shared_ptr<const jvm::Module> module = spec.module;
-        if (!module)
-            module = std::make_shared<const jvm::Module>(
-                minic::compileBytecode(spec.source, spec.name));
-        m.programBytes = module->sizeBytes();
-        auto artifact = spec.jvmArtifact;
-        if (!artifact) {
-            jvm::PairProfile local;
-            const jvm::PairProfile *pairs = spec.jvmPairs.get();
-            if (!pairs) {
-                // Standalone mode: discover hot pairs with an
-                // unmeasured profiling pre-run (interpd feeds the
-                // profile from earlier baseline runs instead).
-                trace::Execution pexec;
-                vfs::FileSystem pfs;
-                if (spec.needsInputs)
-                    installAllInputs(pfs);
-                jvm::Vm pvm(pexec, pfs);
-                pvm.setPairSink(&local);
-                pvm.loadShared(module);
-                pvm.run(spec.maxCommands);
-                pairs = &local;
-            }
-            artifact = jvm::buildTierArtifact(&exec, *module, *pairs);
-            if (spec.publishJvmArtifact)
-                spec.publishJvmArtifact(artifact);
-        }
-        jvm::Vm vm(exec, fs, /*quick=*/true);
-        vm.useArtifact(std::move(artifact));
-        auto r = vm.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::TclTier2: {
-        m.programBytes = spec.source.size();
-        tclish::TclInterp vm(exec, fs, /*bytecode=*/true,
-                             /*tier2=*/true);
-        auto r = vm.run(spec.source, spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-      case Lang::PerlIC: {
-        m.programBytes = spec.source.size();
-        perlish::Interp vm(exec, fs, /*symbolIc=*/true);
-        vm.load(spec.source, spec.name);
-        auto r = vm.run(spec.maxCommands);
-        m.finished = r.exited;
-        m.commands = r.commands;
-        collect_names(vm.commandSet());
-        break;
-      }
-    }
-
+    // Every mode — baseline, remedy, tier-2, jit — goes through the
+    // same Engine interface; run() only owns the measurement plumbing.
+    auto engine = makeEngine(spec.lang, exec, fs);
+    EngineResult r = engine->execute(spec);
+    m.finished = r.finished;
+    m.commands = r.commands;
+    m.programBytes = r.programBytes;
+    collect_names(engine->commandSet());
     // The interpreters flush on every run() exit (FlushOnExit); this
     // covers hypothetical future paths that emit outside run().
     exec.flush();

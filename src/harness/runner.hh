@@ -25,6 +25,10 @@ struct TierArtifact;
 struct PairProfile;
 } // namespace interp::jvm
 
+namespace interp::jit {
+class JitArtifact;
+} // namespace interp::jit
+
 namespace interp::harness {
 
 /**
@@ -35,7 +39,10 @@ namespace interp::harness {
  * its baseline with identical per-command execute attribution; tier-2
  * modes additionally shrink the memory-model *subset* of execute
  * (execute minus memModel stays byte-identical), with one-time
- * tiering cost charged to Precompile.
+ * tiering cost charged to Precompile. The jit modes are the tier-3
+ * endpoint: per-opcode stencils concatenated into an executable
+ * buffer (src/jit/), with the emitted region registered as synthetic
+ * code so §4 simulation still attributes its i-cache behaviour.
  */
 enum class Lang : uint8_t
 {
@@ -50,6 +57,8 @@ enum class Lang : uint8_t
     JavaTier2,     ///< quickened + superinstructions + field ICs
     TclTier2,      ///< bytecode + command-pair fusion + symbol ICs
     PerlIC,        ///< baseline op tree + hash-lookup inline caches
+    MipsiJit,      ///< threaded + per-opcode stencil region (tier 3)
+    TclJit,        ///< tier-2 + per-command stencil region (tier 3)
 };
 
 const char *langName(Lang lang);
@@ -64,13 +73,18 @@ bool isRemedy(Lang lang);
 /** True for the tier-2 modes (superinstructions / inline caches). */
 bool isTier2(Lang lang);
 
+/** True for the jit (tier-3 stencil) modes. */
+bool isJit(Lang lang);
+
 /**
  * The runtime tier ladder for a baseline mode: the mode a warm
- * program is promoted to at the first (remedy) and second (tier-2)
- * hotness thresholds. Identity for modes with no higher tier.
+ * program is promoted to at the first (remedy), second (tier-2) and
+ * third (jit) hotness thresholds. Identity for modes with no higher
+ * tier.
  */
 Lang tierRemedyOf(Lang base);
 Lang tierTier2Of(Lang base);
+Lang tierJitOf(Lang base);
 
 /** One benchmark to run. */
 struct BenchSpec
@@ -111,6 +125,16 @@ struct BenchSpec
     /** When set on a baseline Java run, dynamic adjacent-pair counts
      *  are collected into it (host-side only, zero emission). */
     jvm::PairProfile *jvmPairSink = nullptr;
+    /** Published stencil program to execute with (MipsiJit with a
+     *  warm catalog). When absent the runner compiles one in-run,
+     *  charged to Precompile. A poisoned artifact (debugPoison, or a
+     *  build whose emit buffer overflowed) is never executed: the run
+     *  falls back to the previous tier, mirroring debugPoisonIc. */
+    std::shared_ptr<const jit::JitArtifact> jitArtifact;
+    /** Invoked with the stencil program the run compiled (the tier
+     *  manager's atomic-publish hook). */
+    std::function<void(std::shared_ptr<const jit::JitArtifact>)>
+        publishJitArtifact;
 };
 
 /** Everything measured from one run. */

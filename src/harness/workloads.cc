@@ -76,7 +76,10 @@ parseModes(int argc, char **argv)
             return ModeSet::Remedies;
         if (value == "all")
             return ModeSet::All;
-        fatal("unknown --modes value '%s' (want baseline|remedies|all)",
+        if (value == "jit")
+            return ModeSet::Jit;
+        fatal("unknown --modes value '%s' "
+              "(want baseline|remedies|all|jit)",
               value.c_str());
     }
     return ModeSet::Baseline;
@@ -90,14 +93,17 @@ withModes(std::vector<BenchSpec> suite, ModeSet mode)
     size_t base_rows = suite.size();
     std::vector<BenchSpec> out = std::move(suite);
     for (size_t i = 0; i < base_rows; ++i) {
-        Lang remedy = remedyOf(out[i].lang);
-        if (remedy == out[i].lang)
+        Lang target = mode == ModeSet::Jit ? tierJitOf(out[i].lang)
+                                           : remedyOf(out[i].lang);
+        if (target == out[i].lang)
             continue;
+        if (mode == ModeSet::Jit && !isJit(target))
+            continue; // no template backend for this language
         BenchSpec copy = out[i];
-        copy.lang = remedy;
+        copy.lang = target;
         out.push_back(std::move(copy));
     }
-    if (mode == ModeSet::Remedies)
+    if (mode == ModeSet::Remedies || mode == ModeSet::Jit)
         out.erase(out.begin(), out.begin() + (ptrdiff_t)base_rows);
     return out;
 }

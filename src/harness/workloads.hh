@@ -29,10 +29,11 @@ enum class ModeSet : uint8_t
     Baseline, ///< the five faithful modes only (the default)
     Remedies, ///< only the three §5 remedy modes
     All,      ///< baselines first, then the remedy modes
+    Jit,      ///< only the tier-3 jit modes (mipsi-jit, tcl-jit)
 };
 
 /**
- * Parse a `--modes=baseline|remedies|all` argument if present
+ * Parse a `--modes=baseline|remedies|all|jit` argument if present
  * (fatal on an unknown value); other arguments are left alone.
  */
 ModeSet parseModes(int argc, char **argv);
@@ -41,7 +42,9 @@ ModeSet parseModes(int argc, char **argv);
  * Expand @p suite for @p mode: Baseline returns it unchanged;
  * Remedies keeps only rows whose language has a §5 remedy, retargeted
  * to the remedy mode; All appends the remedy rows after the
- * baselines. Row order within a language is preserved.
+ * baselines; Jit keeps only rows whose language has a template
+ * backend, retargeted to the jit mode. Row order within a language is
+ * preserved.
  *
  * Takes the suite by value so `withModes(macroSuite(), modes)` in the
  * default Baseline case is a pure move — the driver's allocation

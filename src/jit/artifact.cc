@@ -1,0 +1,125 @@
+#include "jit/artifact.hh"
+
+#include "support/logging.hh"
+
+// The native backend is x86-64 SysV only; everything else (and any
+// host that refuses executable anonymous memory at runtime) uses the
+// portable walker in enter().
+#if defined(__x86_64__) && defined(__linux__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define INTERP_JIT_NATIVE 1
+#endif
+
+namespace interp::jit {
+
+#ifdef INTERP_JIT_NATIVE
+
+namespace {
+
+/**
+ * Region entry thunk: void entry(void *ctx, const void *stencil).
+ * Keeps ctx in r13 (callee-saved, reloaded by every stencil) and
+ * calls into the stencil stream with the stack 16-byte aligned at
+ * each helper call site.
+ *
+ *   push r13 ; sub rsp,8 ; mov r13,rdi ; call rsi
+ *   add rsp,8 ; pop r13 ; ret
+ */
+void
+emitEntry(ExecBuffer &buf)
+{
+    static const uint8_t code[] = {
+        0x41, 0x55,                   // push r13
+        0x48, 0x83, 0xec, 0x08,       // sub  rsp, 8
+        0x49, 0x89, 0xfd,             // mov  r13, rdi
+        0xff, 0xd6,                   // call rsi
+        0x48, 0x83, 0xc4, 0x08,       // add  rsp, 8
+        0x41, 0x5d,                   // pop  r13
+        0xc3,                         // ret
+    };
+    static_assert(sizeof(code) == JitArtifact::kEntryBytes);
+    buf.emit(code, sizeof(code));
+}
+
+/**
+ * One stencil: call the helper with (ctx, index); fall through when
+ * it returns zero, leave the stream otherwise.
+ *
+ *   mov rdi,r13 ; mov esi,index ; movabs rax,fn ; call rax
+ *   test al,al ; je .next ; ret ; .next:
+ */
+void
+emitStencil(ExecBuffer &buf, StepFn fn, uint32_t index)
+{
+    size_t before = buf.used();
+    buf.emit8(0x4c);
+    buf.emit8(0x89);
+    buf.emit8(0xef);                  // mov rdi, r13
+    buf.emit8(0xbe);
+    buf.emit32(index);                // mov esi, index
+    buf.emit8(0x48);
+    buf.emit8(0xb8);
+    buf.emit64((uint64_t)(uintptr_t)fn); // movabs rax, fn
+    buf.emit8(0xff);
+    buf.emit8(0xd0);                  // call rax
+    buf.emit8(0x84);
+    buf.emit8(0xc0);                  // test al, al
+    buf.emit8(0x74);
+    buf.emit8(0x01);                  // je .next (skip the ret)
+    buf.emit8(0xc3);                  // ret
+    if (buf.used() - before != JitArtifact::kStencilBytes)
+        fatal("jit: stencil emitted %zu bytes, expected %zu",
+              buf.used() - before, JitArtifact::kStencilBytes);
+}
+
+using EntryFn = void (*)(void *ctx, const void *stencil);
+
+} // namespace
+
+#endif // INTERP_JIT_NATIVE
+
+std::shared_ptr<const JitArtifact>
+JitArtifact::build(StepFn fn, uint32_t steps, size_t capacity_bytes)
+{
+    std::shared_ptr<JitArtifact> a(new JitArtifact());
+    a->fn_ = fn;
+    a->steps_ = steps;
+#ifdef INTERP_JIT_NATIVE
+    size_t need = kEntryBytes + (size_t)steps * kStencilBytes + 1;
+    if (a->buf_.map(capacity_bytes ? capacity_bytes : need)) {
+        a->offsets_.reserve(steps);
+        emitEntry(a->buf_);
+        for (uint32_t i = 0; i < steps; ++i) {
+            a->offsets_.push_back((uint32_t)a->buf_.used());
+            emitStencil(a->buf_, fn, i);
+        }
+        a->buf_.emit8(0xc3); // fall-through off the last stencil
+        if (a->buf_.seal())
+            a->native_ = true;
+    }
+#else
+    (void)capacity_bytes;
+#endif
+    return a;
+}
+
+void
+JitArtifact::enter(void *ctx, uint32_t start) const
+{
+    if (poisoned_.load())
+        fatal("jit: entering a poisoned JitArtifact");
+    if (start >= steps_)
+        return;
+#ifdef INTERP_JIT_NATIVE
+    if (native_) {
+        auto entry = (EntryFn)(uintptr_t)buf_.base();
+        entry(ctx, buf_.base() + offsets_[start]);
+        return;
+    }
+#endif
+    for (uint32_t i = start; i < steps_; ++i)
+        if (fn_(ctx, i) != 0)
+            return;
+}
+
+} // namespace interp::jit

@@ -1,0 +1,103 @@
+#include "jit/exec_buffer.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define INTERP_JIT_HAVE_MMAN 1
+#endif
+
+namespace interp::jit {
+
+ExecBuffer::~ExecBuffer()
+{
+#ifdef INTERP_JIT_HAVE_MMAN
+    if (base_)
+        ::munmap(base_, capacity_);
+#endif
+}
+
+bool
+ExecBuffer::map(size_t capacity)
+{
+#ifdef INTERP_JIT_HAVE_MMAN
+    if (base_)
+        fatal("jit: ExecBuffer mapped twice");
+    size_t page = (size_t)::sysconf(_SC_PAGESIZE);
+    if (page == 0)
+        page = 4096;
+    size_t rounded = (capacity + page - 1) & ~(page - 1);
+    if (rounded == 0)
+        rounded = page;
+    // Writable now, executable only after seal() — never both.
+    void *p = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED)
+        return false;
+    base_ = (uint8_t *)p;
+    capacity_ = rounded;
+    used_ = 0;
+    sealed_ = false;
+    return true;
+#else
+    (void)capacity;
+    return false;
+#endif
+}
+
+void
+ExecBuffer::emit(const void *bytes, size_t n)
+{
+    if (!base_)
+        fatal("jit: emit into unmapped ExecBuffer");
+    if (sealed_)
+        fatal("jit: emit into sealed (executable) ExecBuffer");
+    if (n > capacity_ - used_)
+        fatal("jit: emit buffer overflow (%zu used + %zu > %zu capacity)",
+              used_, n, capacity_);
+    std::memcpy(base_ + used_, bytes, n);
+    used_ += n;
+}
+
+void
+ExecBuffer::emit8(uint8_t value)
+{
+    emit(&value, 1);
+}
+
+void
+ExecBuffer::emit32(uint32_t value)
+{
+    uint8_t b[4] = {(uint8_t)value, (uint8_t)(value >> 8),
+                    (uint8_t)(value >> 16), (uint8_t)(value >> 24)};
+    emit(b, 4);
+}
+
+void
+ExecBuffer::emit64(uint64_t value)
+{
+    emit32((uint32_t)value);
+    emit32((uint32_t)(value >> 32));
+}
+
+bool
+ExecBuffer::seal()
+{
+#ifdef INTERP_JIT_HAVE_MMAN
+    if (!base_)
+        fatal("jit: seal of unmapped ExecBuffer");
+    if (sealed_)
+        fatal("jit: ExecBuffer sealed twice");
+    if (::mprotect(base_, capacity_, PROT_READ | PROT_EXEC) != 0)
+        return false;
+    sealed_ = true;
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace interp::jit

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Executable stencil buffer with W^X lifetime discipline.
+ *
+ * The tier-3 template compilers concatenate per-opcode native
+ * stencils into one of these. The mapping is anonymous memory that is
+ * *either* writable *or* executable, never both: map() hands out a
+ * PROT_READ|PROT_WRITE region for emission, seal() flips it to
+ * PROT_READ|PROT_EXEC before the first instruction runs. Overflowing
+ * the mapped capacity, or emitting after seal(), is a contained
+ * fatal() (ScopedFatalThrow-compatible), not silent corruption — the
+ * same failure contract as BundleBatch::push.
+ */
+
+#ifndef INTERP_JIT_EXEC_BUFFER_HH
+#define INTERP_JIT_EXEC_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace interp::jit {
+
+/** Map-once, emit, seal, execute. Movable-nothing: artifacts own it. */
+class ExecBuffer
+{
+  public:
+    ExecBuffer() = default;
+    ~ExecBuffer();
+    ExecBuffer(const ExecBuffer &) = delete;
+    ExecBuffer &operator=(const ExecBuffer &) = delete;
+
+    /**
+     * Map @p capacity bytes read+write (rounded up to the page size).
+     * Returns false when the host refuses the mapping — the caller
+     * falls back to the portable stencil walker, it is not an error.
+     */
+    bool map(size_t capacity);
+
+    /** Append @p n bytes. Overflow or post-seal emission is fatal(). */
+    void emit(const void *bytes, size_t n);
+    void emit8(uint8_t value);
+    void emit32(uint32_t value);
+    void emit64(uint64_t value);
+
+    /**
+     * W^X flip: revoke write, grant execute, in one mprotect. Returns
+     * false when the host forbids executable anonymous memory (the
+     * caller falls back to the portable walker; the mapping stays
+     * read-only and is never executed).
+     */
+    bool seal();
+
+    bool mapped() const { return base_ != nullptr; }
+    bool sealed() const { return sealed_; }
+    size_t used() const { return used_; }
+    size_t capacity() const { return capacity_; }
+    const uint8_t *base() const { return base_; }
+
+  private:
+    uint8_t *base_ = nullptr;
+    size_t capacity_ = 0;
+    size_t used_ = 0;
+    bool sealed_ = false;
+};
+
+} // namespace interp::jit
+
+#endif // INTERP_JIT_EXEC_BUFFER_HH

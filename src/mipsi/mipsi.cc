@@ -71,6 +71,19 @@ Mipsi::emitTranslate(uint32_t guest_addr)
     exec.alu(1);                           // epilogue
 }
 
+void
+Mipsi::emitDirectTranslate(uint32_t guest_addr)
+{
+    // The stencil region embeds the level-1 resolution at compile
+    // time, so a data access costs one guarded level-2 probe: index,
+    // entry load, presence guard, address composition.
+    RoutineScope r(exec, rDirectTranslate);
+    exec.shortInt(1);                      // level-2 index
+    exec.load(mem.l2EntryAddr(guest_addr));
+    exec.branch(true);                     // page present?
+    exec.alu(1);                           // compose host address
+}
+
 Mipsi::HClass
 Mipsi::handlerClass(mips::Op op)
 {
@@ -132,7 +145,10 @@ Mipsi::executeInst(const mips::Inst &inst, uint32_t word, uint32_t pc,
         uint32_t addr = state.regs[inst.rs] + (uint32_t)(int32_t)inst.imm;
         MemModelScope mm(exec);
         exec.noteMemModelAccess();
-        emitTranslate(addr);
+        if (jitDirectMem)
+            emitDirectTranslate(addr);
+        else
+            emitTranslate(addr);
     }
 
     info = stepCpu(state, mem, inst);

@@ -100,6 +100,15 @@ class Mipsi
     /** Emit the in-core page-table walk for one translation. */
     void emitTranslate(uint32_t guest_addr);
 
+    /**
+     * Jit-mode data translation: the stencil region caches the page
+     * mapping, so a guest access costs one guarded direct-map probe
+     * instead of the full two-level walk. Charged inside the same
+     * MemModelScope, so (execute − memModel) is untouched. Enabled
+     * only by the jit core (jitDirectMem below).
+     */
+    void emitDirectTranslate(uint32_t guest_addr);
+
     trace::Execution &exec;
     vfs::FileSystem &fs;
     GuestMemory mem;
@@ -128,6 +137,13 @@ class Mipsi
     uint32_t decodeTable[64] = {};
 
     std::unique_ptr<SyscallHandler> syscallStorage;
+
+  protected:
+    // Jit-mode state, appended after every baseline member so the
+    // existing offsets (and with them the simulated data addresses)
+    // are untouched — the same layout discipline as the tclish modes.
+    bool jitDirectMem = false;   ///< route rMem through the direct probe
+    trace::RoutineId rDirectTranslate = 0; ///< registered by the jit core
 };
 
 } // namespace interp::mipsi

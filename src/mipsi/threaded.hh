@@ -47,7 +47,9 @@ class ThreadedMipsi : public Mipsi
 
     RunResult run(uint64_t max_commands = UINT64_MAX);
 
-  private:
+  protected:
+    // The predecode machinery is shared with the tier-3 jit core
+    // (jit.hh), which replaces only the per-trip fetch.
     /**
      * One predecoded guest instruction: the decoded fields, the raw
      * word (for error messages), and the handler class driving the

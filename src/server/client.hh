@@ -71,7 +71,7 @@ class Client
     bool parseOne(EvalResponse &resp);
 
     int fd_ = -1;
-    std::string in_;
+    RecvBuffer in_;
     uint32_t nextId_ = 1;
 };
 

@@ -11,7 +11,7 @@ using tracefile::putU64;
 
 namespace {
 
-constexpr uint8_t kMaxLang = (uint8_t)harness::Lang::PerlIC;
+constexpr uint8_t kMaxLang = (uint8_t)harness::Lang::TclJit;
 constexpr uint8_t kKnownFlags =
     kFlagRecordTrace | kFlagWithMachine | kFlagNeedsInputs;
 
@@ -62,6 +62,22 @@ takeHello(std::string &buf)
     if (have < kHelloBytes)
         return HelloResult::Incomplete;
     buf.erase(0, kHelloBytes);
+    return HelloResult::Ok;
+}
+
+HelloResult
+takeHello(RecvBuffer &buf)
+{
+    static const char expect[kHelloBytes] = {'I', 'P', 'D',
+                                             (char)kProtocolVersion};
+    size_t have = buf.size() < kHelloBytes ? buf.size() : kHelloBytes;
+    const char *p = buf.data();
+    for (size_t i = 0; i < have; ++i)
+        if (p[i] != expect[i])
+            return HelloResult::Mismatch;
+    if (have < kHelloBytes)
+        return HelloResult::Incomplete;
+    buf.consume(kHelloBytes);
     return HelloResult::Ok;
 }
 
@@ -136,6 +152,23 @@ takeFrame(std::string &buf, std::string &payload, uint32_t max_bytes)
         return FrameResult::Incomplete;
     payload.assign(buf, 4, len);
     buf.erase(0, (size_t)4 + len);
+    return FrameResult::Frame;
+}
+
+FrameResult
+takeFrame(RecvBuffer &buf, std::string &payload, uint32_t max_bytes)
+{
+    if (buf.size() < 4)
+        return FrameResult::Incomplete;
+    const uint8_t *p = (const uint8_t *)buf.data();
+    uint32_t len = (uint32_t)p[0] | ((uint32_t)p[1] << 8) |
+                   ((uint32_t)p[2] << 16) | ((uint32_t)p[3] << 24);
+    if (len > max_bytes)
+        return FrameResult::Malformed;
+    if (buf.size() < (size_t)4 + len)
+        return FrameResult::Incomplete;
+    payload.assign(buf.data() + 4, len);
+    buf.consume((size_t)4 + len);
     return FrameResult::Frame;
 }
 

@@ -72,6 +72,69 @@ void encodeHello(std::string &out);
  */
 HelloResult takeHello(std::string &buf);
 
+// --- receive buffering -----------------------------------------------------
+
+/**
+ * Receive-side stream buffer that drains frames in amortized O(1).
+ *
+ * The serve paths used to consume each parsed frame with
+ * buf.erase(0, 4 + len), which memmoves the whole remainder once per
+ * frame: a pipelined burst of F frames totalling B bytes cost
+ * O(F * B) — quadratic in the burst, and entirely the client's
+ * choice. RecvBuffer consumes by advancing a read offset instead;
+ * the consumed prefix is dropped at most once per poll cycle (the
+ * first append() after a drain), so each received byte is moved a
+ * bounded number of times no matter how many frames arrive at once.
+ */
+class RecvBuffer
+{
+  public:
+    /** Append @p n received bytes. The first append after frames
+     *  were consumed also compacts — once per poll cycle, the
+     *  erase-per-frame this type exists to avoid never happens. */
+    void append(const char *data, size_t n)
+    {
+        compact();
+        data_.append(data, n);
+    }
+
+    /** Unconsumed bytes. */
+    size_t size() const { return data_.size() - off_; }
+    bool empty() const { return size() == 0; }
+    /** Front of the unconsumed bytes (valid for size() bytes). */
+    const char *data() const { return data_.data() + off_; }
+
+    /** Advance the read offset past @p n consumed bytes. */
+    void consume(size_t n)
+    {
+        off_ += n;
+        if (off_ > data_.size())
+            off_ = data_.size(); // defensive clamp; callers bound n
+    }
+
+    /** Drop the consumed prefix now (append() does this lazily). */
+    void compact()
+    {
+        if (off_ == 0)
+            return;
+        data_.erase(0, off_);
+        off_ = 0;
+    }
+
+    void clear()
+    {
+        data_.clear();
+        off_ = 0;
+    }
+
+  private:
+    std::string data_;
+    size_t off_ = 0; ///< bytes of data_ already consumed
+};
+
+/** takeHello over a RecvBuffer (the serve paths' form). */
+HelloResult takeHello(RecvBuffer &buf);
+
 // --- frame limits ----------------------------------------------------------
 
 /** Upper bound on a request payload; larger frames are a protocol
@@ -181,6 +244,11 @@ enum class FrameResult : uint8_t
  * Frame. Never blocks; never throws.
  */
 FrameResult takeFrame(std::string &buf, std::string &payload,
+                      uint32_t max_bytes);
+
+/** takeFrame over a RecvBuffer: consumes by offset, no per-frame
+ *  erase (the serve paths' form; see RecvBuffer). */
+FrameResult takeFrame(RecvBuffer &buf, std::string &payload,
                       uint32_t max_bytes);
 
 /** Peek a request payload's verb (first byte). 0 on empty. */

@@ -664,12 +664,18 @@ Server::executeOne(const Pending &p, uint64_t queue_us)
                 stats_.noteTierRemedy(req.mode);
             if (plan.promotedTier2)
                 stats_.noteTierTier2(req.mode);
+            if (plan.promotedJit)
+                stats_.noteTierJit(req.mode);
             if (plan.artifact)
                 spec.jvmArtifact = std::move(plan.artifact);
             if (plan.pairs)
                 spec.jvmPairs = std::move(plan.pairs);
             if (plan.publish)
                 spec.publishJvmArtifact = std::move(plan.publish);
+            if (plan.jitArtifact)
+                spec.jitArtifact = std::move(plan.jitArtifact);
+            if (plan.publishJit)
+                spec.publishJitArtifact = std::move(plan.publishJit);
             if (plan.collectPairs) {
                 collecting = true;
                 spec.jvmPairSink = &collected;

@@ -156,7 +156,7 @@ class Server
     struct Conn
     {
         int fd = -1;
-        std::string in;  ///< unparsed request bytes
+        RecvBuffer in;   ///< unparsed request bytes
         std::string out; ///< encoded, unsent response bytes
         bool greeted = false; ///< hello verified (protocol.hh)
     };

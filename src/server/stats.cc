@@ -128,6 +128,13 @@ ServerStats::noteTierTier2(harness::Lang mode)
 }
 
 void
+ServerStats::noteTierJit(harness::Lang mode)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++modes_[(int)mode].tierUpJit;
+}
+
+void
 ServerStats::noteTieredRun(harness::Lang mode)
 {
     std::lock_guard<std::mutex> lock(mu);
@@ -163,6 +170,7 @@ ServerStats::totals() const
         sum.failed += m.failed;
         sum.tierUpRemedy += m.tierUpRemedy;
         sum.tierUpTier2 += m.tierUpTier2;
+        sum.tierUpJit += m.tierUpJit;
         sum.tieredRuns += m.tieredRuns;
     }
     return sum;
@@ -179,9 +187,11 @@ appendCounters(std::string &out, const ModeCounters &c)
                   ",\"shed\":%" PRIu64 ",\"deadline\":%" PRIu64
                   ",\"failed\":%" PRIu64 ",\"tier_up_remedy\":%" PRIu64
                   ",\"tier_up_tier2\":%" PRIu64
+                  ",\"tier_up_jit\":%" PRIu64
                   ",\"tiered_runs\":%" PRIu64,
                   c.accepted, c.served, c.shed, c.deadline, c.failed,
-                  c.tierUpRemedy, c.tierUpTier2, c.tieredRuns);
+                  c.tierUpRemedy, c.tierUpTier2, c.tierUpJit,
+                  c.tieredRuns);
     out += buf;
 }
 
@@ -227,6 +237,7 @@ ServerStats::renderJson(size_t queued_jobs, unsigned idle_workers,
         sum.failed += m.failed;
         sum.tierUpRemedy += m.tierUpRemedy;
         sum.tierUpTier2 += m.tierUpTier2;
+        sum.tierUpJit += m.tierUpJit;
         sum.tieredRuns += m.tieredRuns;
     }
 

@@ -85,6 +85,7 @@ struct ModeCounters
     // zero everywhere when tiering is off).
     uint64_t tierUpRemedy = 0; ///< baseline -> remedy promotions
     uint64_t tierUpTier2 = 0;  ///< remedy -> tier-2 promotions
+    uint64_t tierUpJit = 0;    ///< tier-2 -> jit promotions
     uint64_t tieredRuns = 0;   ///< requests served at an elevated tier
 };
 
@@ -93,7 +94,7 @@ struct ModeCounters
 class ServerStats
 {
   public:
-    static constexpr int kModes = (int)harness::Lang::PerlIC + 1;
+    static constexpr int kModes = (int)harness::Lang::TclJit + 1;
 
     void noteAccepted(harness::Lang mode);
     void noteServed(harness::Lang mode);
@@ -106,6 +107,7 @@ class ServerStats
      *  and each request that executed above its baseline. */
     void noteTierRemedy(harness::Lang mode);
     void noteTierTier2(harness::Lang mode);
+    void noteTierJit(harness::Lang mode);
     void noteTieredRun(harness::Lang mode);
 
     /** Record one completed (OK/ERROR) request's latencies. */

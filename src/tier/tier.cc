@@ -34,6 +34,7 @@ TierManager::plan(Lang mode, const std::string &program)
     if (remedy == mode)
         return out; // no ladder for this mode (C)
     Lang tier2 = harness::tierTier2Of(mode);
+    Lang jitL = harness::tierJitOf(mode);
 
     std::lock_guard<std::mutex> lock(mu);
     Entry &e = entryFor(mode, program);
@@ -43,13 +44,37 @@ TierManager::plan(Lang mode, const std::string &program)
     if (cfg.decayEvery && e.invocations % cfg.decayEvery == 0)
         e.hotness -= e.hotness / 2;
 
-    int target = e.hotness >= cfg.tier2After   ? 2
+    int target = e.hotness >= cfg.jitAfter     ? 3
+                 : e.hotness >= cfg.tier2After  ? 2
                  : e.hotness >= cfg.remedyAfter ? 1
                                                 : 0;
-    if (tier2 == remedy && target == 2)
-        target = 1; // the remedy is this mode's top tier
-
+    if (target == 3 && jitL == tier2)
+        target = 2; // no template backend: tier 2 is the top rung
     std::string key = entryKey(mode, program);
+    if (target == 3 && mode == Lang::Mipsi) {
+        // mipsi-jit executes through a published stencil program: the
+        // guest text is catalog-shared, so one stencil stream serves
+        // every invocation. Same aside-build protocol as the jvm
+        // artifacts — exactly one request builds and publishes, the
+        // rest run the tier below until the store lands. (tcl-jit
+        // compiles per cached script inside the interpreter and needs
+        // no catalog slot.)
+        if (auto art = e.jitArtifact.load()) {
+            out.jitArtifact = std::move(art);
+        } else if (!e.buildingJit) {
+            e.buildingJit = true;
+            out.publishJit =
+                [this,
+                 key](std::shared_ptr<const jit::JitArtifact> a) {
+                    publishJitArtifact(key, std::move(a));
+                };
+        } else {
+            target = 2;
+        }
+    }
+    if (tier2 == remedy && target == 2)
+        target = 1; // the remedy is this mode's tier-2 rung
+
     if (mode == Lang::Java) {
         // jvm tiers execute through published artifacts. When the
         // target tier's artifact is not up yet, exactly one request
@@ -91,14 +116,21 @@ TierManager::plan(Lang mode, const std::string &program)
         out.collectPairs = mode == Lang::Java;
 
     out.level = target;
-    out.lang = target == 2 ? tier2 : target == 1 ? remedy : mode;
+    out.lang = target == 3   ? jitL
+               : target == 2 ? tier2
+               : target == 1 ? remedy
+                             : mode;
     if (target >= 1 && e.level < 1) {
         out.promotedRemedy = true;
         ++promotedRemedy_;
     }
-    if (target == 2 && e.level < 2) {
+    if (target >= 2 && e.level < 2) {
         out.promotedTier2 = true;
         ++promotedTier2_;
+    }
+    if (target == 3 && e.level < 3) {
+        out.promotedJit = true;
+        ++promotedJit_;
     }
     if (target > e.level)
         e.level = target;
@@ -139,6 +171,20 @@ TierManager::publishArtifact(const std::string &key, int level,
     ++artifactsPublished_;
 }
 
+void
+TierManager::publishJitArtifact(const std::string &key,
+                                std::shared_ptr<const jit::JitArtifact> a)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = entries.find(key);
+    if (it == entries.end() || !a)
+        return;
+    Entry &e = *it->second;
+    e.jitArtifact.store(std::move(a));
+    e.buildingJit = false;
+    ++artifactsPublished_;
+}
+
 TierManager::Snapshot
 TierManager::snapshot() const
 {
@@ -147,6 +193,7 @@ TierManager::snapshot() const
     s.entries = entries.size();
     s.promotedRemedy = promotedRemedy_;
     s.promotedTier2 = promotedTier2_;
+    s.promotedJit = promotedJit_;
     s.artifactsPublished = artifactsPublished_;
     return s;
 }

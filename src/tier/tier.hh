@@ -11,6 +11,9 @@
  *            jvm-quick, tcl-bytecode, perl-ic)
  *   tier 2   remedy + profile-discovered superinstructions and
  *            monomorphic inline caches (jvm-tier2 / tcl-tier2)
+ *   tier 3   template compilation to a native-code region
+ *            (mipsi-jit / tcl-jit); modes without a template backend
+ *            top out at tier 2 and a tier-3 target folds down
  *
  * Hotness is counted per (baseline mode, program): one point per
  * invocation plus one per TierConfig::commandsPerPoint commands
@@ -42,6 +45,7 @@
 #include <string>
 
 #include "harness/runner.hh"
+#include "jit/artifact.hh"
 #include "jvm/tier2.hh"
 
 namespace interp::tier {
@@ -53,6 +57,8 @@ struct TierConfig
     uint64_t remedyAfter = 3;
     /** Hotness points at which the remedy is promoted to tier-2. */
     uint64_t tier2After = 8;
+    /** Hotness points at which tier-2 is promoted to the jit tier. */
+    uint64_t jitAfter = 16;
     /** Commands executed per hotness point (backedge stand-in). */
     uint64_t commandsPerPoint = 50'000;
     /** Halve an entry's hotness every N invocations (0 = never). */
@@ -64,12 +70,15 @@ struct TierPlan
 {
     /** Execution mode to run at (== the request mode when cold). */
     harness::Lang lang{};
-    /** Tier the plan runs at: 0 baseline, 1 remedy, 2 tier-2. */
+    /** Tier the plan runs at: 0 baseline, 1 remedy, 2 tier-2,
+     *  3 jit. */
     int level = 0;
     /** This plan crossed the baseline -> remedy threshold. */
     bool promotedRemedy = false;
     /** This plan crossed the remedy -> tier-2 threshold. */
     bool promotedTier2 = false;
+    /** This plan crossed the tier-2 -> jit threshold. */
+    bool promotedJit = false;
     /** Collect an adjacent-pair profile during this (baseline jvm)
      *  run and hand it to noteRun(). */
     bool collectPairs = false;
@@ -81,6 +90,13 @@ struct TierPlan
     /** Atomic-publish hook for an artifact this request builds. */
     std::function<void(std::shared_ptr<const jvm::TierArtifact>)>
         publish;
+    /** Published stencil program to execute with (mipsi-jit, once
+     *  built). Tcl jit artifacts are per compiled script and never
+     *  leave the interpreter, so they have no catalog slot. */
+    std::shared_ptr<const jit::JitArtifact> jitArtifact;
+    /** Atomic-publish hook for a jit artifact this request builds. */
+    std::function<void(std::shared_ptr<const jit::JitArtifact>)>
+        publishJit;
 };
 
 class TierManager
@@ -115,6 +131,7 @@ class TierManager
         uint64_t entries = 0;
         uint64_t promotedRemedy = 0; ///< baseline -> remedy crossings
         uint64_t promotedTier2 = 0;  ///< remedy -> tier-2 crossings
+        uint64_t promotedJit = 0;    ///< tier-2 -> jit crossings
         uint64_t artifactsPublished = 0;
     };
     Snapshot snapshot() const;
@@ -129,6 +146,7 @@ class TierManager
         int level = 0;            ///< highest tier reached
         bool buildingRemedy = false;
         bool buildingTier2 = false;
+        bool buildingJit = false;
         /** Merged adjacent-pair profile from baseline runs (jvm). */
         jvm::PairProfile pairs;
         /**
@@ -141,17 +159,24 @@ class TierManager
             remedyArtifact;
         std::atomic<std::shared_ptr<const jvm::TierArtifact>>
             tier2Artifact;
+        /** Published stencil program (mipsi-jit; same single-visible-
+         *  step discipline as the jvm slots above). */
+        std::atomic<std::shared_ptr<const jit::JitArtifact>>
+            jitArtifact;
     };
 
     Entry &entryFor(harness::Lang mode, const std::string &program);
     void publishArtifact(const std::string &key, int level,
                          std::shared_ptr<const jvm::TierArtifact> a);
+    void publishJitArtifact(const std::string &key,
+                            std::shared_ptr<const jit::JitArtifact> a);
 
     TierConfig cfg;
     mutable std::mutex mu;
     std::map<std::string, std::unique_ptr<Entry>> entries;
     uint64_t promotedRemedy_ = 0;
     uint64_t promotedTier2_ = 0;
+    uint64_t promotedJit_ = 0;
     uint64_t artifactsPublished_ = 0;
 };
 

@@ -35,9 +35,10 @@ enum class Segment : uint8_t
     Runtime,    ///< language runtime (allocator, strings, hashes)
     NativeLib,  ///< native runtime libraries (graphics, regex, I/O)
     GuestText,  ///< directly executed guest code (compiled-C mode)
+    JitCode,    ///< template-compiled stencil regions (jit modes)
 };
 
-constexpr int kNumSegments = 4;
+constexpr int kNumSegments = 5;
 
 /** Static description of one registered routine. */
 struct Routine

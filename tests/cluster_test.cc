@@ -31,8 +31,11 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <cerrno>
 
 #include <cstring>
 #include <map>
@@ -282,6 +285,56 @@ TEST(ClusterStatsMerge, SumsCountersAndFoldsHistograms)
     EXPECT_EQ(v, 2u);
     ASSERT_TRUE(statsJsonUint(merged, "histograms.total_us.count", v));
     EXPECT_EQ(v, 2u);
+}
+
+namespace {
+
+/** Erase every `,"key":<digits>` occurrence from a stats document. */
+std::string
+stripUintKey(std::string json, const std::string &key)
+{
+    const std::string needle = ",\"" + key + "\":";
+    for (size_t pos; (pos = json.find(needle)) != std::string::npos;) {
+        size_t end = pos + needle.size();
+        while (end < json.size() && json[end] >= '0' &&
+               json[end] <= '9')
+            ++end;
+        json.erase(pos, end - pos);
+    }
+    return json;
+}
+
+} // namespace
+
+TEST(ClusterStatsMerge, JitCounterSumsAndToleratesPreJitShards)
+{
+    ServerStats s1, s2;
+    s1.noteAccepted(Lang::Mipsi);
+    s1.noteTierJit(Lang::Mipsi);
+    s1.noteTierJit(Lang::Tcl);
+    s2.noteAccepted(Lang::Tcl);
+    s2.noteTierJit(Lang::Tcl);
+
+    CatalogCounters c{0, 0, 0};
+    // The third document mimics a shard running a pre-jit build: no
+    // tier_up_jit key anywhere. The merge must count it as zero, not
+    // drop the shard or fail the parse.
+    std::vector<std::string> docs = {
+        s1.renderJson(0, 1, c, "s0"),
+        s2.renderJson(0, 1, c, "s1"),
+        stripUintKey(s2.renderJson(0, 1, c, "s2"), "tier_up_jit"),
+    };
+    ASSERT_EQ(docs[2].find("tier_up_jit"), std::string::npos);
+
+    std::string merged = mergeShardStats(docs);
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(merged, "shards_reporting", v));
+    EXPECT_EQ(v, 3u);
+    ASSERT_TRUE(statsJsonUint(merged, "tier_up_jit", v));
+    EXPECT_EQ(v, 3u);
+    // The stripped document still contributed its other counters.
+    ASSERT_TRUE(statsJsonUint(merged, "accepted", v));
+    EXPECT_EQ(v, 3u);
 }
 
 // --- hello hardening -------------------------------------------------------
@@ -807,4 +860,41 @@ TEST(ClusterEndToEnd, TierCountersMergeAcrossShards)
     EXPECT_EQ(v, 1u);
     ASSERT_TRUE(statsJsonUint(json, "merged.tiered_runs", v));
     EXPECT_GE(v, 4u);
+}
+
+// --- end-to-end: teardown hygiene ------------------------------------------
+
+TEST(ClusterEndToEnd, TeardownSweepsTempSocketsEvenAfterShardKill)
+{
+    // The /tmp/interproxy-XXXXXX leak: a SIGKILL'd shard can never
+    // unlink its own socket file, so teardown must sweep whatever is
+    // left in the temp dir — orphaned sockets included — and remove
+    // the dir itself, on every exit path.
+    std::string dir;
+    {
+        ClusterConfig cc;
+        cc.shardCount = 2;
+        cc.workersPerShard = 1;
+        LocalCluster cluster(cc);
+        cluster.start();
+        dir = cluster.tempDir();
+        ASSERT_FALSE(dir.empty());
+        struct stat st{};
+        ASSERT_EQ(::stat(dir.c_str(), &st), 0) << dir;
+        ASSERT_TRUE(S_ISDIR(st.st_mode));
+
+        // Serve one request so every socket in the dir is live.
+        Client conn = Client::connectUnix(cluster.proxyPath());
+        EvalResponse resp = conn.eval(microRequest(Lang::Tcl, 50));
+        EXPECT_EQ(resp.status, Status::Ok) << resp.result;
+
+        // Hard-kill a shard: its socket file is now an orphan.
+        cluster.killShard(0);
+    }
+    // Destructor teardown: no /tmp residue, dir and all.
+    struct stat st{};
+    errno = 0;
+    EXPECT_NE(::stat(dir.c_str(), &st), 0)
+        << dir << " left behind after teardown";
+    EXPECT_EQ(errno, ENOENT);
 }

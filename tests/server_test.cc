@@ -209,6 +209,98 @@ TEST(Protocol, StatsRequestRoundTrip)
     EXPECT_EQ(back.id, req.id);
 }
 
+TEST(Protocol, RecvBufferBurstDrainsIdenticalFrames)
+{
+    // The O(F*B) regression: a large pipelined burst used to cost one
+    // whole-buffer memmove per frame. The RecvBuffer drain must hand
+    // back exactly the frame sequence the string-based drain does, in
+    // every chunking, with hello handling included.
+    std::string wire;
+    encodeHello(wire);
+    constexpr int kFrames = 4000;
+    for (int i = 0; i < kFrames; ++i) {
+        EvalRequest req;
+        req.id = (uint32_t)i;
+        req.mode = Lang::Tcl;
+        // Sizes vary so frame boundaries land at every chunk offset.
+        req.program = std::string(1 + (i * 37) % 300, 'a' + i % 26);
+        encodeEvalRequest(wire, req);
+    }
+
+    auto drainString = [&](size_t chunk) {
+        std::vector<std::string> frames;
+        std::string buf, payload;
+        bool greeted = false;
+        for (size_t off = 0; off < wire.size(); off += chunk) {
+            buf.append(wire, off, std::min(chunk, wire.size() - off));
+            if (!greeted) {
+                if (takeHello(buf) != HelloResult::Ok)
+                    continue;
+                greeted = true;
+            }
+            while (takeFrame(buf, payload, kMaxRequestBytes) ==
+                   FrameResult::Frame)
+                frames.push_back(payload);
+        }
+        EXPECT_TRUE(buf.empty());
+        return frames;
+    };
+    auto drainRecv = [&](size_t chunk) {
+        std::vector<std::string> frames;
+        RecvBuffer buf;
+        std::string payload;
+        bool greeted = false;
+        for (size_t off = 0; off < wire.size(); off += chunk) {
+            size_t n = std::min(chunk, wire.size() - off);
+            buf.append(wire.data() + off, n);
+            if (!greeted) {
+                if (takeHello(buf) != HelloResult::Ok)
+                    continue;
+                greeted = true;
+            }
+            while (takeFrame(buf, payload, kMaxRequestBytes) ==
+                   FrameResult::Frame)
+                frames.push_back(payload);
+        }
+        EXPECT_TRUE(buf.empty());
+        return frames;
+    };
+
+    // One poll cycle delivering the whole burst, typical read sizes,
+    // and a pathological byte-at-a-time trickle over a small prefix.
+    for (size_t chunk : {wire.size(), (size_t)65536, (size_t)4096,
+                         (size_t)1023}) {
+        std::vector<std::string> want = drainString(chunk);
+        std::vector<std::string> got = drainRecv(chunk);
+        ASSERT_EQ(want.size(), got.size()) << "chunk " << chunk;
+        EXPECT_EQ(want.size(), (size_t)kFrames) << "chunk " << chunk;
+        for (size_t i = 0; i < want.size(); ++i)
+            ASSERT_EQ(want[i], got[i])
+                << "chunk " << chunk << " frame " << i;
+    }
+}
+
+TEST(Protocol, RecvBufferCompactsOncePerAppendCycle)
+{
+    // consume() must not move bytes; the erase happens lazily on the
+    // next append. size()/data() always describe the unread suffix.
+    RecvBuffer buf;
+    buf.append("abcdef", 6);
+    buf.consume(4);
+    EXPECT_EQ(buf.size(), 2u);
+    EXPECT_EQ(std::string(buf.data(), buf.size()), "ef");
+    buf.append("gh", 2);
+    EXPECT_EQ(std::string(buf.data(), buf.size()), "efgh");
+    buf.consume(4);
+    EXPECT_TRUE(buf.empty());
+    // Defensive clamp: a consume past the end empties, never UB.
+    buf.append("xy", 2);
+    buf.consume(99);
+    EXPECT_TRUE(buf.empty());
+    buf.clear();
+    EXPECT_TRUE(buf.empty());
+}
+
 // --- stats unit tests ------------------------------------------------------
 
 TEST(LatencyHistogram, BucketsAreLog2)
@@ -742,4 +834,72 @@ TEST(ServerEndToEnd, TierPromotionSafeUnderConcurrency)
     EXPECT_EQ(v, 1u);
     ASSERT_TRUE(statsJsonUint(json, "modes.Java.tiered_runs", v));
     EXPECT_GE(v, 2u);
+}
+
+TEST(ServerEndToEnd, JitPromotionClimbsToTierThreeAndPreservesIdentity)
+{
+    // The tier-3 rung over the wire: a hot catalog program must climb
+    // baseline -> remedy -> tier-2 -> jit without the client seeing
+    // anything but identical answers and a falling instruction bill.
+    // Mipsi additionally exercises the aside-build: the first tier-3
+    // request compiles and publishes the stencil program, later ones
+    // load it from the catalog slot.
+    const uint32_t kIters = 300;
+    harness::Measurement mipsi =
+        batchMeasure(Lang::Mipsi, "a=b+c", (int)kIters);
+    harness::Measurement tcl =
+        batchMeasure(Lang::Tcl, "a=b+c", (int)kIters);
+
+    ServerConfig cfg;
+    cfg.workers = 1; // sequential requests -> deterministic ladder
+    cfg.tier.enabled = true;
+    cfg.tier.remedyAfter = 2;
+    cfg.tier.tier2After = 4;
+    cfg.tier.jitAfter = 6;
+    cfg.tier.commandsPerPoint = 1'000'000'000;
+    cfg.tier.decayEvery = 1'000'000;
+    TestServer ts(cfg);
+
+    Client conn = Client::connectUnix(ts.path());
+    const int kRequests = 9; // three requests past the jit threshold
+    std::vector<uint64_t> mipsiInsts, tclInsts;
+    for (int i = 0; i < kRequests; ++i) {
+        EvalResponse mr = conn.eval(microRequest(Lang::Mipsi, kIters));
+        ASSERT_EQ(mr.status, Status::Ok) << mr.result;
+        EXPECT_EQ(mr.commands, mipsi.commands) << "request " << i;
+        EXPECT_EQ(mr.result, mipsi.stdoutText) << "request " << i;
+        mipsiInsts.push_back(mr.instructions);
+
+        EvalResponse tr = conn.eval(microRequest(Lang::Tcl, kIters));
+        ASSERT_EQ(tr.status, Status::Ok) << tr.result;
+        EXPECT_EQ(tr.commands, tcl.commands) << "request " << i;
+        EXPECT_EQ(tr.result, tcl.stdoutText) << "request " << i;
+        tclInsts.push_back(tr.instructions);
+    }
+
+    EXPECT_EQ(mipsiInsts.front(), mipsi.profile.instructions());
+    EXPECT_EQ(tclInsts.front(), tcl.profile.instructions());
+    // Fully promoted beats both the cold run and the tier it came
+    // from (the request right before the jit threshold).
+    EXPECT_LT(mipsiInsts.back(), mipsiInsts.front());
+    EXPECT_LT(tclInsts.back(), tclInsts.front());
+    EXPECT_LT(mipsiInsts.back(), mipsiInsts[4]);
+    EXPECT_LT(tclInsts.back(), tclInsts[4]);
+    // Mipsi's builder request compiles in-run; once the published
+    // stencil program is loaded the compile charge disappears.
+    EXPECT_LT(mipsiInsts.back(), mipsiInsts[5]);
+
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "modes.MIPSI.tier_up_jit", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Tcl.tier_up_jit", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.Tcl.tier_up_tier2", v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(statsJsonUint(json, "modes.MIPSI.tiered_runs", v));
+    EXPECT_EQ(v, (uint64_t)kRequests - 1);
+    // Daemon-total rollup carries the new counter.
+    ASSERT_TRUE(statsJsonUint(json, "tier_up_jit", v));
+    EXPECT_EQ(v, 2u);
 }
