@@ -27,7 +27,8 @@
  * rows are single-line objects carrying `"tier": 3`, appended to
  * `pairs`, and any previous tier-3 rows are replaced, so re-running
  * is idempotent. `--jobs N` / `--record` / `--replay` behave as in
- * the other drivers.
+ * the other drivers. `--programs=<glob[,glob...]>` restricts the
+ * suite to matching workload names.
  */
 
 #include <cstdio>
@@ -41,6 +42,7 @@
 #include "harness/runner.hh"
 #include "support/strutil.hh"
 #include "trace/code_registry.hh"
+#include "workloads/registry.hh"
 
 using namespace interp;
 using namespace interp::harness;
@@ -206,7 +208,8 @@ main(int argc, char **argv)
     // One flat suite: baseline, previous tier, jit — triple i is
     // results[3i] / results[3i+1] / results[3i+2].
     std::vector<BenchSpec> specs;
-    for (BenchSpec &spec : macroSuite()) {
+    for (BenchSpec &spec : workloads::filterPrograms(
+             macroSuite(), workloads::parseProgramsArg(argc, argv))) {
         if (!isJit(tierJitOf(spec.lang)))
             continue;
         BenchSpec prev = spec;

@@ -17,6 +17,8 @@
  * BENCH_remedies.json (schema documented in EXPERIMENTS.md).
  * `--jobs N` / `--record <dir>` / `--replay <dir>` behave as in the
  * other drivers; output is byte-identical at any job count.
+ * `--programs=<glob[,glob...]>` restricts the suite to matching
+ * workload names (e.g. --programs='compose-*,spin').
  */
 
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "support/strutil.hh"
+#include "workloads/registry.hh"
 
 using namespace interp;
 using namespace interp::harness;
@@ -96,7 +99,8 @@ main(int argc, char **argv)
     // One flat suite: baseline row immediately followed by its remedy
     // row, so pair i is results[2i] / results[2i+1].
     std::vector<BenchSpec> specs;
-    for (BenchSpec &spec : macroSuite()) {
+    for (BenchSpec &spec : workloads::filterPrograms(
+             macroSuite(), workloads::parseProgramsArg(argc, argv))) {
         Lang base = spec.lang;
         Lang remedy = base == Lang::Mipsi  ? Lang::MipsiThreaded
                       : base == Lang::Java ? Lang::JavaQuick

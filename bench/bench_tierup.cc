@@ -21,7 +21,8 @@
  * and any previous tier rows are replaced, so re-running is
  * idempotent. Without an existing file a standalone document with the
  * same schema is written. `--jobs N` / `--record` / `--replay` behave
- * as in the other drivers.
+ * as in the other drivers. `--programs=<glob[,glob...]>` restricts
+ * the suite to matching workload names.
  */
 
 #include <cstdio>
@@ -32,6 +33,7 @@
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "support/strutil.hh"
+#include "workloads/registry.hh"
 
 using namespace interp;
 using namespace interp::harness;
@@ -169,7 +171,8 @@ main(int argc, char **argv)
     // One flat suite: baseline row immediately followed by its tier-2
     // row, so pair i is results[2i] / results[2i+1].
     std::vector<BenchSpec> specs;
-    for (BenchSpec &spec : macroSuite()) {
+    for (BenchSpec &spec : workloads::filterPrograms(
+             macroSuite(), workloads::parseProgramsArg(argc, argv))) {
         if (spec.lang != Lang::Java && spec.lang != Lang::Tcl &&
             spec.lang != Lang::Perl)
             continue;

@@ -25,6 +25,12 @@
  *   --rate R          open loop at R requests/second total
  *   --mode M[,M...]   execution modes, cycled (default mipsi)
  *   --program NAME    catalog program (default micro:a=b+c)
+ *   --mix I:B         heterogeneous mix: per mode, I interactive and
+ *                     B batch registry workloads per cycle (drawn
+ *                     round-robin from each traffic class), instead
+ *                     of --program; the report gains a per-class
+ *                     breakdown so shed/deadline counts are
+ *                     attributable to the class that paid them
  *   --iterations N    iteration count for micro programs
  *   --deadline MS     per-request deadline (0 = already expired)
  *   --max-commands N  per-request command budget
@@ -40,6 +46,7 @@
 
 #include "server/client.hh"
 #include "support/logging.hh"
+#include "workloads/registry.hh"
 
 using namespace interp;
 using namespace interp::server;
@@ -55,7 +62,8 @@ usage()
         "                --endpoints A,B,...] [--clients N]\n"
         "               [--connect-attempts N] [--requests N]\n"
         "               [--rate R] [--mode M[,M...]]\n"
-        "               [--program NAME] [--iterations N]\n"
+        "               [--program NAME | --mix I:B]\n"
+        "               [--iterations N]\n"
         "               [--deadline MS] [--max-commands N]\n"
         "               [--machine] [--stats]\n");
     std::exit(2);
@@ -116,6 +124,7 @@ main(int argc, char **argv)
     LoadgenOptions opt;
     std::string modeList = "mipsi";
     std::string program = "micro:a=b+c";
+    std::string mixSpec;
     uint32_t iterations = 0;
     uint32_t deadlineMs = kNoDeadline;
     uint64_t maxCommands = 0;
@@ -144,6 +153,8 @@ main(int argc, char **argv)
             modeList = argValue(argc, argv, i);
         else if (!std::strcmp(argv[i], "--program"))
             program = argValue(argc, argv, i);
+        else if (!std::strcmp(argv[i], "--mix"))
+            mixSpec = argValue(argc, argv, i);
         else if (!std::strcmp(argv[i], "--iterations"))
             iterations =
                 (uint32_t)std::atoi(argValue(argc, argv, i));
@@ -164,7 +175,8 @@ main(int argc, char **argv)
         opt.endpoints.empty())
         opt.unixPath = "/tmp/interpd.sock";
 
-    for (harness::Lang mode : parseModes(modeList)) {
+    auto makeRequest = [&](harness::Lang mode,
+                           const std::string &name) {
         EvalRequest req;
         req.mode = mode;
         req.flags = flags;
@@ -172,9 +184,57 @@ main(int argc, char **argv)
         req.maxCommands = maxCommands;
         req.iterations = iterations;
         req.kind = ProgramKind::Named;
-        req.program = program;
-        opt.mix.push_back(std::move(req));
+        req.program = name;
+        return req;
+    };
+
+    if (mixSpec.empty()) {
+        for (harness::Lang mode : parseModes(modeList))
+            opt.mix.push_back(makeRequest(mode, program));
+    } else {
+        unsigned inter = 0, batch = 0;
+        if (std::sscanf(mixSpec.c_str(), "%u:%u", &inter, &batch) !=
+                2 ||
+            inter + batch == 0)
+            fatal("loadgen: bad --mix \"%s\" (want I:B, e.g. 3:1)",
+                  mixSpec.c_str());
+        for (harness::Lang mode : parseModes(modeList)) {
+            // Draw each class's slots round-robin over the registry
+            // workloads of that class that run under this mode.
+            std::vector<std::string> names[2];
+            for (const auto &w : workloads::registry())
+                if (w.supports(mode))
+                    names[w.traffic ==
+                                  workloads::Traffic::Interactive
+                              ? 0
+                              : 1]
+                        .push_back(w.name);
+            for (unsigned cls = 0; cls < 2; ++cls)
+                if ((cls == 0 ? inter : batch) > 0 &&
+                    names[cls].empty())
+                    fatal("loadgen: no %s workloads run under %s",
+                          cls == 0 ? "interactive" : "batch",
+                          harness::langName(mode));
+            size_t next[2] = {0, 0};
+            auto push = [&](unsigned cls) {
+                const auto &pool = names[cls];
+                opt.mix.push_back(makeRequest(
+                    mode, pool[next[cls]++ % pool.size()]));
+            };
+            for (unsigned k = 0; k < inter; ++k)
+                push(0);
+            for (unsigned k = 0; k < batch; ++k)
+                push(1);
+        }
     }
+
+    // Per-traffic-class accounting: classify each request by the
+    // registry's traffic tag ("other" covers micro:* and unknowns).
+    opt.classOf = [](const EvalRequest &req) {
+        const workloads::Workload *w = workloads::find(req.program);
+        return std::string(
+            w ? workloads::trafficName(w->traffic) : "other");
+    };
 
     LoadgenReport report = runLoadgen(opt);
     std::fputs(report.table().c_str(), stdout);

@@ -1,0 +1,28 @@
+# matmul.pl — dense integer matrix kernel, same computation as
+# matmul.mc (byte-identical output). Flat arrays with computed
+# indices exercise the array-element path rather than hashes.
+
+$n = 8;
+$reps = 2;
+$sum = 0;
+for ($r = 0; $r < $reps; $r += 1) {
+    for ($i = 0; $i < $n; $i += 1) {
+        for ($j = 0; $j < $n; $j += 1) {
+            $a[$i * $n + $j] = ($i * 7 + $j * 3 + $r) % 13;
+            $b[$i * $n + $j] = ($i * 5 + $j * 11 + $r) % 17;
+        }
+    }
+    for ($i = 0; $i < $n; $i += 1) {
+        for ($j = 0; $j < $n; $j += 1) {
+            $s = 0;
+            for ($k = 0; $k < $n; $k += 1) {
+                $s = $s + $a[$i * $n + $k] * $b[$k * $n + $j];
+            }
+            $c[$i * $n + $j] = $s;
+        }
+    }
+    for ($i = 0; $i < $n * $n; $i += 1) {
+        $sum = ($sum + $c[$i]) % 100003;
+    }
+}
+print "mat checksum=$sum n=$n reps=$reps\n";

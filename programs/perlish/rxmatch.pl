@@ -1,0 +1,81 @@
+# rxmatch.pl — backtracking regex/text matcher over rxmatch.in, same
+# Pike-style matcher and patterns as rxmatch.mc (byte-identical
+# output). Deliberately avoids the engine's native =~ machinery: the
+# point is the guest-level backtracking loop itself.
+
+sub matchstar {
+    local($c, $ri, $ti, $tc) = 0;
+    $c = shift;
+    $ri = shift;
+    $ti = shift;
+    while (1) {
+        if (&matchhere($ri, $ti)) { return 1; }
+        if ($ti >= $tlen) { return 0; }
+        $tc = substr($text, $ti, 1);
+        if ($c ne '.' && $c ne $tc) { return 0; }
+        $ti += 1;
+    }
+}
+
+sub matchhere {
+    local($ri, $ti, $rc, $tc) = 0;
+    $ri = shift;
+    $ti = shift;
+    if ($ri >= $rlen) { return 1; }
+    $rc = substr($re, $ri, 1);
+    if ($ri + 1 < $rlen && substr($re, $ri + 1, 1) eq '*') {
+        return &matchstar($rc, $ri + 2, $ti);
+    }
+    if ($rc eq '$' && $ri + 1 == $rlen) {
+        if ($ti >= $tlen) { return 1; }
+        return 0;
+    }
+    if ($ti < $tlen) {
+        $tc = substr($text, $ti, 1);
+        if ($rc eq '.' || $rc eq $tc) {
+            return &matchhere($ri + 1, $ti + 1);
+        }
+    }
+    return 0;
+}
+
+sub rmatch {
+    local($ti) = 0;
+    if (substr($re, 0, 1) eq '^') { return &matchhere(1, 0); }
+    $ti = 0;
+    while (1) {
+        if (&matchhere(0, $ti)) { return 1; }
+        if ($ti >= $tlen) { return 0; }
+        $ti += 1;
+    }
+}
+
+open(IN, "rxmatch.in") || die "no input";
+$lines = 0;
+$total = 0;
+$c0 = 0;
+$c1 = 0;
+$c2 = 0;
+$c3 = 0;
+while ($line = <IN>) {
+    chop($line);
+    $text = $line;
+    $tlen = length($text);
+    $lines += 1;
+    for ($p = 0; $p < 4; $p += 1) {
+        if ($p == 0) { $re = 'the'; }
+        if ($p == 1) { $re = '^set'; }
+        if ($p == 2) { $re = 'fe.*ch'; }
+        if ($p == 3) { $re = 'ing$'; }
+        $rlen = length($re);
+        if (&rmatch()) {
+            if ($p == 0) { $c0 += 1; }
+            if ($p == 1) { $c1 += 1; }
+            if ($p == 2) { $c2 += 1; }
+            if ($p == 3) { $c3 += 1; }
+            $total += 1;
+        }
+    }
+}
+close(IN);
+print "rx lines=$lines p0=$c0 p1=$c1 p2=$c2 p3=$c3 total=$total\n";

@@ -1,0 +1,9 @@
+# spin.pl — repeat-loop dispatch stressor; same checksum loop as
+# spin.mc so every mode prints byte-identical output.
+
+$c = 0;
+$n = 1500;
+for ($i = 0; $i < $n; $i += 1) {
+    $c = ($c * 33 + ($i & 7)) % 65521;
+}
+print "spin checksum=$c n=$n\n";

@@ -1,0 +1,178 @@
+# kanren.tcl — μKanren-style relational micro-language; a mechanical
+# port of kanren.mc (same cell allocation sequence, byte-identical
+# output including the final cells= count). Cells live in Tcl arrays,
+# so every car/cdr is a symbol-table walk.
+
+set ncells 0
+set varid 0
+
+proc mk {t a d} {
+    global ncells tg cr cd
+    set tg($ncells) $t
+    set cr($ncells) $a
+    set cd($ncells) $d
+    incr ncells
+    return [expr {$ncells - 1}]
+}
+
+proc num {v} { return [mk 1 $v 0] }
+proc pair {a d} { return [mk 2 $a $d] }
+
+proc mkvar {} {
+    global varid
+    incr varid
+    return [mk 3 [expr {$varid - 1}] 0]
+}
+
+proc lookup {vid s} {
+    global tg cr cd
+    while {$tg($s) == 2} {
+        set b $cr($s)
+        set bv $cr($b)
+        if {$cr($bv) == $vid} { return $cd($b) }
+        set s $cd($s)
+    }
+    return -1
+}
+
+proc walk {t s} {
+    global tg cr cd
+    while {$tg($t) == 3} {
+        set w [lookup $cr($t) $s]
+        if {$w < 0} { return $t }
+        set t $w
+    }
+    return $t
+}
+
+proc extend {v t s} { return [pair [pair $v $t] $s] }
+
+proc unify {a b s} {
+    global tg cr cd
+    set a [walk $a $s]
+    set b [walk $b $s]
+    if {$tg($a) == 3 && $tg($b) == 3 && $cr($a) == $cr($b)} { return $s }
+    if {$tg($a) == 3} { return [extend $a $b $s] }
+    if {$tg($b) == 3} { return [extend $b $a $s] }
+    if {$tg($a) == 0 && $tg($b) == 0} { return $s }
+    if {$tg($a) == 1 && $tg($b) == 1} {
+        if {$cr($a) == $cr($b)} { return $s }
+        return -1
+    }
+    if {$tg($a) == 2 && $tg($b) == 2} {
+        set s2 [unify $cr($a) $cr($b) $s]
+        if {$s2 < 0} { return -1 }
+        return [unify $cd($a) $cd($b) $s2]
+    }
+    return -1
+}
+
+proc goal2 {op a b} { return [pair [num $op] [pair $a [pair $b 0]]] }
+proc goal3 {op a b c} {
+    return [pair [num $op] [pair $a [pair $b [pair $c 0]]]]
+}
+
+proc cat {l1 l2} {
+    global tg cr cd
+    if {$tg($l1) != 2} { return $l2 }
+    return [pair $cr($l1) [cat $cd($l1) $l2]]
+}
+
+proc solve {g s} {
+    global tg cr cd
+    set op $cr($cr($g))
+    set a1 $cr($cd($g))
+    set a2 $cr($cd($cd($g)))
+    if {$op == 1} {
+        set s2 [unify $a1 $a2 $s]
+        if {$s2 < 0} { return 0 }
+        return [pair $s2 0]
+    }
+    if {$op == 2} {
+        set l [solve $a1 $s]
+        set out 0
+        while {$tg($l) == 2} {
+            set out [cat $out [solve $a2 $cr($l)]]
+            set l $cd($l)
+        }
+        return $out
+    }
+    if {$op == 3} { return [cat [solve $a1 $s] [solve $a2 $s]] }
+    if {$op == 4} {
+        set a3 $cr($cd($cd($cd($g))))
+        set h [mkvar]
+        set t [mkvar]
+        set res [mkvar]
+        set b1 [goal2 2 [goal2 1 $a1 0] [goal2 1 $a2 $a3]]
+        set b2 [goal2 2 [goal2 1 $a1 [pair $h $t]] \
+                    [goal2 2 [goal2 1 $a3 [pair $h $res]] \
+                         [goal3 4 $t $a2 $res]]]
+        return [solve [goal2 3 $b1 $b2] $s]
+    }
+    if {$op == 5} {
+        set h [mkvar]
+        set t [mkvar]
+        set b1 [goal2 2 [goal2 1 $a2 [pair $h $t]] [goal2 1 $a1 $h]]
+        set b2 [goal2 2 [goal2 1 $a2 [pair $h $t]] [goal2 5 $a1 $t]]
+        return [solve [goal2 3 $b1 $b2] $s]
+    }
+    return 0
+}
+
+proc walkstar {t s} {
+    global tg cr cd
+    set t [walk $t $s]
+    if {$tg($t) == 2} {
+        return [pair [walkstar $cr($t) $s] [walkstar $cd($t) $s]]
+    }
+    return $t
+}
+
+proc term_str {t} {
+    global tg cr cd
+    set out "("
+    set first 1
+    while {$tg($t) == 2} {
+        if {$first == 0} { append out " " }
+        append out $cr($cr($t))
+        set first 0
+        set t $cd($t)
+    }
+    append out ")"
+    return $out
+}
+
+proc listlen {l} {
+    global tg cr cd
+    set n 0
+    while {$tg($l) == 2} {
+        incr n
+        set l $cd($l)
+    }
+    return $n
+}
+
+mk 0 0 0
+
+set list4 [pair [num 1] [pair [num 2] [pair [num 3] [pair [num 4] 0]]]]
+set x [mkvar]
+set y [mkvar]
+set results [solve [goal3 4 $x $y $list4] 0]
+puts "kanren appendo n=[listlen $results]"
+set l $results
+while {$tg($l) == 2} {
+    puts "x=[term_str [walkstar $x $cr($l)]] y=[term_str [walkstar $y $cr($l)]]"
+    set l $cd($l)
+}
+
+set list3 [pair [num 3] [pair [num 7] [pair [num 9] 0]]]
+set q [mkvar]
+set results [solve [goal2 5 $q $list3] 0]
+puts "kanren membero n=[listlen $results]"
+set l $results
+while {$tg($l) == 2} {
+    set w [walkstar $q $cr($l)]
+    puts "q=$cr($w)"
+    set l $cd($l)
+}
+puts "kanren cells=$ncells"

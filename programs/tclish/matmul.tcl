@@ -1,0 +1,31 @@
+# matmul.tcl — dense integer matrix kernel, same computation as
+# matmul.mc (byte-identical output). Array elements live in a Tcl
+# array indexed "i,j", so every access walks the symbol table — the
+# d-cache/symtab stress the suite lacked.
+
+set n 8
+set reps 2
+set sum 0
+for {set r 0} {$r < $reps} {incr r} {
+    for {set i 0} {$i < $n} {incr i} {
+        for {set j 0} {$j < $n} {incr j} {
+            set a($i,$j) [expr {($i * 7 + $j * 3 + $r) % 13}]
+            set b($i,$j) [expr {($i * 5 + $j * 11 + $r) % 17}]
+        }
+    }
+    for {set i 0} {$i < $n} {incr i} {
+        for {set j 0} {$j < $n} {incr j} {
+            set s 0
+            for {set k 0} {$k < $n} {incr k} {
+                set s [expr {$s + $a($i,$k) * $b($k,$j)}]
+            }
+            set c($i,$j) $s
+        }
+    }
+    for {set i 0} {$i < $n} {incr i} {
+        for {set j 0} {$j < $n} {incr j} {
+            set sum [expr {($sum + $c($i,$j)) % 100003}]
+        }
+    }
+}
+puts "mat checksum=$sum n=$n reps=$reps"

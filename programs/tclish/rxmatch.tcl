@@ -1,0 +1,81 @@
+# rxmatch.tcl — backtracking regex/text matcher over rxmatch.in,
+# same Pike-style matcher and patterns as rxmatch.mc (byte-identical
+# output). Per-character string index/compare loops with proc
+# recursion — the everything-is-a-string worst case.
+
+proc matchstar {c ri ti} {
+    global re text tlen rlen
+    while {1} {
+        if {[matchhere $ri $ti]} { return 1 }
+        if {$ti >= $tlen} { return 0 }
+        set tc [string index $text $ti]
+        if {[string compare $c "."] != 0 && [string compare $c $tc] != 0} {
+            return 0
+        }
+        incr ti
+    }
+}
+
+proc matchhere {ri ti} {
+    global re text tlen rlen
+    if {$ri >= $rlen} { return 1 }
+    set rc [string index $re $ri]
+    if {$ri + 1 < $rlen} {
+        if {[string compare [string index $re [expr {$ri + 1}]] "*"] == 0} {
+            return [matchstar $rc [expr {$ri + 2}] $ti]
+        }
+    }
+    if {[string compare $rc {$}] == 0 && $ri + 1 == $rlen} {
+        if {$ti >= $tlen} { return 1 }
+        return 0
+    }
+    if {$ti < $tlen} {
+        set tc [string index $text $ti]
+        if {[string compare $rc "."] == 0 || [string compare $rc $tc] == 0} {
+            return [matchhere [expr {$ri + 1}] [expr {$ti + 1}]]
+        }
+    }
+    return 0
+}
+
+proc rmatch {} {
+    global re text tlen rlen
+    if {[string compare [string index $re 0] "^"] == 0} {
+        return [matchhere 1 0]
+    }
+    set ti 0
+    while {1} {
+        if {[matchhere 0 $ti]} { return 1 }
+        if {$ti >= $tlen} { return 0 }
+        incr ti
+    }
+}
+
+set f [open rxmatch.in r]
+set lines 0
+set total 0
+set c0 0
+set c1 0
+set c2 0
+set c3 0
+while {[gets $f line] >= 0} {
+    set text $line
+    set tlen [string length $text]
+    incr lines
+    for {set p 0} {$p < 4} {incr p} {
+        if {$p == 0} { set re "the" }
+        if {$p == 1} { set re "^set" }
+        if {$p == 2} { set re "fe.*ch" }
+        if {$p == 3} { set re {ing$} }
+        set rlen [string length $re]
+        if {[rmatch]} {
+            if {$p == 0} { incr c0 }
+            if {$p == 1} { incr c1 }
+            if {$p == 2} { incr c2 }
+            if {$p == 3} { incr c3 }
+            incr total
+        }
+    }
+}
+close $f
+puts "rx lines=$lines p0=$c0 p1=$c1 p2=$c2 p3=$c3 total=$total"

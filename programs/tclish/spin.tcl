@@ -1,0 +1,9 @@
+# spin.tcl — repeat-loop dispatch stressor; same checksum loop as
+# spin.mc so every mode prints byte-identical output.
+
+set c 0
+set n 1500
+for {set i 0} {$i < $n} {incr i} {
+    set c [expr {($c * 33 + ($i & 7)) % 65521}]
+}
+puts "spin checksum=$c n=$n"

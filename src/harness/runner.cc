@@ -7,102 +7,9 @@
 #include "support/strutil.hh"
 #include "trace/execution.hh"
 #include "vfs/vfs.hh"
+#include "workloads/registry.hh"
 
 namespace interp::harness {
-
-const char *
-langName(Lang lang)
-{
-    switch (lang) {
-      case Lang::C: return "C";
-      case Lang::Mipsi: return "MIPSI";
-      case Lang::Java: return "Java";
-      case Lang::Perl: return "Perl";
-      case Lang::Tcl: return "Tcl";
-      case Lang::MipsiThreaded: return "MIPSI-threaded";
-      case Lang::JavaQuick: return "Java-quick";
-      case Lang::TclBytecode: return "Tcl-bytecode";
-      case Lang::JavaTier2: return "Java-tier2";
-      case Lang::TclTier2: return "Tcl-tier2";
-      case Lang::PerlIC: return "Perl-ic";
-      case Lang::MipsiJit: return "MIPSI-jit";
-      case Lang::TclJit: return "Tcl-jit";
-      default: return "?";
-    }
-}
-
-Lang
-baselineOf(Lang lang)
-{
-    switch (lang) {
-      case Lang::MipsiThreaded: return Lang::Mipsi;
-      case Lang::JavaQuick: return Lang::Java;
-      case Lang::TclBytecode: return Lang::Tcl;
-      case Lang::JavaTier2: return Lang::Java;
-      case Lang::TclTier2: return Lang::Tcl;
-      case Lang::PerlIC: return Lang::Perl;
-      case Lang::MipsiJit: return Lang::Mipsi;
-      case Lang::TclJit: return Lang::Tcl;
-      default: return lang;
-    }
-}
-
-bool
-isRemedy(Lang lang)
-{
-    return baselineOf(lang) != lang;
-}
-
-bool
-isTier2(Lang lang)
-{
-    return lang == Lang::JavaTier2 || lang == Lang::TclTier2 ||
-           lang == Lang::PerlIC;
-}
-
-Lang
-tierRemedyOf(Lang base)
-{
-    switch (base) {
-      case Lang::Mipsi: return Lang::MipsiThreaded;
-      case Lang::Java: return Lang::JavaQuick;
-      case Lang::Tcl: return Lang::TclBytecode;
-      case Lang::Perl: return Lang::PerlIC;
-      default: return base;
-    }
-}
-
-Lang
-tierTier2Of(Lang base)
-{
-    switch (base) {
-      case Lang::Mipsi: return Lang::MipsiThreaded; // no higher tier
-      case Lang::Java: return Lang::JavaTier2;
-      case Lang::Tcl: return Lang::TclTier2;
-      case Lang::Perl: return Lang::PerlIC; // IC is Perl's top tier
-      default: return base;
-    }
-}
-
-bool
-isJit(Lang lang)
-{
-    return lang == Lang::MipsiJit || lang == Lang::TclJit;
-}
-
-Lang
-tierJitOf(Lang base)
-{
-    switch (base) {
-      // Java and Perl have no template backend: their ladders top out
-      // at tier 2 and the tier manager folds a tier-3 target down.
-      case Lang::Mipsi: return Lang::MipsiJit;
-      case Lang::Java: return Lang::JavaTier2;
-      case Lang::Tcl: return Lang::TclJit;
-      case Lang::Perl: return Lang::PerlIC;
-      default: return base;
-    }
-}
 
 Measurement
 run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
@@ -156,48 +63,9 @@ run(const BenchSpec &spec, const std::vector<trace::Sink *> &extra_sinks,
 std::vector<BenchSpec>
 macroSuite()
 {
-    std::vector<BenchSpec> suite;
-    auto add = [&suite](Lang lang, const std::string &name,
-                        const std::string &source, bool inputs) {
-        BenchSpec spec;
-        spec.lang = lang;
-        spec.name = name;
-        spec.source = source;
-        spec.needsInputs = inputs;
-        suite.push_back(std::move(spec));
-    };
-
-    std::string des_mc = loadProgram("minic/des.mc");
-
-    add(Lang::C, "des", des_mc, false);
-
-    add(Lang::Mipsi, "des", des_mc, false);
-    add(Lang::Mipsi, "compress", loadProgram("minic/compress.mc"), true);
-    add(Lang::Mipsi, "eqntott", loadProgram("minic/eqntott.mc"), false);
-    add(Lang::Mipsi, "espresso", loadProgram("minic/espresso.mc"),
-        false);
-    add(Lang::Mipsi, "li", loadProgram("minic/li.mc"), false);
-
-    add(Lang::Java, "des", des_mc, false);
-    add(Lang::Java, "asteroids", loadProgram("minic/asteroids.mc"),
-        false);
-    add(Lang::Java, "hanoi", loadProgram("minic/hanoi_gfx.mc"), false);
-    add(Lang::Java, "javac", loadProgram("minic/javac.mc"), true);
-    add(Lang::Java, "mand", loadProgram("minic/mand.mc"), false);
-
-    add(Lang::Perl, "des", loadProgram("perlish/des.pl"), false);
-    add(Lang::Perl, "a2ps", loadProgram("perlish/a2ps.pl"), true);
-    add(Lang::Perl, "plexus", loadProgram("perlish/plexus.pl"), true);
-    add(Lang::Perl, "txt2html", loadProgram("perlish/txt2html.pl"),
-        true);
-    add(Lang::Perl, "weblint", loadProgram("perlish/weblint.pl"), true);
-
-    add(Lang::Tcl, "des", loadProgram("tclish/des.tcl"), false);
-    add(Lang::Tcl, "tcllex", loadProgram("tclish/tcllex.tcl"), true);
-    add(Lang::Tcl, "tcltags", loadProgram("tclish/tcltags.tcl"), true);
-    add(Lang::Tcl, "hanoi", loadProgram("tclish/hanoi.tcl"), false);
-
-    return suite;
+    // The suite is the workload registry's canonical row order; this
+    // wrapper survives so existing callers keep one include.
+    return workloads::macroRows();
 }
 
 // --- micro suite --------------------------------------------------------

@@ -61,20 +61,70 @@ enum class Lang : uint8_t
     TclJit,        ///< tier-2 + per-command stencil region (tier 3)
 };
 
-const char *langName(Lang lang);
+// The Lang helpers are inline so header-only consumers (the workload
+// registry is below interp_harness in the link order) can use them
+// without pulling in the runner's symbols.
+
+inline const char *
+langName(Lang lang)
+{
+    switch (lang) {
+      case Lang::C: return "C";
+      case Lang::Mipsi: return "MIPSI";
+      case Lang::Java: return "Java";
+      case Lang::Perl: return "Perl";
+      case Lang::Tcl: return "Tcl";
+      case Lang::MipsiThreaded: return "MIPSI-threaded";
+      case Lang::JavaQuick: return "Java-quick";
+      case Lang::TclBytecode: return "Tcl-bytecode";
+      case Lang::JavaTier2: return "Java-tier2";
+      case Lang::TclTier2: return "Tcl-tier2";
+      case Lang::PerlIC: return "Perl-ic";
+      case Lang::MipsiJit: return "MIPSI-jit";
+      case Lang::TclJit: return "Tcl-jit";
+      default: return "?";
+    }
+}
 
 /** The baseline a remedy mode is measured against (identity for the
  *  five baseline modes). */
-Lang baselineOf(Lang lang);
+inline Lang
+baselineOf(Lang lang)
+{
+    switch (lang) {
+      case Lang::MipsiThreaded: return Lang::Mipsi;
+      case Lang::JavaQuick: return Lang::Java;
+      case Lang::TclBytecode: return Lang::Tcl;
+      case Lang::JavaTier2: return Lang::Java;
+      case Lang::TclTier2: return Lang::Tcl;
+      case Lang::PerlIC: return Lang::Perl;
+      case Lang::MipsiJit: return Lang::Mipsi;
+      case Lang::TclJit: return Lang::Tcl;
+      default: return lang;
+    }
+}
 
 /** True for every non-baseline mode (§5 remedies and tier-2). */
-bool isRemedy(Lang lang);
+inline bool
+isRemedy(Lang lang)
+{
+    return baselineOf(lang) != lang;
+}
 
 /** True for the tier-2 modes (superinstructions / inline caches). */
-bool isTier2(Lang lang);
+inline bool
+isTier2(Lang lang)
+{
+    return lang == Lang::JavaTier2 || lang == Lang::TclTier2 ||
+           lang == Lang::PerlIC;
+}
 
 /** True for the jit (tier-3 stencil) modes. */
-bool isJit(Lang lang);
+inline bool
+isJit(Lang lang)
+{
+    return lang == Lang::MipsiJit || lang == Lang::TclJit;
+}
 
 /**
  * The runtime tier ladder for a baseline mode: the mode a warm
@@ -82,9 +132,43 @@ bool isJit(Lang lang);
  * third (jit) hotness thresholds. Identity for modes with no higher
  * tier.
  */
-Lang tierRemedyOf(Lang base);
-Lang tierTier2Of(Lang base);
-Lang tierJitOf(Lang base);
+inline Lang
+tierRemedyOf(Lang base)
+{
+    switch (base) {
+      case Lang::Mipsi: return Lang::MipsiThreaded;
+      case Lang::Java: return Lang::JavaQuick;
+      case Lang::Tcl: return Lang::TclBytecode;
+      case Lang::Perl: return Lang::PerlIC;
+      default: return base;
+    }
+}
+
+inline Lang
+tierTier2Of(Lang base)
+{
+    switch (base) {
+      case Lang::Mipsi: return Lang::MipsiThreaded; // no higher tier
+      case Lang::Java: return Lang::JavaTier2;
+      case Lang::Tcl: return Lang::TclTier2;
+      case Lang::Perl: return Lang::PerlIC; // IC is Perl's top tier
+      default: return base;
+    }
+}
+
+inline Lang
+tierJitOf(Lang base)
+{
+    switch (base) {
+      // Java and Perl have no template backend: their ladders top out
+      // at tier 2 and the tier manager folds a tier-3 target down.
+      case Lang::Mipsi: return Lang::MipsiJit;
+      case Lang::Java: return Lang::JavaTier2;
+      case Lang::Tcl: return Lang::TclJit;
+      case Lang::Perl: return Lang::PerlIC;
+      default: return base;
+    }
+}
 
 /** One benchmark to run. */
 struct BenchSpec

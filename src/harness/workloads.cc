@@ -6,6 +6,7 @@
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/strutil.hh"
+#include "workloads/registry.hh"
 
 namespace interp::harness {
 
@@ -33,14 +34,7 @@ randomIdent(Rng &rng)
 std::string
 loadProgram(const std::string &relative_path)
 {
-    std::string path =
-        std::string(INTERP_PROGRAMS_DIR) + "/" + relative_path;
-    std::ifstream in(path);
-    if (!in.good())
-        fatal("cannot open program source %s", path.c_str());
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return buffer.str();
+    return workloads::loadProgramFile(relative_path);
 }
 
 // --- execution-mode selection ------------------------------------------
@@ -370,6 +364,36 @@ readFileInput()
     return out;
 }
 
+std::string
+rxmatchInput(size_t lines)
+{
+    // Lines mixing the four probed patterns: "the" (plain substring),
+    // "^set" (anchored head), "fe.*ch" (star backtracking), "ing$"
+    // (anchored tail). Deterministic so goldens are stable.
+    static const char *extras[] = {"set",      "running",  "parsing",
+                                   "matching", "scanning", "string",
+                                   "batch",    "fetch",    "filing"};
+    Rng rng(0xc0de5eedu + (uint32_t)lines);
+    std::ostringstream out;
+    for (size_t i = 0; i < lines; ++i) {
+        size_t words = 3 + rng.below(5);
+        if (rng.below(4) == 0)
+            out << "set ";
+        for (size_t j = 0; j < words; ++j) {
+            if (rng.below(3) == 0)
+                out << extras[rng.below(9)];
+            else
+                out << kWords[rng.below(kNumWords)];
+            if (j + 1 < words)
+                out << ' ';
+        }
+        if (rng.below(3) == 0)
+            out << " closing";
+        out << '\n';
+    }
+    return out.str();
+}
+
 void
 installAllInputs(vfs::FileSystem &fs)
 {
@@ -383,6 +407,13 @@ installAllInputs(vfs::FileSystem &fs)
     fs.writeFile("tcllex.in", tcllexInput(48));
     fs.writeFile("tcltags.in", tcltagsInput(340));
     fs.writeFile("read4k.in", readFileInput());
+    fs.writeFile("rxmatch.in", rxmatchInput(40));
+    // Composition-tower scripts: the inner interpreter reads its
+    // program from the vfs like any other input file.
+    fs.writeFile("spin.sel",
+                 workloads::loadProgramFile("scriptel/spin.sel"));
+    fs.writeFile("mat.sel",
+                 workloads::loadProgramFile("scriptel/mat.sel"));
 }
 
 } // namespace interp::harness

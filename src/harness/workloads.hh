@@ -85,6 +85,9 @@ std::string tcltagsInput(size_t lines);
 /** A 4 KB file for the `read` microbenchmark. */
 std::string readFileInput();
 
+/** Text lines probed by the rxmatch backtracking-matcher workload. */
+std::string rxmatchInput(size_t lines);
+
 /** Install every input file into @p fs under its canonical name. */
 void installAllInputs(vfs::FileSystem &fs);
 

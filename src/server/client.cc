@@ -253,6 +253,16 @@ LoadgenReport::table() const
         row(entry.first, entry.second);
     row("ALL", all);
 
+    if (!byClass.empty()) {
+        std::snprintf(line, sizeof(line),
+                      "%-14s %6s %6s %6s %6s %6s %9s %9s %9s\n",
+                      "class", "sent", "ok", "shed", "ddl", "err",
+                      "p50_us", "p95_us", "p99_us");
+        out += line;
+        for (const auto &entry : byClass)
+            row(entry.first, entry.second);
+    }
+
     if (!byEndpoint.empty()) {
         std::snprintf(line, sizeof(line),
                       "%-24s %6s %6s %6s %8s %7s %7s %9s\n",
@@ -324,9 +334,11 @@ struct Tally
          uint64_t latency_us)
     {
         std::lock_guard<std::mutex> lock(mu);
-        LoadgenTotals &m =
-            report.byMode[harness::langName(req.mode)];
-        for (LoadgenTotals *t : {&m, &report.all}) {
+        std::vector<LoadgenTotals *> buckets = {
+            &report.byMode[harness::langName(req.mode)], &report.all};
+        if (opt.classOf)
+            buckets.push_back(&report.byClass[opt.classOf(req)]);
+        for (LoadgenTotals *t : buckets) {
             ++t->sent;
             switch (resp.status) {
               case Status::Ok:

@@ -115,6 +115,16 @@ struct LoadgenOptions
      */
     std::function<void(const EvalRequest &, const EvalResponse &)>
         onResponse;
+
+    /**
+     * Optional traffic classifier: maps a request to its serving
+     * class ("interactive" / "batch" — typically the workload
+     * registry's traffic tag for the named program). When set, the
+     * report gains a per-class outcome/latency breakdown, so shed and
+     * deadline counts are attributable to the class that suffered
+     * them. Called under the tally lock.
+     */
+    std::function<std::string(const EvalRequest &)> classOf;
 };
 
 /** Tallies for one mode (or the whole run). */
@@ -156,6 +166,9 @@ struct EndpointTotals
 struct LoadgenReport
 {
     std::map<std::string, LoadgenTotals> byMode; ///< key: langName
+    /** Per-traffic-class tallies (only when LoadgenOptions::classOf
+     *  is set): the interactive:batch shed/deadline breakdown. */
+    std::map<std::string, LoadgenTotals> byClass;
     LoadgenTotals all;
     /** Cluster mode only: per-endpoint transport + balance tallies. */
     std::map<std::string, EndpointTotals> byEndpoint;

@@ -52,6 +52,7 @@
 #include "server/server.hh"
 #include "server/stats.hh"
 #include "support/logging.hh"
+#include "workloads/registry.hh"
 
 using namespace interp;
 using namespace interp::server;
@@ -714,6 +715,76 @@ TEST(ClusterEndToEnd, ShedsOnlyAtAggregateCapacity)
     EXPECT_EQ(v, shed);
     ASSERT_TRUE(statsJsonUint(json, "proxy.retries", v));
     EXPECT_GE(v, shed); // every client SHED burned a retry first
+}
+
+TEST(ClusterEndToEnd, MixedClassLoadSplitsOutcomesByClass)
+{
+    // The single-daemon mixed-class contract holds through the
+    // proxy: an interactive:batch registry mix against an overloaded
+    // cluster keeps deadline misses and sheds attributable per
+    // traffic class, and the proxy's cluster document reconciles
+    // with the per-class client ledger.
+    ClusterConfig cc;
+    cc.shardCount = 1;
+    cc.workersPerShard = 1;
+    cc.maxQueuePerShard = 1;
+    cc.maxBatchPerShard = 1;
+    cc.proxy.maxRetries = 1;
+    LocalCluster cluster(cc);
+    cluster.start();
+
+    auto named = [](const char *name, uint32_t deadline) {
+        EvalRequest req;
+        req.mode = Lang::Mipsi;
+        req.kind = ProgramKind::Named;
+        req.program = name;
+        req.deadlineMs = deadline;
+        return req;
+    };
+
+    LoadgenOptions opt;
+    opt.unixPath = cluster.proxyPath();
+    opt.clients = 4;
+    opt.requestsPerClient = 8;
+    opt.openRatePerSec = 2000; // far beyond the one-shard capacity
+    opt.mix.push_back(named("spin", 0)); // expired: DEADLINE at dequeue
+    opt.mix.push_back(named("matmul", kNoDeadline));
+    opt.classOf = [](const EvalRequest &req) {
+        const workloads::Workload *w = workloads::find(req.program);
+        return std::string(
+            w ? workloads::trafficName(w->traffic) : "other");
+    };
+
+    LoadgenReport report = runLoadgen(opt);
+
+    ASSERT_EQ(report.byClass.size(), 2u);
+    const LoadgenTotals &inter = report.byClass.at("interactive");
+    const LoadgenTotals &batch = report.byClass.at("batch");
+
+    EXPECT_EQ(report.all.sent, 32u);
+    EXPECT_EQ(inter.sent, 16u);
+    EXPECT_EQ(batch.sent, 16u);
+    for (const LoadgenTotals *t : {&inter, &batch})
+        EXPECT_EQ(t->sent,
+                  t->ok + t->shed + t->deadline + t->error);
+
+    EXPECT_EQ(inter.ok, 0u);
+    EXPECT_GE(inter.deadline, 1u);
+    EXPECT_EQ(batch.deadline, 0u);
+    EXPECT_EQ(inter.error, 0u);
+    EXPECT_EQ(batch.error, 0u);
+    EXPECT_GE(report.all.shed, 1u);
+    EXPECT_GE(batch.ok, 1u);
+
+    // Cluster accounting: every shed the client saw was a proxy
+    // capacity refusal, every deadline the merged shard document
+    // counted was an interactive request.
+    std::string json = proxyStats(cluster.proxyPath());
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "proxy.shed", v));
+    EXPECT_EQ(v, report.all.shed);
+    ASSERT_TRUE(statsJsonUint(json, "merged.deadline", v));
+    EXPECT_EQ(v, inter.deadline);
 }
 
 // --- end-to-end: loadgen endpoint accounting -------------------------------

@@ -69,8 +69,8 @@ TEST(Runner, LangNames)
 TEST(Runner, MacroSuiteShape)
 {
     auto suite = macroSuite();
-    ASSERT_EQ(suite.size(), 20u) << "1 C + 5 MIPSI + 5 Java + 5 Perl "
-                                    "+ 4 Tcl";
+    ASSERT_EQ(suite.size(), 37u)
+        << "1 C + 11 MIPSI + 9 Java + 8 Perl + 8 Tcl";
     int des_count = 0;
     for (const auto &spec : suite) {
         EXPECT_FALSE(spec.source.empty()) << spec.name;
@@ -78,6 +78,14 @@ TEST(Runner, MacroSuiteShape)
             ++des_count;
     }
     EXPECT_EQ(des_count, 5) << "des is the common reference point";
+
+    // The legacy Table 2 rows keep their historical positions: the
+    // registry's order keys preserve the pre-registry suite prefix.
+    EXPECT_EQ(suite[0].name, "des");
+    EXPECT_EQ(suite[0].lang, Lang::C);
+    EXPECT_EQ(suite[1].name, "des");
+    EXPECT_EQ(suite[1].lang, Lang::Mipsi);
+    EXPECT_EQ(suite[2].name, "compress");
 }
 
 TEST(Runner, MeasurementFieldsPopulated)

@@ -33,6 +33,7 @@
 #include "server/stats.hh"
 #include "support/logging.hh"
 #include "tracefile/reader.hh"
+#include "workloads/registry.hh"
 
 using namespace interp;
 using namespace interp::server;
@@ -561,6 +562,82 @@ TEST(ServerEndToEnd, MidRunDeadlineAbortsAtSafepoint)
     EvalResponse resp = conn.eval(req);
     EXPECT_EQ(resp.status, Status::Deadline);
     EXPECT_EQ(resp.commands, 0u);
+}
+
+TEST(ServerEndToEnd, MixedClassLoadSplitsOutcomesByClass)
+{
+    // A heterogeneous interactive:batch mix through one overloaded
+    // daemon: deadline misses and sheds must be attributable to the
+    // traffic class that suffered them, and the client-side per-class
+    // ledger must reconcile with the server's STATS counters.
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxQueue = 2;
+    cfg.maxBatch = 1;
+    TestServer ts(cfg);
+
+    auto named = [](const char *name, uint32_t deadline) {
+        EvalRequest req;
+        req.mode = Lang::Mipsi;
+        req.kind = ProgramKind::Named;
+        req.program = name;
+        req.deadlineMs = deadline;
+        return req;
+    };
+
+    LoadgenOptions opt;
+    opt.unixPath = ts.path();
+    opt.clients = 4;
+    opt.requestsPerClient = 8;
+    opt.openRatePerSec = 2000; // far beyond one worker + queue of 2
+    // Interactive requests carry an already-expired deadline, so any
+    // that reach the worker are answered DEADLINE deterministically;
+    // batch requests are unbounded registry runs slow enough (~70ms)
+    // that the open-loop schedule must overflow the queue.
+    opt.mix.push_back(named("spin", 0));
+    opt.mix.push_back(named("matmul", kNoDeadline));
+    opt.classOf = [](const EvalRequest &req) {
+        const workloads::Workload *w = workloads::find(req.program);
+        return std::string(
+            w ? workloads::trafficName(w->traffic) : "other");
+    };
+
+    LoadgenReport report = runLoadgen(opt);
+
+    ASSERT_EQ(report.byClass.size(), 2u);
+    const LoadgenTotals &inter = report.byClass.at("interactive");
+    const LoadgenTotals &batch = report.byClass.at("batch");
+
+    // The classes partition the run exactly.
+    EXPECT_EQ(report.all.sent, 32u);
+    EXPECT_EQ(inter.sent, 16u);
+    EXPECT_EQ(batch.sent, 16u);
+    for (const LoadgenTotals *t : {&inter, &batch})
+        EXPECT_EQ(t->sent,
+                  t->ok + t->shed + t->deadline + t->error);
+
+    // Deadline enforcement lands only on the class that set one: an
+    // expired-deadline request never executes, so interactive gets no
+    // OK and at least one DEADLINE, while batch can never miss.
+    EXPECT_EQ(inter.ok, 0u);
+    EXPECT_GE(inter.deadline, 1u);
+    EXPECT_EQ(batch.deadline, 0u);
+    EXPECT_EQ(inter.error, 0u);
+    EXPECT_EQ(batch.error, 0u);
+    // The overload must shed, yet batch work still completes.
+    EXPECT_GE(report.all.shed, 1u);
+    EXPECT_GE(batch.ok, 1u);
+
+    // Server-side accounting reconciles with the per-class view:
+    // every DEADLINE the daemon counted was an interactive request,
+    // every SHED is in the client ledger.
+    Client conn = Client::connectUnix(ts.path());
+    std::string json = conn.stats();
+    uint64_t v = 0;
+    ASSERT_TRUE(statsJsonUint(json, "deadline", v));
+    EXPECT_EQ(v, inter.deadline);
+    ASSERT_TRUE(statsJsonUint(json, "shed", v));
+    EXPECT_EQ(v, report.all.shed);
 }
 
 // --- end-to-end: containment, inline programs, recording -------------------
